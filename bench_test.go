@@ -1,0 +1,380 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// Ammons & Larus (PLDI 1998). Each benchmark regenerates its experiment
+// over the built-in SPEC95-analog suite, logs the rows the paper reports,
+// and exports the headline quantities as benchmark metrics.
+//
+//	go test -bench=. -benchmem
+//
+// The same rows are printed by `go run ./cmd/pathflow exp all`.
+package pathflow
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bench"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/classify"
+	"pathflow/internal/constprop"
+	"pathflow/internal/core"
+	"pathflow/internal/interp"
+	"pathflow/internal/profile"
+	"pathflow/internal/trace"
+	"pathflow/internal/tupling"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteIns  []*bench.Instance
+	suiteErr  error
+)
+
+func suite(b *testing.B) []*bench.Instance {
+	b.Helper()
+	suiteOnce.Do(func() { suiteIns, suiteErr = bench.LoadAll() })
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteIns
+}
+
+// BenchmarkTable1 regenerates Table 1: benchmark sizes, executed paths,
+// hot paths at 97% coverage, and compile/analysis times.
+func BenchmarkTable1(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table1(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	totalPaths := 0
+	for _, r := range rows {
+		b.Logf("Table1 %-9s nodes=%5d paths=%5d hot@0.97=%4d compile=%v anal=%v",
+			r.Name, r.Nodes, r.Paths, r.HotPaths, r.CompileTime.Round(time.Microsecond),
+			r.AnalTime.Round(time.Microsecond))
+		totalPaths += r.Paths
+	}
+	b.ReportMetric(float64(totalPaths), "paths")
+}
+
+// BenchmarkTable2 regenerates Table 2: modeled run time of the baseline
+// versus the path-qualified program at CA=0.97, CR=0.95, including the
+// built-in differential output check.
+func BenchmarkTable2(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table2(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var best float64
+	for _, r := range rows {
+		b.Logf("Table2 %-9s base=%10d opt=%10d speedup=%+6.2f%% folds=%d/%d code=%d/%d",
+			r.Name, r.BaseCycles, r.OptCycles, 100*r.Speedup,
+			r.BaseFolded, r.OptFolded, r.BaseFootprint, r.OptFootprint)
+		if r.Speedup > best {
+			best = r.Speedup
+		}
+	}
+	b.ReportMetric(100*best, "best-speedup-%")
+}
+
+// BenchmarkFig7 regenerates Figure 7: the cumulative distribution of
+// dynamic non-local constant executions over basic blocks.
+func BenchmarkFig7(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig7(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		need := func(f float64) int {
+			for _, p := range r.Points {
+				if p.Fraction >= f {
+					return p.Blocks
+				}
+			}
+			return 0
+		}
+		b.Logf("Fig7 %-9s blocks=%5d for50%%=%4d for90%%=%4d for99%%=%4d",
+			r.Name, len(r.Points), need(0.5), need(0.9), need(0.99))
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: the increase in dynamic constant
+// instructions versus path coverage, plus the non-local ratio headline.
+func BenchmarkFig9(b *testing.B) {
+	ins := suite(b)
+	var pts []bench.Fig9Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.Fig9(ins, bench.CoverageLevels, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxIncrease float64
+	for _, p := range pts {
+		b.Logf("Fig9 %-9s ca=%.4f increase=%+6.2f%% nonlocal-ratio=%6.1fx",
+			p.Name, p.CA, 100*p.ConstIncrease, p.NonlocalRatio)
+		if p.ConstIncrease > maxIncrease {
+			maxIncrease = p.ConstIncrease
+		}
+	}
+	b.ReportMetric(100*maxIncrease, "max-increase-%")
+}
+
+// BenchmarkFig10 regenerates Figure 10: the Figure 13 taxonomy of dynamic
+// instructions at full coverage.
+func BenchmarkFig10(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.Fig10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Fig10(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("Fig10 %-9s", r.Name)
+		for c := classify.Category(0); c < classify.NumCategories; c++ {
+			line += fmt.Sprintf(" %s=%.2f%%", c, 100*r.Report.Frac(c))
+		}
+		b.Log(line)
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: HPG and rHPG growth versus
+// coverage.
+func BenchmarkFig11(b *testing.B) {
+	ins := suite(b)
+	var pts []bench.Fig11Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.Fig11(ins, bench.CoverageLevels, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxGrowth float64
+	for _, p := range pts {
+		b.Logf("Fig11 %-9s ca=%.4f hpg=%+7.1f%% rhpg=%+7.1f%%",
+			p.Name, p.CA, 100*p.HPGGrowth, 100*p.RedGrowth)
+		if p.HPGGrowth > maxGrowth {
+			maxGrowth = p.HPGGrowth
+		}
+	}
+	b.ReportMetric(100*maxGrowth, "max-hpg-growth-%")
+}
+
+// BenchmarkFig12 regenerates Figure 12: analysis cost versus coverage.
+func BenchmarkFig12(b *testing.B) {
+	ins := suite(b)
+	var pts []bench.Fig12Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.Fig12(ins, bench.CoverageLevels, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxIters float64
+	for _, p := range pts {
+		b.Logf("Fig12 %-9s ca=%.4f time=%5.2fx iters=%5.2fx", p.Name, p.CA, p.TimeRatio, p.Iterations)
+		if p.Iterations > maxIters {
+			maxIters = p.Iterations
+		}
+	}
+	b.ReportMetric(maxIters, "max-iter-ratio")
+}
+
+// BenchmarkAblationCR sweeps the reduction benefit cutoff (DESIGN.md's
+// reduction ablation): precision preserved vs reduced size.
+func BenchmarkAblationCR(b *testing.B) {
+	ins := suite(b)
+	var pts []bench.CRPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.CRSweep(ins, []float64{0, 0.5, 0.9, 0.95, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.Logf("CR %-9s cr=%.2f preserved=%6.1f%% nodes=%d", p.Name, p.CR, 100*p.Preserved, p.RedNodes)
+	}
+}
+
+// BenchmarkAblationBranches measures decided branches (§7's
+// Mueller-Whalley connection).
+func BenchmarkAblationBranches(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.BranchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Branches(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.Logf("Branches %-9s base=%d qualified=%d (sites %d -> %d)",
+			r.Name, r.BaseDyn, r.QualDyn, r.BaseStatic, r.QualStatic)
+	}
+}
+
+// BenchmarkAblationSigns measures the second data-flow client (§8).
+func BenchmarkAblationSigns(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.SignsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Signs(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.Logf("Signs %-9s base=%d qualified=%d gain=%+.2f%%", r.Name, r.BaseDyn, r.QualDyn, 100*r.Gain)
+	}
+}
+
+// BenchmarkTracingVsTupling compares the two qualification methods of
+// §4.3 on every benchmark function: Holley-Rosen data-flow tracing
+// (expand the graph, then solve) versus context tupling (solve a tupled
+// problem over the original graph). The paper reports tupling is no
+// faster; this benchmark lets the reader check.
+func BenchmarkTracingVsTupling(b *testing.B) {
+	ins := suite(b)
+	run := func(b *testing.B, tuple bool) {
+		for i := 0; i < b.N; i++ {
+			for _, in := range ins {
+				for _, name := range in.Prog.Order {
+					fn := in.Prog.Funcs[name]
+					pr := in.Train.Funcs[name]
+					if pr == nil || pr.NumPaths() == 0 {
+						continue
+					}
+					hot := profile.SelectHot(pr, fn.G, 0.97)
+					if len(hot) == 0 {
+						continue
+					}
+					a, err := automaton.New(fn.G, pr.R, hot)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tuple {
+						tupling.Analyze(fn.G, fn.NumVars(), a, true)
+					} else {
+						h, err := trace.Build(fn, a)
+						if err != nil {
+							b.Fatal(err)
+						}
+						constprop.Analyze(h.G, fn.NumVars(), true)
+					}
+				}
+			}
+		}
+	}
+	b.Run("tracing", func(b *testing.B) { run(b, false) })
+	b.Run("tupling", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkProfilers compares the two Ball-Larus profiler
+// implementations' run-time overhead on the compress training run.
+func BenchmarkProfilers(b *testing.B) {
+	bm, err := bench.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := bm.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := interp.Run(prog, bm.TrainOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tracker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bl.ProfileProgram(prog, bm.TrainOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ips := map[string]*bl.Instrumented{}
+			for name, fn := range prog.Funcs {
+				ip, err := bl.NewInstrumented(fn, bl.RecordingEdges(fn.G))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ips[name] = ip
+			}
+			opts := bm.TrainOptions()
+			opts.OnEnter = func(fn *cfg.Func) { ips[fn.Name].Enter() }
+			opts.OnEdge = func(fn *cfg.Func, e cfg.EdgeID) { ips[fn.Name].Edge(e) }
+			opts.OnExit = func(fn *cfg.Func) { ips[fn.Name].Exit() }
+			if _, err := interp.Run(prog, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPipeline measures the full per-benchmark pipeline (profile
+// through reduction) at the paper's recommended parameters — the cost a
+// compiler would pay to adopt the technique.
+func BenchmarkPipeline(b *testing.B) {
+	for _, bm := range bench.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			prog, err := bm.Program()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.ProfileAndAnalyze(prog, bm.TrainOptions(), core.Options{CA: 0.97, CR: 0.95})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisOnly measures just the analysis stages (no training
+// run) per benchmark, separating the cost Figure 12 charts.
+func BenchmarkAnalysisOnly(b *testing.B) {
+	ins := suite(b)
+	for _, in := range ins {
+		in := in
+		b.Run(in.B.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.AnalyzeProgram(in.Prog, in.Train, core.Options{CA: 0.97, CR: 0.95})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pathflow/internal/bench"
+	"pathflow/internal/classify"
+)
+
+// cmdExp regenerates the paper's tables and figures over the benchmark
+// suite.
+func cmdExp(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pathflow exp <table1|table2|fig7|fig9|fig10|fig11|fig12|all>")
+	}
+	ins, err := bench.LoadAll()
+	if err != nil {
+		return err
+	}
+	switch args[0] {
+	case "table1":
+		return expTable1(ins)
+	case "table2":
+		return expTable2(ins)
+	case "fig7":
+		return expFig7(ins)
+	case "fig9":
+		return expFig9(ins)
+	case "fig10":
+		return expFig10(ins)
+	case "fig11":
+		return expFig11(ins)
+	case "fig12":
+		return expFig12(ins)
+	case "ablation":
+		return expAblation(ins)
+	case "all":
+		for _, f := range []func([]*bench.Instance) error{
+			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation,
+		} {
+			if err := f(ins); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", args[0])
+}
+
+func expAblation(ins []*bench.Instance) error {
+	fmt.Println("Ablation A: reduction cutoff CR at CA=0.97")
+	fmt.Println("(constants preserved relative to CR=1, and reduced graph size)")
+	crs := []float64{0, 0.5, 0.9, 0.95, 1.0}
+	pts, err := bench.CRSweep(ins, crs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s", "Program", "")
+	for _, cr := range crs {
+		fmt.Printf(" %11.2f", cr)
+	}
+	fmt.Println()
+	byName := map[string][]bench.CRPoint{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byName[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byName[p.Name] = append(byName[p.Name], p)
+	}
+	for _, name := range order {
+		fmt.Printf("%-10s %8s", name, "kept")
+		for _, p := range byName[name] {
+			fmt.Printf("      %5.1f%%", 100*p.Preserved)
+		}
+		fmt.Println()
+		fmt.Printf("%-10s %8s", "", "nodes")
+		for _, p := range byName[name] {
+			fmt.Printf(" %11d", p.RedNodes)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAblation B: branches with constant conditions (§7, Mueller-Whalley)")
+	brs, err := bench.Branches(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %12s %12s\n", "Program", "base dyn", "qualified dyn", "base sites", "qual sites")
+	for _, r := range brs {
+		fmt.Printf("%-10s %14d %14d %12d %12d\n", r.Name, r.BaseDyn, r.QualDyn, r.BaseStatic, r.QualStatic)
+	}
+
+	fmt.Println("\nAblation C: qualified sign analysis (§8: other data-flow problems)")
+	srs, err := bench.Signs(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %9s\n", "Program", "base dyn", "qualified dyn", "gain")
+	for _, r := range srs {
+		fmt.Printf("%-10s %14d %14d %+8.2f%%\n", r.Name, r.BaseDyn, r.QualDyn, 100*r.Gain)
+	}
+
+	fmt.Println("\nAblation C2: qualified value-range analysis (widening lattice)")
+	rrs, err := bench.Ranges(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %9s\n", "Program", "base dyn", "qualified dyn", "gain")
+	for _, r := range rrs {
+		fmt.Printf("%-10s %14d %14d %+8.2f%%\n", r.Name, r.BaseDyn, r.QualDyn, 100*r.Gain)
+	}
+
+	fmt.Println("\nAblation D: Wegman-Zadek conditional vs plain iterative propagation on the rHPG")
+	prs, err := bench.Propagation(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s\n", "Program", "plain dyn", "conditional")
+	for _, r := range prs {
+		fmt.Printf("%-10s %14d %14d\n", r.Name, r.PlainDyn, r.CondDyn)
+	}
+
+	fmt.Println("\nAblation E: hot paths from true path profiles vs edge-profile estimation")
+	ers, err := bench.EdgeSelection(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %10s %16s\n", "Program", "path-prof dyn", "edge-est dyn", "paths p/e", "real edge paths")
+	for _, r := range ers {
+		fmt.Printf("%-10s %14d %14d %5d/%-5d %10d/%d\n",
+			r.Name, r.PathDyn, r.EdgeDyn, r.PathHot, r.EdgeHot, r.EdgeReal, r.EdgeHot)
+	}
+	return nil
+}
+
+func expTable1(ins []*bench.Instance) error {
+	rows, err := bench.Table1(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: general information about the benchmarks")
+	fmt.Println("(Nodes: CFG nodes; Paths: Ball-Larus paths executed in training;")
+	fmt.Println(" Hot Paths: paths covering 97% of training instructions;")
+	fmt.Println(" Compile: front end + instrumented training run; Anal.: CA=0 analysis)")
+	fmt.Printf("%-10s %7s %7s %10s %12s %12s\n", "Program", "Nodes", "Paths", "Hot Paths", "Compile", "Anal. Time")
+	for _, r := range rows {
+		fmt.Printf("%-10s %7d %7d %10d %12s %12s\n",
+			r.Name, r.Nodes, r.Paths, r.HotPaths,
+			r.CompileTime.Round(time.Microsecond), r.AnalTime.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func expTable2(ins []*bench.Instance) error {
+	rows, err := bench.Table2(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2: effect of path-qualified constant propagation on run time")
+	fmt.Println("(modeled cycles on the ref input; CA=0.97, CR=0.95;")
+	fmt.Println(" Base: Wegman-Zadek folding; Optimized: path-qualified folding)")
+	fmt.Printf("%-10s %12s %12s %9s %11s %10s\n", "Program", "Base", "Optimized", "Speedup", "Folds(b/o)", "Code(b/o)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12d %12d %+8.2f%% %5d/%-5d %4d/%-4d\n",
+			r.Name, r.BaseCycles, r.OptCycles, 100*r.Speedup,
+			r.BaseFolded, r.OptFolded, r.BaseFootprint, r.OptFootprint)
+	}
+	return nil
+}
+
+func expFig7(ins []*bench.Instance) error {
+	rows, err := bench.Fig7(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7: cumulative distribution of dynamic executions of")
+	fmt.Println("non-local constant instructions by (HPG) basic block, CA=1")
+	fmt.Printf("%-10s %7s | blocks needed for coverage of\n", "Program", "blocks")
+	fmt.Printf("%-10s %7s | %6s %6s %6s %6s\n", "", "w/const", "50%", "90%", "99%", "100%")
+	for _, r := range rows {
+		need := func(f float64) int {
+			for _, p := range r.Points {
+				if p.Fraction >= f {
+					return p.Blocks
+				}
+			}
+			return 0
+		}
+		fmt.Printf("%-10s %7d | %6d %6d %6d %6d\n",
+			r.Name, len(r.Points), need(0.5), need(0.9), need(0.99), need(1.0))
+	}
+	return nil
+}
+
+func expFig9(ins []*bench.Instance) error {
+	pts, err := bench.Fig9(ins, bench.CoverageLevels, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9: increase in dynamic instructions with constant results")
+	fmt.Println("vs. path coverage CA (baseline: Wegman-Zadek at CA=0); the")
+	fmt.Println("'ratio' column is qualified/baseline non-local constants")
+	fmt.Printf("%-10s", "Program")
+	for _, ca := range bench.CoverageLevels {
+		fmt.Printf(" %8.4f", ca)
+	}
+	fmt.Printf(" %10s\n", "ratio@1.0")
+	byName := map[string][]bench.Fig9Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byName[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byName[p.Name] = append(byName[p.Name], p)
+	}
+	for _, name := range order {
+		fmt.Printf("%-10s", name)
+		var ratio float64
+		for _, p := range byName[name] {
+			fmt.Printf(" %+7.2f%%", 100*p.ConstIncrease)
+			if p.CA == 1.0 {
+				ratio = p.NonlocalRatio
+			}
+		}
+		fmt.Printf(" %9.1fx\n", ratio)
+	}
+	return nil
+}
+
+func expFig10(ins []*bench.Instance) error {
+	rows, err := bench.Fig10(ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 10: fraction of dynamic instructions per Figure 13")
+	fmt.Println("category (qualified analysis at CA=1)")
+	fmt.Printf("%-10s", "Program")
+	for c := classify.Category(0); c < classify.NumCategories; c++ {
+		fmt.Printf(" %10s", c)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Name)
+		for c := classify.Category(0); c < classify.NumCategories; c++ {
+			fmt.Printf(" %9.2f%%", 100*r.Report.Frac(c))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func expFig11(ins []*bench.Instance) error {
+	pts, err := bench.Fig11(ins, bench.CoverageLevels, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 11: increase in CFG nodes before (HPG) and after (rHPG)")
+	fmt.Println("reduction vs. path coverage CA")
+	fmt.Printf("%-10s %8s", "Program", "graph")
+	for _, ca := range bench.CoverageLevels {
+		fmt.Printf(" %8.4f", ca)
+	}
+	fmt.Println()
+	byName := map[string][]bench.Fig11Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byName[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byName[p.Name] = append(byName[p.Name], p)
+	}
+	for _, name := range order {
+		fmt.Printf("%-10s %8s", name, "HPG")
+		for _, p := range byName[name] {
+			fmt.Printf(" %+7.1f%%", 100*p.HPGGrowth)
+		}
+		fmt.Println()
+		fmt.Printf("%-10s %8s", "", "rHPG")
+		for _, p := range byName[name] {
+			fmt.Printf(" %+7.1f%%", 100*p.RedGrowth)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func expFig12(ins []*bench.Instance) error {
+	pts, err := bench.Fig12(ins, bench.CoverageLevels, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 12: qualified analysis cost vs. path coverage CA")
+	fmt.Println("(relative to CA=0; 'iters' rows use deterministic solver")
+	fmt.Println("iteration counts, 'time' rows wall clock)")
+	fmt.Printf("%-10s %6s", "Program", "")
+	for _, ca := range bench.CoverageLevels {
+		fmt.Printf(" %8.4f", ca)
+	}
+	fmt.Println()
+	byName := map[string][]bench.Fig12Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byName[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byName[p.Name] = append(byName[p.Name], p)
+	}
+	for _, name := range order {
+		fmt.Printf("%-10s %6s", name, "iters")
+		for _, p := range byName[name] {
+			fmt.Printf(" %7.2fx", p.Iterations)
+		}
+		fmt.Println()
+		fmt.Printf("%-10s %6s", "", "time")
+		for _, p := range byName[name] {
+			fmt.Printf(" %7.2fx", p.TimeRatio)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+// Command pathflow is the driver for the path-profile-guided data-flow
+// analysis library. It runs and profiles programs (the built-in SPEC95
+// analog suite or a source file), runs the qualification pipeline, and
+// regenerates every table and figure of Ammons & Larus (PLDI 1998).
+//
+// Usage:
+//
+//	pathflow list
+//	pathflow source  <benchmark>
+//	pathflow run     <benchmark>|-src file [-ref] [-args a,b,...] [-seed n]
+//	pathflow profile <benchmark>|-src file [-ref] [-top n]
+//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95]
+//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pathflow/internal/bench"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/core"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "source":
+		err = cmdSource(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "opt":
+		err = cmdOpt(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pathflow: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathflow:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `pathflow — path-profile-guided data-flow analysis (Ammons & Larus, PLDI 1998)
+
+commands:
+  list                           list the built-in benchmarks
+  source  <bench>                print a benchmark's source
+  run     <bench>|-src f [...]   execute a program and print its output
+  profile <bench>|-src f [...]   collect and print a Ball-Larus path profile
+  analyze <bench>|-src f [...]   run the full qualification pipeline
+  opt     <bench>|-src f [...]   optimize and compare modeled run time
+  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>
+                                 regenerate the paper's tables and figures
+`)
+}
+
+// target resolves a program plus run options from command arguments.
+type target struct {
+	name string
+	prog *cfg.Program
+	opts interp.Options
+	// fresh returns a new copy of opts with a rewound input stream, for
+	// commands that need several independent runs.
+	fresh func() interp.Options
+}
+
+func parseTarget(fs *flag.FlagSet, args []string) (*target, error) {
+	srcFile := fs.String("src", "", "analyze this source file instead of a benchmark")
+	ref := fs.Bool("ref", false, "use the benchmark's ref input (default: train)")
+	argList := fs.String("args", "", "comma-separated arg(k) values (with -src)")
+	seed := fs.Uint64("seed", 1, "input stream seed (with -src)")
+	inputLen := fs.Int("inputlen", 4096, "input stream length (with -src)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *srcFile != "" {
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Compile(string(data))
+		if err != nil {
+			return nil, err
+		}
+		var vals []ir.Value
+		if *argList != "" {
+			for _, s := range strings.Split(*argList, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad -args entry %q: %w", s, err)
+				}
+				vals = append(vals, v)
+			}
+		}
+		fresh := func() interp.Options {
+			return interp.Options{
+				Args:  vals,
+				Input: &interp.SliceInput{Values: bench.InputValues(*seed, *inputLen)},
+			}
+		}
+		return &target{name: *srcFile, prog: prog, opts: fresh(), fresh: fresh}, nil
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return nil, fmt.Errorf("expected one benchmark name or -src file")
+	}
+	b, err := bench.Get(rest[0])
+	if err != nil {
+		return nil, err
+	}
+	prog, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	fresh := func() interp.Options {
+		if *ref {
+			return b.RefOptions()
+		}
+		return b.TrainOptions()
+	}
+	return &target{name: b.Name, prog: prog, opts: fresh(), fresh: fresh}, nil
+}
+
+func cmdList() error {
+	for _, b := range bench.All() {
+		prog, err := b.Program()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s %4d nodes, %2d functions, %5d static instructions\n",
+			b.Name, prog.NumNodes(), len(prog.Order), prog.NumInstrs())
+	}
+	return nil
+}
+
+func cmdSource(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pathflow source <benchmark>")
+	}
+	b, err := bench.Get(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(b.Source)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	tg, err := parseTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	tg.opts.CollectOutput = true
+	res, err := interp.Run(tg.prog, tg.opts)
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("# %s: %d dynamic instructions, %d blocks, %d calls, return %d\n",
+		tg.name, res.DynInstrs, res.Steps, res.Calls, res.Ret)
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	top := fs.Int("top", 10, "show the hottest N paths per function")
+	outFile := fs.String("o", "", "also save the profile as JSON to this file")
+	tg, err := parseTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	pp, res, err := bl.ProfileProgram(tg.prog, tg.opts)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		if err := pp.Save(f, tg.prog); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# profile saved to %s\n", *outFile)
+	}
+	fmt.Printf("%s: %d dynamic instructions, %d distinct paths\n\n",
+		tg.name, res.DynInstrs, pp.TotalPaths())
+	for _, name := range tg.prog.Order {
+		pr := pp.Funcs[name]
+		g := tg.prog.Funcs[name].G
+		if pr.NumPaths() == 0 {
+			fmt.Printf("func %s: never executed\n", name)
+			continue
+		}
+		fmt.Printf("func %s: %d paths, %d traversals, %d dynamic instructions\n",
+			name, pr.NumPaths(), pr.TotalCount(), pr.DynInstrs(g))
+		for i, e := range pr.SortedEntries(g) {
+			if i >= *top {
+				fmt.Printf("  ... %d more\n", pr.NumPaths()-*top)
+				break
+			}
+			fmt.Printf("  %8d × %3d instrs  %s\n", e.Count, e.Path.NumInstrs(g), e.Path.String(g))
+		}
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	ca := fs.Float64("ca", 0.97, "hot-path coverage CA")
+	cr := fs.Float64("cr", 0.95, "reduction benefit cutoff CR")
+	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
+	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
+	tg, err := parseTarget(fs, args)
+	if err != nil {
+		return err
+	}
+	var res *core.ProgramResult
+	if *profFile != "" {
+		f, err := os.Open(*profFile)
+		if err != nil {
+			return err
+		}
+		train, err := bl.Load(f, tg.prog)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res, err = core.AnalyzeProgram(tg.prog, train, core.Options{CA: *ca, CR: *cr})
+		if err != nil {
+			return err
+		}
+	} else {
+		res, _, err = core.ProfileAndAnalyze(tg.prog, tg.opts, core.Options{CA: *ca, CR: *cr})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s @ CA=%.2f CR=%.2f\n\n", tg.name, *ca, *cr)
+	fmt.Printf("%-12s %6s %6s %6s %6s %8s %9s\n",
+		"function", "nodes", "hpg", "rhpg", "hot", "states", "time")
+	for _, name := range tg.prog.Order {
+		fr := res.Funcs[name]
+		hpg, rhpg, states := fr.Fn.G.NumNodes(), fr.Fn.G.NumNodes(), 0
+		if fr.Qualified() {
+			hpg = fr.HPG.G.NumNodes()
+			rhpg = fr.Red.G.NumNodes()
+			states = fr.Auto.NumStates()
+		}
+		fmt.Printf("%-12s %6d %6d %6d %6d %8d %9s\n",
+			name, fr.Fn.G.NumNodes(), hpg, rhpg, len(fr.Hot), states,
+			fr.Times.Total.Round(10*time.Microsecond))
+		if *showConsts && fr.Qualified() {
+			printConsts(fr)
+		}
+	}
+	st := res.Stats()
+	fmt.Printf("\ntotal: %d nodes -> %d HPG (%+.1f%%) -> %d reduced (%+.1f%%); %d hot paths\n",
+		st.OrigNodes, st.HPGNodes,
+		100*float64(st.HPGNodes-st.OrigNodes)/float64(st.OrigNodes),
+		st.RedNodes,
+		100*float64(st.RedNodes-st.OrigNodes)/float64(st.OrigNodes),
+		st.HotPaths)
+	return nil
+}
+
+func printConsts(fr *core.FuncResult) {
+	g := fr.Red.G
+	sol := fr.RedSol
+	numVars := fr.Fn.NumVars()
+	for _, nd := range g.Nodes {
+		if !sol.Reached(nd.ID) {
+			continue
+		}
+		flags := constprop.ConstFlags(g, nd.ID, sol.EnvAt(nd.ID), numVars, true)
+		vals := sol.InstrValues(nd.ID)
+		for i := range nd.Instrs {
+			if !flags[i] {
+				continue
+			}
+			fmt.Printf("    %s: %s = %d\n", nd.Name, renderInstr(fr, &nd.Instrs[i]), vals[i].K)
+		}
+	}
+}
+
+func renderInstr(fr *core.FuncResult, in *ir.Instr) string {
+	s := in.String()
+	if i := strings.Index(s, " ="); i > 0 {
+		return fr.Fn.VarName(in.Dst) + s[i:]
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+// Coverage sweeps the CA parameter on one benchmark and prints the
+// precision-versus-growth tradeoff the paper's Figures 9 and 11 chart:
+// how many more constant instructions the qualified analysis finds, and
+// what the duplication costs in graph size, as hot-path coverage rises.
+//
+//	go run ./examples/coverage [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathflow/internal/bench"
+	"pathflow/internal/core"
+)
+
+func main() {
+	name := "m88ksim"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := bench.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := bench.Load(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bm, err := in.Evaluate(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d CFG nodes, baseline finds %d dynamic non-local constants\n\n",
+		name, bm.OrigNodes, bm.NonlocalConstDyn)
+	fmt.Printf("%8s %12s %12s %10s %10s %10s\n",
+		"CA", "const dyn", "nonlocal", "increase", "HPG", "rHPG")
+	for _, ca := range bench.CoverageLevels {
+		res, err := in.Analyze(core.Options{CA: ca, CR: 0.95})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := in.Evaluate(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		incr := 0.0
+		if bm.ConstDyn > 0 {
+			incr = 100 * float64(m.ConstDyn-bm.ConstDyn) / float64(bm.ConstDyn)
+		}
+		fmt.Printf("%8.4f %12d %12d %+9.2f%% %+9.1f%% %+9.1f%%\n",
+			ca, m.ConstDyn, m.NonlocalConstDyn, incr,
+			100*float64(m.HPGNodes-m.OrigNodes)/float64(m.OrigNodes),
+			100*float64(m.RedNodes-m.OrigNodes)/float64(m.OrigNodes))
+	}
+	fmt.Println("\nNote how most of the precision arrives well before full coverage,")
+	fmt.Println("while graph growth keeps climbing — the tradeoff behind the paper's")
+	fmt.Println("recommendation of CA ≈ 0.97.")
+}

@@ -1,0 +1,83 @@
+// Optimize runs the end-to-end optimization experiment on one benchmark:
+// profile on the train input, qualify at CA=0.97/CR=0.95, fold the
+// discovered constants, and compare modeled run time against the
+// Wegman-Zadek baseline on the ref input — one row of the paper's
+// Table 2, with the cost components broken out.
+//
+//	go run ./examples/optimize [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathflow/internal/bench"
+	"pathflow/internal/core"
+	"pathflow/internal/machine"
+)
+
+func main() {
+	name := "m88ksim"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := bench.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := bench.Load(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseProg, baseFolds := core.BaselineProgram(in.Prog)
+	optProg, optFolds := res.OptimizedProgram()
+
+	cm := machine.DefaultCostModel()
+	cc := machine.DefaultICache()
+	baseOpts := b.RefOptions()
+	baseOpts.CollectOutput = true
+	baseSim, baseRes, err := machine.Simulate(baseProg, baseOpts, cm, cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optOpts := b.RefOptions()
+	optOpts.CollectOutput = true
+	optSim, optRes, err := machine.Simulate(optProg, optOpts, cm, cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Observational equivalence is the pipeline's soundness contract.
+	if len(baseRes.Output) != len(optRes.Output) {
+		log.Fatalf("output diverged: %d vs %d values", len(baseRes.Output), len(optRes.Output))
+	}
+	for i := range baseRes.Output {
+		if baseRes.Output[i] != optRes.Output[i] {
+			log.Fatalf("output diverged at %d: %d vs %d", i, baseRes.Output[i], optRes.Output[i])
+		}
+	}
+
+	fmt.Printf("benchmark %s on the ref input (output: %v)\n\n", name, baseRes.Output)
+	fmt.Printf("%-22s %15s %15s\n", "", "Wegman-Zadek", "path-qualified")
+	row := func(label string, a, b int64) {
+		fmt.Printf("%-22s %15d %15d\n", label, a, b)
+	}
+	row("folded instructions", int64(baseFolds), int64(optFolds))
+	row("code size (slots)", baseSim.Footprint, optSim.Footprint)
+	row("compute cycles", baseSim.ComputeCycles, optSim.ComputeCycles)
+	row("i-cache misses", baseSim.Misses, optSim.Misses)
+	row("broken fallthroughs", baseSim.TakenTransfers, optSim.TakenTransfers)
+	row("total cycles", baseSim.Cycles, optSim.Cycles)
+	speedup := 100 * float64(baseSim.Cycles-optSim.Cycles) / float64(baseSim.Cycles)
+	fmt.Printf("\nspeedup: %+.2f%%\n", speedup)
+	if speedup < 0 {
+		fmt.Println("(a slowdown: the duplicated code's cache and layout costs outweigh")
+		fmt.Println(" the folded constants — the tradeoff §6.1.1 of the paper discusses)")
+	}
+}

@@ -1,0 +1,3 @@
+module pathflow
+
+go 1.22

@@ -1,0 +1,239 @@
+package automaton_test
+
+import (
+	"strings"
+	"testing"
+
+	. "pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/paperex"
+)
+
+func buildExample(t *testing.T) (*cfg.Graph, map[string]cfg.EdgeID, *Automaton) {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	R := paperex.Recording(edges)
+	ps := paperex.Paths(edges)
+	a, err := New(f.G, R, ps[:])
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f.G, edges, a
+}
+
+func TestExampleTrieShape(t *testing.T) {
+	_, _, a := buildExample(t)
+	// Figure 3: qε, q• (= q0) and 17 proper trie states: 19 in total.
+	if got := a.NumStates(); got != 19 {
+		t.Errorf("NumStates = %d, want 19", got)
+	}
+	if a.NumKeywords() != 4 {
+		t.Errorf("NumKeywords = %d, want 4", a.NumKeywords())
+	}
+	if a.Start() != StateEpsilon {
+		t.Errorf("Start = %d, want qε", a.Start())
+	}
+	if a.Name(StateEpsilon) != "ε" || a.Name(StateDot) != "0" {
+		t.Errorf("names: ε=%q dot=%q", a.Name(StateEpsilon), a.Name(StateDot))
+	}
+}
+
+// walk drives the automaton from q• along the named edges.
+func walk(a *Automaton, edges map[string]cfg.EdgeID, names ...string) State {
+	q := StateDot
+	for _, n := range names {
+		q = a.Step(q, edges[n])
+	}
+	return q
+}
+
+func TestExampleStateNumbersMatchFigure5(t *testing.T) {
+	_, edges, a := buildExample(t)
+	// The paper's HPG vertex labels imply these state numbers (via the
+	// canonical BFS numbering with children in edge order).
+	cases := []struct {
+		want string
+		path []string
+	}{
+		{"1", []string{"A->B"}},                                          // B1
+		{"2", []string{"B->D"}},                                          // D2
+		{"3", []string{"A->B", "B->C"}},                                  // C3
+		{"4", []string{"A->B", "B->D"}},                                  // D4
+		{"5", []string{"B->D", "D->E"}},                                  // E5
+		{"6", []string{"A->B", "B->C", "C->E"}},                          // E6
+		{"7", []string{"A->B", "B->D", "D->E"}},                          // E7
+		{"8", []string{"B->D", "D->E", "E->F"}},                          // F8
+		{"9", []string{"B->D", "D->E", "E->G"}},                          // G9
+		{"10", []string{"A->B", "B->C", "C->E", "E->F"}},                 // F10
+		{"11", []string{"A->B", "B->D", "D->E", "E->F"}},                 // F11
+		{"12", []string{"B->D", "D->E", "E->F", "F->H"}},                 // H12
+		{"13", []string{"B->D", "D->E", "E->G", "G->H"}},                 // H13
+		{"14", []string{"A->B", "B->C", "C->E", "E->F", "F->H"}},         // H14
+		{"15", []string{"A->B", "B->D", "D->E", "E->F", "F->H"}},         // H15
+		{"16", []string{"B->D", "D->E", "E->F", "F->H", "H->I"}},         // I16
+		{"17", []string{"A->B", "B->C", "C->E", "E->F", "F->H", "H->I"}}, // I17
+	}
+	for _, tc := range cases {
+		q := walk(a, edges, tc.path...)
+		if got := a.Name(q); got != tc.want {
+			t.Errorf("state after %v = %s, want %s", tc.path, got, tc.want)
+		}
+		if got := a.Depth(q); got != len(tc.path)+1 {
+			t.Errorf("depth after %v = %d, want %d", tc.path, got, len(tc.path)+1)
+		}
+	}
+}
+
+func TestTrivialFailureFunction(t *testing.T) {
+	_, edges, a := buildExample(t)
+	// From deep in the trie, a non-matching non-recording edge resets to
+	// qε (Theorem 2).
+	q := walk(a, edges, "A->B", "B->C", "C->E")
+	if got := a.Step(q, edges["E->G"]); got != StateEpsilon {
+		t.Errorf("failure on non-recording edge -> %d, want qε", got)
+	}
+	// Any recording edge resets to q•, from anywhere.
+	for _, from := range []State{StateEpsilon, StateDot, q} {
+		for _, r := range []string{"Entry->A", "H->B", "I->Exit"} {
+			if got := a.Step(from, edges[r]); got != StateDot {
+				t.Errorf("Step(%d, %s) = %d, want q•", from, r, got)
+			}
+		}
+	}
+	// From qε, everything non-recording stays in qε.
+	for _, e := range []string{"A->B", "B->C", "E->F", "H->I"} {
+		if got := a.Step(StateEpsilon, edges[e]); got != StateEpsilon {
+			t.Errorf("Step(qε, %s) = %d, want qε", e, got)
+		}
+	}
+}
+
+func TestAcceptingStates(t *testing.T) {
+	_, edges, a := buildExample(t)
+	accepts := 0
+	for q := 0; q < a.NumStates(); q++ {
+		if a.Accepting(State(q)) {
+			accepts++
+		}
+	}
+	if accepts != 4 {
+		t.Errorf("accepting states = %d, want 4", accepts)
+	}
+	// k2's trimmed form ends at H15.
+	if q := walk(a, edges, "A->B", "B->D", "D->E", "E->F", "F->H"); !a.Accepting(q) {
+		t.Error("H15 state should accept (keyword k2)")
+	}
+	// An interior state does not accept.
+	if q := walk(a, edges, "A->B", "B->D"); a.Accepting(q) {
+		t.Error("D4 state should not accept")
+	}
+}
+
+func TestAutomatonRecognizesExactlyHotPaths(t *testing.T) {
+	g, edges, a := buildExample(t)
+	R := paperex.Recording(edges)
+	// Drive the automaton along each profile path (after a recording
+	// edge) and check the final pre-recording state accepts.
+	for i, p := range paperex.Paths(edges) {
+		q := StateDot
+		for _, e := range p.Trimmed().Edges {
+			q = a.Step(q, e)
+		}
+		if !a.Accepting(q) {
+			t.Errorf("hot path %d not accepted", i+1)
+		}
+	}
+	// A cold path must not be accepted: [•,A,B,C,E,G,H,(B)].
+	cold := bl.Path{Edges: []cfg.EdgeID{
+		edges["A->B"], edges["B->C"], edges["C->E"], edges["E->G"], edges["G->H"], edges["H->B"],
+	}}
+	if err := cold.Validate(g, R); err != nil {
+		t.Fatalf("cold path invalid: %v", err)
+	}
+	q := StateDot
+	for _, e := range cold.Trimmed().Edges {
+		q = a.Step(q, e)
+	}
+	if a.Accepting(q) {
+		t.Error("cold path accepted")
+	}
+}
+
+func TestNewRejectsBadPaths(t *testing.T) {
+	f, _, edges := paperex.Build()
+	R := paperex.Recording(edges)
+	bad := bl.Path{Edges: []cfg.EdgeID{edges["A->B"]}} // no final recording edge
+	if _, err := New(f.G, R, []bl.Path{bad}); err == nil {
+		t.Error("New accepted an invalid hot path")
+	}
+}
+
+func TestEmptyHotSet(t *testing.T) {
+	f, _, edges := paperex.Build()
+	R := paperex.Recording(edges)
+	a, err := New(f.G, R, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 2 {
+		t.Errorf("NumStates = %d, want 2 (qε and q•)", a.NumStates())
+	}
+	// With no keywords the automaton only distinguishes "just crossed a
+	// recording edge" from "did not".
+	if got := a.Step(StateDot, edges["A->B"]); got != StateEpsilon {
+		t.Errorf("Step(q•, A->B) = %d, want qε", got)
+	}
+}
+
+func TestDuplicateHotPathsCountedOnce(t *testing.T) {
+	f, _, edges := paperex.Build()
+	R := paperex.Recording(edges)
+	p := paperex.Paths(edges)[0]
+	a, err := New(f.G, R, []bl.Path{p, p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumKeywords() != 1 {
+		t.Errorf("NumKeywords = %d, want 1", a.NumKeywords())
+	}
+}
+
+func TestDot(t *testing.T) {
+	g, _, a := buildExample(t)
+	dot := a.Dot(g)
+	for _, want := range []string{"digraph trie", "label=\"•\"", "(A,B)", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+}
+
+// TestSingleEdgeHotPath covers hot paths whose trimmed form is just •,
+// which occur when a recording edge leaves a recording-edge target.
+func TestSingleEdgeHotPath(t *testing.T) {
+	// Build  entry -> a -> exit  where a->exit is the only path.
+	g := cfg.New("tiny")
+	na := g.AddNode("a")
+	g.Node(na).Kind = cfg.TermReturn
+	e1 := g.AddEdge(g.Entry, na)
+	e2 := g.AddEdge(na, g.Exit)
+	if err := g.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	R := map[cfg.EdgeID]bool{e1: true, e2: true}
+	p := bl.Path{Edges: []cfg.EdgeID{e2}}
+	if err := p.Validate(g, R); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(g, R, []bl.Path{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 2 {
+		t.Errorf("NumStates = %d, want 2", a.NumStates())
+	}
+	if !a.Accepting(StateDot) {
+		t.Error("q• should accept the empty keyword")
+	}
+}

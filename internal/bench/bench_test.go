@@ -1,0 +1,535 @@
+package bench
+
+import (
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/core"
+)
+
+// loadSuite loads all benchmarks once per test binary.
+var suite []*Instance
+
+func loadSuite(t *testing.T) []*Instance {
+	t.Helper()
+	if suite == nil {
+		s, err := LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = s
+	}
+	return suite
+}
+
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fn := range prog.Funcs {
+				if err := fn.G.Validate(fn.NumVars()); err != nil {
+					t.Errorf("%s: %v", fn.Name, err)
+				}
+			}
+			train, tres, err := bl.ProfileProgram(prog, b.TrainOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The profile must account for every dynamic instruction.
+			var covered int64
+			for name, pr := range train.Funcs {
+				if err := pr.Validate(prog.Funcs[name].G); err != nil {
+					t.Errorf("profile of %s: %v", name, err)
+				}
+				covered += pr.DynInstrs(prog.Funcs[name].G)
+			}
+			if covered != tres.DynInstrs {
+				t.Errorf("profile covers %d instrs, run executed %d", covered, tres.DynInstrs)
+			}
+		})
+	}
+}
+
+func TestDeterministicProfiles(t *testing.T) {
+	b, err := Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _, err := bl.ProfileProgram(prog, b.TrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := bl.ProfileProgram(prog, b.TrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range p1.Funcs {
+		if !p1.Funcs[name].Equal(p2.Funcs[name]) {
+			t.Errorf("profile of %s not deterministic", name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonesuch"); err == nil {
+		t.Error("Get(nonesuch) succeeded")
+	}
+}
+
+// TestGoIsThePathOutlier checks the Table 1 shape: go executes far more
+// paths than any other benchmark (the paper's go runs 84k paths when the
+// runner-up has 2k).
+func TestGoIsThePathOutlier(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Table1(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goPaths, maxOther int
+	for _, r := range rows {
+		if r.Name == "go" {
+			goPaths = r.Paths
+		} else if r.Paths > maxOther {
+			maxOther = r.Paths
+		}
+	}
+	if goPaths <= maxOther {
+		t.Errorf("go paths = %d, max other = %d; go must dominate", goPaths, maxOther)
+	}
+	for _, r := range rows {
+		if r.Nodes <= 0 || r.Paths <= 0 || r.HotPaths <= 0 {
+			t.Errorf("degenerate Table 1 row: %+v", r)
+		}
+		if r.HotPaths > r.Paths {
+			t.Errorf("%s: hot paths %d > executed paths %d", r.Name, r.HotPaths, r.Paths)
+		}
+	}
+}
+
+// TestFig9Shape checks the paper's headline result: qualified analysis
+// finds 2-112× the baseline's non-local constants, which translates into
+// single-digit-percent more constant instructions; the benefit is
+// monotone in coverage and mostly attained by CA = 0.97.
+func TestFig9Shape(t *testing.T) {
+	ins := loadSuite(t)
+	pts, err := Fig9(ins, CoverageLevels, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]map[float64]Fig9Point{}
+	for _, p := range pts {
+		if byName[p.Name] == nil {
+			byName[p.Name] = map[float64]Fig9Point{}
+		}
+		byName[p.Name][p.CA] = p
+	}
+	for name, ms := range byName {
+		full := ms[1.0]
+		at97 := ms[0.97]
+		at0 := ms[0]
+		if at0.ConstIncrease != 0 {
+			t.Errorf("%s: increase at CA=0 is %v, want 0", name, at0.ConstIncrease)
+		}
+		if full.ConstIncrease <= 0 {
+			t.Errorf("%s: no constant increase at full coverage", name)
+		}
+		if full.ConstIncrease > 0.15 {
+			t.Errorf("%s: constant increase %.1f%% implausibly large (paper band ≈ 1-7%%)",
+				name, 100*full.ConstIncrease)
+		}
+		// Most of the benefit arrives by 97% coverage.
+		if at97.ConstIncrease < 0.85*full.ConstIncrease {
+			t.Errorf("%s: only %.0f%% of full benefit at CA=0.97", name,
+				100*at97.ConstIncrease/full.ConstIncrease)
+		}
+		// Non-local ratio within (roughly) the paper's 2-112× band.
+		if full.NonlocalRatio < 1.5 || full.NonlocalRatio > 150 {
+			t.Errorf("%s: non-local ratio %.1f outside plausible band", name, full.NonlocalRatio)
+		}
+	}
+	// perl gains least, as in the paper.
+	for name, ms := range byName {
+		if name == "perl" {
+			continue
+		}
+		if ms[1.0].ConstIncrease < byName["perl"][1.0].ConstIncrease {
+			t.Errorf("%s gains less than perl; perl should be the minimum", name)
+		}
+	}
+}
+
+// TestFig11Shape checks graph growth: go dwarfs everything, other
+// benchmarks stay within the paper's bands, and reduction always shrinks
+// the HPG.
+func TestFig11Shape(t *testing.T) {
+	ins := loadSuite(t)
+	pts, err := Fig11(ins, []float64{0.97}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goGrowth, maxOther float64
+	for _, p := range pts {
+		if p.RedGrowth > p.HPGGrowth+1e-9 {
+			t.Errorf("%s: reduction grew the graph (%.1f%% -> %.1f%%)",
+				p.Name, 100*p.HPGGrowth, 100*p.RedGrowth)
+		}
+		if p.RedGrowth < 0 {
+			t.Errorf("%s: negative growth %.2f", p.Name, p.RedGrowth)
+		}
+		if p.Name == "go" {
+			goGrowth = p.HPGGrowth
+		} else {
+			if p.HPGGrowth > maxOther {
+				maxOther = p.HPGGrowth
+			}
+			if p.HPGGrowth > 0.40 {
+				t.Errorf("%s: HPG growth %.1f%% above the paper's ≤32%% band", p.Name, 100*p.HPGGrowth)
+			}
+			if p.RedGrowth > 0.12 {
+				t.Errorf("%s: rHPG growth %.1f%% far above the paper's ≤7%% band", p.Name, 100*p.RedGrowth)
+			}
+		}
+	}
+	if goGrowth < 2*maxOther {
+		t.Errorf("go HPG growth %.1f%% should dwarf other benchmarks (max %.1f%%)",
+			100*goGrowth, 100*maxOther)
+	}
+}
+
+// TestFig11Monotone: more coverage can only add duplicates to the HPG.
+func TestFig11Monotone(t *testing.T) {
+	ins := loadSuite(t)
+	pts, err := Fig11(ins, CoverageLevels, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, p := range pts { // points are emitted in increasing CA per name
+		if prev, ok := last[p.Name]; ok && p.HPGGrowth < prev-1e-9 {
+			t.Errorf("%s: HPG growth decreased from %.3f to %.3f", p.Name, prev, p.HPGGrowth)
+		}
+		last[p.Name] = p.HPGGrowth
+	}
+}
+
+// TestFig12Shape: qualified analysis costs more as coverage grows, and go
+// is by far the most expensive (the paper's sixfold increase at 0.97).
+func TestFig12Shape(t *testing.T) {
+	ins := loadSuite(t)
+	pts, err := Fig12(ins, []float64{0, 0.97}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := map[string]map[float64]float64{}
+	for _, p := range pts {
+		if iters[p.Name] == nil {
+			iters[p.Name] = map[float64]float64{}
+		}
+		iters[p.Name][p.CA] = p.Iterations
+	}
+	var goR, maxOther float64
+	for name, m := range iters {
+		if m[0.97] < m[0] {
+			t.Errorf("%s: fewer solver iterations with tracing than without", name)
+		}
+		if name == "go" {
+			goR = m[0.97]
+		} else if m[0.97] > maxOther {
+			maxOther = m[0.97]
+		}
+	}
+	if goR <= maxOther {
+		t.Errorf("go analysis-cost ratio %.2f should exceed all others (max %.2f)", goR, maxOther)
+	}
+}
+
+// TestFig7Concentration: a handful of blocks carries most of the
+// non-local constants (the paper's compress needs ~11 blocks; go needs
+// thousands — here, proportionally more).
+func TestFig7Concentration(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Fig7(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksFor := func(r Fig7Row, frac float64) int {
+		for _, p := range r.Points {
+			if p.Fraction >= frac {
+				return p.Blocks
+			}
+		}
+		return -1
+	}
+	var compress90, go90 int
+	for _, r := range rows {
+		if len(r.Points) == 0 {
+			t.Errorf("%s: no constant-carrying blocks", r.Name)
+			continue
+		}
+		if got := r.Points[len(r.Points)-1].Fraction; got != 1.0 {
+			t.Errorf("%s: distribution tops out at %v", r.Name, got)
+		}
+		switch r.Name {
+		case "compress":
+			compress90 = blocksFor(r, 0.9)
+		case "go":
+			go90 = blocksFor(r, 0.9)
+		}
+	}
+	if compress90 <= 0 || compress90 > 12 {
+		t.Errorf("compress needs %d blocks for 90%% of constants; want a handful", compress90)
+	}
+	if go90 <= compress90 {
+		t.Errorf("go (%d blocks) should need far more blocks than compress (%d)", go90, compress90)
+	}
+}
+
+// TestFig10Shape: Local and Unknowable dominate every benchmark, as in
+// the paper's Figure 10(a).
+func TestFig10Shape(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Fig10(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(All()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(All()))
+	}
+	for _, r := range rows {
+		rep := r.Report
+		if rep.TotalDyn == 0 {
+			t.Errorf("%s: empty report", r.Name)
+			continue
+		}
+		domFrac := rep.Frac(0) + rep.Frac(5) // Local + Unknowable
+		if domFrac < 0.5 {
+			t.Errorf("%s: Local+Unknowable = %.0f%%, want majority", r.Name, 100*domFrac)
+		}
+		qualified := rep.Dyn[2] + rep.Dyn[3] + rep.Dyn[4] // Identical+Variable+Partial
+		if qualified == 0 {
+			t.Errorf("%s: no qualified constants found", r.Name)
+		}
+	}
+}
+
+// TestTable2Shape: the differential output check inside Table2 is itself
+// the soundness assertion; on top of that, m88ksim must show the largest
+// speedup and at least one benchmark must slow down (the paper's mixed
+// result).
+func TestTable2Shape(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Table2(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestSpeedup float64
+	slowdowns := 0
+	for _, r := range rows {
+		if r.Speedup > bestSpeedup {
+			bestSpeedup, best = r.Speedup, r.Name
+		}
+		if r.Speedup < 0 {
+			slowdowns++
+		}
+		if r.OptFolded < r.BaseFolded {
+			t.Errorf("%s: qualified folds (%d) fewer than baseline (%d)",
+				r.Name, r.OptFolded, r.BaseFolded)
+		}
+		if r.OptFootprint < r.BaseFootprint {
+			t.Errorf("%s: optimized footprint shrank", r.Name)
+		}
+	}
+	if best != "m88ksim" {
+		t.Errorf("largest speedup is %s (%.1f%%), want m88ksim", best, 100*bestSpeedup)
+	}
+	if slowdowns == 0 {
+		t.Error("no benchmark slowed down; the paper's Table 2 is mixed")
+	}
+}
+
+// TestCRSweepShape: the reduction-cutoff ablation must show the knee the
+// paper's choice of CR = 0.95 exploits: high CR preserves nearly all
+// constants, CR = 0 destroys most of them, and size grows with CR.
+func TestCRSweepShape(t *testing.T) {
+	ins := loadSuite(t)
+	pts, err := CRSweep(ins, []float64{0, 0.95, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]map[float64]CRPoint{}
+	for _, p := range pts {
+		if byName[p.Name] == nil {
+			byName[p.Name] = map[float64]CRPoint{}
+		}
+		byName[p.Name][p.CR] = p
+	}
+	for name, m := range byName {
+		if m[1.0].Preserved != 1.0 {
+			t.Errorf("%s: CR=1 preserves %.2f, want 1", name, m[1.0].Preserved)
+		}
+		if m[0.95].Preserved < 0.9 {
+			t.Errorf("%s: CR=0.95 preserves only %.2f", name, m[0.95].Preserved)
+		}
+		if m[0].Preserved > 0.6 {
+			t.Errorf("%s: CR=0 preserves %.2f; reduction seems inert", name, m[0].Preserved)
+		}
+		if m[0].RedNodes > m[1.0].RedNodes {
+			t.Errorf("%s: size not monotone in CR (%d > %d)", name, m[0].RedNodes, m[1.0].RedNodes)
+		}
+	}
+}
+
+// TestBranchesAblation: qualification can only add decided branches.
+func TestBranchesAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Branches(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyGain := false
+	for _, r := range rows {
+		if r.QualDyn < r.BaseDyn {
+			t.Errorf("%s: qualified decided branches (%d) below baseline (%d)",
+				r.Name, r.QualDyn, r.BaseDyn)
+		}
+		if r.QualDyn > r.BaseDyn {
+			anyGain = true
+		}
+	}
+	if !anyGain {
+		t.Error("no benchmark shows qualified branch decisions")
+	}
+}
+
+// TestSignsAblation: qualified sign analysis must improve on the
+// baseline for every benchmark (the §8 generalization claim).
+func TestSignsAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Signs(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.QualDyn <= r.BaseDyn {
+			t.Errorf("%s: qualified signs %d, baseline %d; want improvement",
+				r.Name, r.QualDyn, r.BaseDyn)
+		}
+	}
+}
+
+// TestEdgeSelectionAblation: hot paths selected from true path profiles
+// must dominate the classic edge-profile estimation — the Ball-Larus
+// motivation the paper builds on. Edge estimation assumes branch
+// independence, so it both under-counts the hot set and manufactures
+// paths that rarely execute.
+func TestEdgeSelectionAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := EdgeSelection(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictWins := 0
+	for _, r := range rows {
+		if r.EdgeDyn > r.PathDyn {
+			t.Errorf("%s: edge estimation (%d) beats path profiles (%d)?",
+				r.Name, r.EdgeDyn, r.PathDyn)
+		}
+		if r.PathDyn > r.EdgeDyn {
+			strictWins++
+		}
+		if r.EdgeHot > r.PathHot {
+			t.Errorf("%s: edge estimation selected more paths (%d) than the true profile (%d)",
+				r.Name, r.EdgeHot, r.PathHot)
+		}
+	}
+	if strictWins < 3 {
+		t.Errorf("path profiles strictly win on only %d benchmarks; want >= 3", strictWins)
+	}
+}
+
+// TestRangesAblation: qualified range analysis should gain bounded
+// ranges on benchmarks with path-correlated configuration values.
+// Unlike the finite-height clients, "qualified never loses" is not a
+// theorem here: widening points depend on graph shape, and the
+// duplicated graph widens at different loop-head duplicates, so a
+// sub-percent regression is possible (and observed on compress).
+func TestRangesAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Ranges(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyGain := false
+	for _, r := range rows {
+		if float64(r.QualDyn) < 0.99*float64(r.BaseDyn) {
+			t.Errorf("%s: qualified ranges %d more than 1%% below baseline %d",
+				r.Name, r.QualDyn, r.BaseDyn)
+		}
+		if r.QualDyn > r.BaseDyn {
+			anyGain = true
+		}
+	}
+	if !anyGain {
+		t.Error("no benchmark shows qualified range gains")
+	}
+}
+
+// TestPropagationAblation: conditional propagation never finds fewer
+// constants than plain iterative propagation.
+func TestPropagationAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Propagation(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CondDyn < r.PlainDyn {
+			t.Errorf("%s: conditional (%d) below plain (%d)", r.Name, r.CondDyn, r.PlainDyn)
+		}
+	}
+}
+
+// TestReductionPreservesCR: at CR = 0.95, at least ~95% of the dynamic
+// non-local constants discovered on the HPG survive reduction.
+func TestReductionPreservesCR(t *testing.T) {
+	ins := loadSuite(t)
+	for _, in := range ins {
+		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := in.Evaluate(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare against an unreduced evaluation: CR = 1 keeps every
+		// beneficial vertex.
+		full, err := in.Analyze(core.Options{CA: 0.97, CR: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := in.Evaluate(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm.NonlocalConstDyn == 0 {
+			continue
+		}
+		frac := float64(m.NonlocalConstDyn) / float64(fm.NonlocalConstDyn)
+		// The cutoff is computed on the training profile but evaluated
+		// on ref, so allow modest slack below 0.95.
+		if frac < 0.85 {
+			t.Errorf("%s: reduction kept only %.0f%% of non-local constants (CR=0.95)",
+				in.B.Name, 100*frac)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source-generation helpers. The benchmark programs combine a hand-written
+// core (the path-structure the paper describes for each SPEC95 program)
+// with generated sections: straight-line "ballast" arithmetic that models
+// the bulk of a real program's input-dependent work, long dispatch chains,
+// and cold routines that are compiled but rarely or never executed. The
+// generated parts are what give the suite realistic proportions — in real
+// programs the path-correlated constants the paper hunts are a sliver of
+// the dynamic instruction stream, and most static code is cold.
+
+// ballast emits n statements of input-dependent arithmetic mixing acc and
+// src. Roughly half the constituent IR instructions are literal loads
+// (the paper's Local category) and the rest are unknowable, so ballast
+// dilutes the path-constant fraction the way real computation does.
+func ballast(acc, src string, seed, n int) string {
+	g := splitmix64(seed)
+	var b strings.Builder
+	ops := []string{"+", "^", "|"}
+	for i := 0; i < n; i++ {
+		k1 := g.next()%97 + 3
+		k2 := g.next()%31 + 1
+		op := ops[g.next()%uint64(len(ops))]
+		switch g.next() % 3 {
+		case 0:
+			fmt.Fprintf(&b, "\t\t%s = %s %s (%s * %d + %d);\n", acc, acc, op, src, k1, k2)
+		case 1:
+			fmt.Fprintf(&b, "\t\t%s = (%s >> %d) + (%s & %d);\n", acc, acc, g.next()%5+1, src, k1)
+		default:
+			fmt.Fprintf(&b, "\t\t%s = %s %s (%s + %d);\n", acc, acc, op, src, k2)
+		}
+	}
+	return b.String()
+}
+
+// coldFunc emits a routine of roughly the requested number of branches
+// that the benchmarks call rarely or never: it supplies the cold static
+// code that dominates real programs' CFGs.
+func coldFunc(name string, branches int, seed uint64) string {
+	g := splitmix64(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(v) {\n\tr = v;\n", name)
+	for i := 0; i < branches; i++ {
+		k := g.next() % 61
+		fmt.Fprintf(&b, "\tif (r %% %d == %d) { r = r * %d + %d; } else { r = r - %d; }\n",
+			g.next()%13+2, g.next()%5, k+2, g.next()%9, g.next()%7+1)
+	}
+	b.WriteString("\treturn r;\n}\n")
+	return b.String()
+}
+
+// constChain emits n statements of same-block constant arithmetic on a
+// fresh variable. Every instruction it produces is a Local constant
+// (determinable within the basic block), which is what most constants in
+// real programs are — the paper's Figure 10 shows Local and Unknowable
+// dominating every benchmark. Benchmarks use it to give the qualified
+// constants realistic proportions.
+func constChain(name string, seed, n int) string {
+	g := splitmix64(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "\t\t%s = %d;\n", name, g.next()%100)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t\t%s = (%s * %d + %d) %% %d;\n",
+			name, name, g.next()%9+2, g.next()%50, g.next()%5000+64)
+	}
+	return b.String()
+}
+
+// coldSuite emits several cold routines plus an expression that calls
+// them all (used under a never-true guard in main, so the code is
+// compiled — and counted — but never executed).
+func coldSuite(prefix string, funcs, branches int, seed uint64) (src, call string) {
+	var b strings.Builder
+	var calls []string
+	for i := 0; i < funcs; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		b.WriteString(coldFunc(name, branches, seed+uint64(i)))
+		calls = append(calls, name+"(0)")
+	}
+	return b.String(), strings.Join(calls, " + ")
+}
+
+// dispatchChain emits an if/else-if chain over sel with the given number
+// of cases. Each case assigns out from input-dependent values except for
+// a few constant cases, which is the shape of a scanner or bytecode
+// switch: big, mostly unknowable, with a couple of foldable corners.
+func dispatchChain(sel, out string, cases int, seed uint64) string {
+	g := splitmix64(seed)
+	var b strings.Builder
+	for i := 0; i < cases; i++ {
+		kw := "else if"
+		if i == 0 {
+			kw = "if"
+		}
+		cond := fmt.Sprintf("%s < %d", sel, (i+1)*(100/cases))
+		if i == cases-1 {
+			fmt.Fprintf(&b, "\t\telse {\n")
+		} else {
+			fmt.Fprintf(&b, "\t\t%s (%s) {\n", kw, cond)
+		}
+		if g.next()%4 == 0 {
+			fmt.Fprintf(&b, "\t\t\t%s = %d;\n", out, g.next()%50)
+		} else {
+			fmt.Fprintf(&b, "\t\t\t%s = (input() %% %d) + %d;\n", out, g.next()%100+2, g.next()%10)
+		}
+		fmt.Fprintf(&b, "\t\t}\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pathflow/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenMetrics pins the fully deterministic outputs of the experiment
+// pipeline: path counts, graph sizes and dynamically weighted constant
+// counts. Any change to the benchmarks, the profiler, tracing, reduction
+// or the propagator shows up here; run `go test ./internal/bench
+// -run Golden -update` after an intentional change.
+type goldenMetrics struct {
+	TrainPaths int   `json:"train_paths"`
+	HotAt97    int   `json:"hot_at_97"`
+	OrigNodes  int   `json:"orig_nodes"`
+	HPGNodes   int   `json:"hpg_nodes"`
+	RedNodes   int   `json:"red_nodes"`
+	TotalDyn   int64 `json:"total_dyn"`
+	// Constant-result dynamic counts at CA = 0 and 0.97.
+	ConstDyn0     int64 `json:"const_dyn_0"`
+	ConstDyn97    int64 `json:"const_dyn_97"`
+	NonlocalDyn0  int64 `json:"nonlocal_dyn_0"`
+	NonlocalDyn97 int64 `json:"nonlocal_dyn_97"`
+}
+
+func computeGolden(t *testing.T) map[string]goldenMetrics {
+	t.Helper()
+	out := map[string]goldenMetrics{}
+	for _, in := range loadSuite(t) {
+		base, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := in.Evaluate(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := in.Evaluate(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := 0
+		for _, name := range in.Prog.Order {
+			fr := res.Funcs[name]
+			hot += len(fr.Hot)
+		}
+		out[in.B.Name] = goldenMetrics{
+			TrainPaths:    in.Train.TotalPaths(),
+			HotAt97:       hot,
+			OrigNodes:     m.OrigNodes,
+			HPGNodes:      m.HPGNodes,
+			RedNodes:      m.RedNodes,
+			TotalDyn:      m.TotalDyn,
+			ConstDyn0:     bm.ConstDyn,
+			ConstDyn97:    m.ConstDyn,
+			NonlocalDyn0:  bm.NonlocalConstDyn,
+			NonlocalDyn97: m.NonlocalConstDyn,
+		}
+	}
+	return out
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	got := computeGolden(t)
+	path := filepath.Join("testdata", "metrics.golden.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	var want map[string]goldenMetrics
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for name := range want {
+			if !reflect.DeepEqual(got[name], want[name]) {
+				t.Errorf("%s:\n got %+v\nwant %+v", name, got[name], want[name])
+			}
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/classify"
+	"pathflow/internal/core"
+	"pathflow/internal/interp"
+	"pathflow/internal/machine"
+	"pathflow/internal/profile"
+)
+
+// CoverageLevels is the CA sweep the paper's Figures 9, 11 and 12 report
+// ("three quarters of the program's execution, then seven eighths, and so
+// forth"), plus the endpoints.
+var CoverageLevels = []float64{0, 0.75, 0.875, 0.9375, 0.97, 1.0}
+
+// Instance is one benchmark with its profiles collected, plus a cache of
+// analyses per coverage level.
+type Instance struct {
+	B    *Benchmark
+	Prog *cfg.Program
+	// Train and Ref are the path profiles of the train and ref runs.
+	Train, Ref *bl.ProgramProfile
+	// TrainRes and RefRes are the corresponding interpreter results.
+	TrainRes, RefRes *interp.Result
+	// CompileTime and TrainTime correspond to Table 1's compile column:
+	// the front-end plus the instrumented training run.
+	CompileTime time.Duration
+	TrainTime   time.Duration
+
+	analyses map[string]*core.ProgramResult
+}
+
+// Load compiles and profiles a benchmark.
+func Load(b *Benchmark) (*Instance, error) {
+	t0 := time.Now()
+	prog, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	compileTime := time.Since(t0)
+
+	t0 = time.Now()
+	train, tres, err := bl.ProfileProgram(prog, b.TrainOptions())
+	if err != nil {
+		return nil, fmt.Errorf("bench %s train: %w", b.Name, err)
+	}
+	trainTime := time.Since(t0)
+
+	ref, rres, err := bl.ProfileProgram(prog, b.RefOptions())
+	if err != nil {
+		return nil, fmt.Errorf("bench %s ref: %w", b.Name, err)
+	}
+	return &Instance{
+		B: b, Prog: prog,
+		Train: train, Ref: ref,
+		TrainRes: tres, RefRes: rres,
+		CompileTime: compileTime, TrainTime: trainTime,
+		analyses: map[string]*core.ProgramResult{},
+	}, nil
+}
+
+// Analyze runs (or returns the cached) pipeline at the given options.
+func (in *Instance) Analyze(o core.Options) (*core.ProgramResult, error) {
+	key := fmt.Sprintf("%.6f/%.6f", o.CA, o.CR)
+	if r, ok := in.analyses[key]; ok {
+		return r, nil
+	}
+	r, err := core.AnalyzeProgram(in.Prog, in.Train, o)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", in.B.Name, err)
+	}
+	in.analyses[key] = r
+	return r, nil
+}
+
+// EvalMetrics summarizes one analysis under the ref profile.
+type EvalMetrics struct {
+	// TotalDyn is the ref run's dynamic instruction count.
+	TotalDyn int64
+	// ConstDyn counts dynamic instructions with constant results
+	// (including local constants); NonlocalConstDyn excludes them.
+	ConstDyn, NonlocalConstDyn int64
+	// Node counts for the growth figures.
+	OrigNodes, HPGNodes, RedNodes int
+}
+
+// Evaluate weighs an analysis with the ref profile.
+func (in *Instance) Evaluate(res *core.ProgramResult) (*EvalMetrics, error) {
+	m := &EvalMetrics{}
+	for _, name := range in.Prog.Order {
+		fr := res.Funcs[name]
+		fn := in.Prog.Funcs[name]
+		refProf := in.Ref.Funcs[name]
+		m.OrigNodes += fn.G.NumNodes()
+		if fr.Qualified() {
+			m.HPGNodes += fr.HPG.G.NumNodes()
+			m.RedNodes += fr.Red.G.NumNodes()
+		} else {
+			m.HPGNodes += fn.G.NumNodes()
+			m.RedNodes += fn.G.NumNodes()
+		}
+		ep, err := fr.TranslateEval(refProf)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s: %w", in.B.Name, name, err)
+		}
+		g := fr.FinalGraph()
+		freq := profile.NodeFrequencies(ep, g)
+		m.TotalDyn += ep.DynInstrs(g)
+		m.ConstDyn += classify.SiteConstDyn(g, fr.FinalSol(), freq, fn.NumVars(), false)
+		m.NonlocalConstDyn += classify.SiteConstDyn(g, fr.FinalSol(), freq, fn.NumVars(), true)
+	}
+	return m, nil
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+// Table1Row mirrors the paper's Table 1.
+type Table1Row struct {
+	Name     string
+	Nodes    int // CFG nodes in the original program
+	Paths    int // Ball-Larus paths executed in the training run
+	HotPaths int // paths needed to cover 97% of the training run
+	// CompileTime is front-end + instrumented training run; AnalTime is
+	// constant propagation with CA = 0.
+	CompileTime time.Duration
+	AnalTime    time.Duration
+}
+
+// Table1 regenerates the paper's Table 1 over the suite.
+func Table1(instances []*Instance) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, in := range instances {
+		res, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+		if err != nil {
+			return nil, err
+		}
+		hot := 0
+		for _, name := range in.Prog.Order {
+			p := in.Train.Funcs[name]
+			hot += len(profile.SelectHot(p, in.Prog.Funcs[name].G, 0.97))
+		}
+		st := res.Stats()
+		rows = append(rows, Table1Row{
+			Name:        in.B.Name,
+			Nodes:       in.Prog.NumNodes(),
+			Paths:       in.Train.TotalPaths(),
+			HotPaths:    hot,
+			CompileTime: in.CompileTime + in.TrainTime,
+			AnalTime:    st.BaselineTime,
+		})
+	}
+	return rows, nil
+}
+
+// --- Figure 9 ------------------------------------------------------------
+
+// Fig9Point is one (benchmark, coverage) measurement.
+type Fig9Point struct {
+	Name string
+	CA   float64
+	// ConstIncrease is the relative increase in dynamic instructions
+	// with constant results over the CA = 0 baseline (the paper's
+	// Figure 9 y-axis; its headline "1-7%" numbers).
+	ConstIncrease float64
+	// NonlocalRatio is qualified non-local constants over baseline
+	// non-local constants (the paper's headline "2-112 times").
+	NonlocalRatio float64
+}
+
+// Fig9 sweeps coverage and reports constant increases.
+func Fig9(instances []*Instance, cas []float64, cr float64) ([]Fig9Point, error) {
+	var pts []Fig9Point
+	for _, in := range instances {
+		base, err := in.Analyze(core.Options{CA: 0, CR: cr})
+		if err != nil {
+			return nil, err
+		}
+		bm, err := in.Evaluate(base)
+		if err != nil {
+			return nil, err
+		}
+		for _, ca := range cas {
+			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			if err != nil {
+				return nil, err
+			}
+			m, err := in.Evaluate(res)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig9Point{Name: in.B.Name, CA: ca}
+			if bm.ConstDyn > 0 {
+				pt.ConstIncrease = float64(m.ConstDyn-bm.ConstDyn) / float64(bm.ConstDyn)
+			}
+			if bm.NonlocalConstDyn > 0 {
+				pt.NonlocalRatio = float64(m.NonlocalConstDyn) / float64(bm.NonlocalConstDyn)
+			} else if m.NonlocalConstDyn > 0 {
+				pt.NonlocalRatio = float64(m.NonlocalConstDyn) // baseline zero: report absolute
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+// --- Figure 7 ------------------------------------------------------------
+
+// Fig7Row is one benchmark's cumulative constant distribution by block.
+type Fig7Row struct {
+	Name   string
+	Points []classify.CumulativePoint
+}
+
+// Fig7 computes, at full coverage, the distribution of dynamic non-local
+// constant executions over (HPG) basic blocks.
+func Fig7(instances []*Instance) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, in := range instances {
+		res, err := in.Analyze(core.Options{CA: 1.0, CR: 0.95})
+		if err != nil {
+			return nil, err
+		}
+		var weights []int64
+		for _, name := range in.Prog.Order {
+			fr := res.Funcs[name]
+			fn := in.Prog.Funcs[name]
+			if !fr.Qualified() {
+				continue
+			}
+			ep, err := profile.Translate(in.Ref.Funcs[name], fn.G, fr.HPG)
+			if err != nil {
+				return nil, err
+			}
+			freq := profile.NodeFrequencies(ep, fr.HPG.G)
+			weights = append(weights, classify.BlockConstWeights(fr.HPG.G, fr.HPGSol, freq, fn.NumVars())...)
+		}
+		rows = append(rows, Fig7Row{Name: in.B.Name, Points: classify.CumulativeDistribution(weights)})
+	}
+	return rows, nil
+}
+
+// --- Figure 10 -----------------------------------------------------------
+
+// Fig10Row is one benchmark's Figure 13 category breakdown at CA = 1.
+type Fig10Row struct {
+	Name   string
+	Report *classify.Report
+}
+
+// Fig10 classifies every instruction at full coverage.
+func Fig10(instances []*Instance) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, in := range instances {
+		res, err := in.Analyze(core.Options{CA: 1.0, CR: 0.95})
+		if err != nil {
+			return nil, err
+		}
+		total := &classify.Report{}
+		for _, name := range in.Prog.Order {
+			fr := res.Funcs[name]
+			fn := in.Prog.Funcs[name]
+			ci := classify.Input{
+				Fn:          fn,
+				EvalProfile: in.Ref.Funcs[name],
+				OrigSol:     fr.OrigSol,
+			}
+			if fr.Qualified() {
+				ci.Overlay = fr.Red
+				ci.OverlaySol = fr.RedSol
+				ci.OverlayOrigNode = func(n cfg.NodeID) cfg.NodeID { return fr.Red.OrigNode[n] }
+				op, err := fr.TranslateEval(in.Ref.Funcs[name])
+				if err != nil {
+					return nil, err
+				}
+				ci.OverlayProfile = op
+			}
+			total.Add(classify.Classify(ci))
+		}
+		rows = append(rows, Fig10Row{Name: in.B.Name, Report: total})
+	}
+	return rows, nil
+}
+
+// --- Figure 11 -----------------------------------------------------------
+
+// Fig11Point is a (benchmark, coverage) graph-growth measurement.
+type Fig11Point struct {
+	Name string
+	CA   float64
+	// HPGGrowth and RedGrowth are relative node-count increases of the
+	// HPG (before reduction) and rHPG (after minimization) over the
+	// original program.
+	HPGGrowth, RedGrowth float64
+}
+
+// Fig11 sweeps coverage and reports growth before and after reduction.
+func Fig11(instances []*Instance, cas []float64, cr float64) ([]Fig11Point, error) {
+	var pts []Fig11Point
+	for _, in := range instances {
+		for _, ca := range cas {
+			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			if err != nil {
+				return nil, err
+			}
+			m, err := in.Evaluate(res)
+			if err != nil {
+				return nil, err
+			}
+			o := float64(m.OrigNodes)
+			pts = append(pts, Fig11Point{
+				Name:      in.B.Name,
+				CA:        ca,
+				HPGGrowth: (float64(m.HPGNodes) - o) / o,
+				RedGrowth: (float64(m.RedNodes) - o) / o,
+			})
+		}
+	}
+	return pts, nil
+}
+
+// --- Figure 12 -----------------------------------------------------------
+
+// Fig12Point is a (benchmark, coverage) analysis-time measurement.
+type Fig12Point struct {
+	Name string
+	CA   float64
+	// TimeRatio is total qualified analysis time over the CA = 0
+	// baseline analysis time.
+	TimeRatio float64
+	// Iterations is the solver-iteration analog (deterministic, unlike
+	// wall clock): qualified solver iterations / baseline iterations.
+	Iterations float64
+}
+
+// Fig12 sweeps coverage and reports analysis-cost growth.
+func Fig12(instances []*Instance, cas []float64, cr float64) ([]Fig12Point, error) {
+	var pts []Fig12Point
+	for _, in := range instances {
+		base, err := in.Analyze(core.Options{CA: 0, CR: cr})
+		if err != nil {
+			return nil, err
+		}
+		bst := base.Stats()
+		baseIters := solverIterations(base)
+		for _, ca := range cas {
+			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			if err != nil {
+				return nil, err
+			}
+			st := res.Stats()
+			pt := Fig12Point{Name: in.B.Name, CA: ca}
+			if bst.BaselineTime > 0 {
+				pt.TimeRatio = float64(st.BaselineTime+st.QualifiedTime) / float64(bst.BaselineTime)
+			}
+			if baseIters > 0 {
+				pt.Iterations = float64(solverIterations(res)) / float64(baseIters)
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts, nil
+}
+
+func solverIterations(res *core.ProgramResult) int64 {
+	var n int64
+	for _, fr := range res.Funcs {
+		n += int64(fr.OrigSol.Sol.Iterations)
+		if fr.HPGSol != nil {
+			n += int64(fr.HPGSol.Sol.Iterations)
+		}
+		if fr.RedSol != nil {
+			n += int64(fr.RedSol.Sol.Iterations)
+		}
+	}
+	return n
+}
+
+// --- Table 2 -------------------------------------------------------------
+
+// Table2Row mirrors the paper's Table 2: modeled run time of the
+// Wegman-Zadek-optimized program versus the path-qualified one.
+type Table2Row struct {
+	Name string
+	// BaseCycles and OptCycles are modeled run times on the ref input.
+	BaseCycles, OptCycles int64
+	// Speedup is (base - opt) / base; negative values are slowdowns.
+	Speedup float64
+	// BaseFolded / OptFolded count statically folded instructions.
+	BaseFolded, OptFolded int
+	// Footprints in instruction slots (code growth drives the i-cache
+	// component).
+	BaseFootprint, OptFootprint int64
+	// Cost components, for diagnosing where time went.
+	BaseSim, OptSim *machine.Simulation
+}
+
+// Table2 regenerates the running-time experiment at CA = 0.97, CR = 0.95.
+func Table2(instances []*Instance) ([]Table2Row, error) {
+	cm := machine.DefaultCostModel()
+	cc := machine.DefaultICache()
+	var rows []Table2Row
+	for _, in := range instances {
+		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		if err != nil {
+			return nil, err
+		}
+		baseProg, baseFolded := core.BaselineProgram(in.Prog)
+		optProg, optFolded := res.OptimizedProgram()
+
+		baseOpts := in.B.RefOptions()
+		baseOpts.CollectOutput = true
+		baseSim, baseRes, err := machine.Simulate(baseProg, baseOpts, cm, cc)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s base sim: %w", in.B.Name, err)
+		}
+		optOpts := in.B.RefOptions()
+		optOpts.CollectOutput = true
+		optSim, optRes, err := machine.Simulate(optProg, optOpts, cm, cc)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s opt sim: %w", in.B.Name, err)
+		}
+		// The optimized program must be observationally identical: any
+		// divergence is an analysis soundness bug.
+		if len(baseRes.Output) != len(optRes.Output) {
+			return nil, fmt.Errorf("bench %s: optimized output length diverged", in.B.Name)
+		}
+		for i := range baseRes.Output {
+			if baseRes.Output[i] != optRes.Output[i] {
+				return nil, fmt.Errorf("bench %s: optimized output diverged at %d (base %d, opt %d)",
+					in.B.Name, i, baseRes.Output[i], optRes.Output[i])
+			}
+		}
+		rows = append(rows, Table2Row{
+			Name:          in.B.Name,
+			BaseCycles:    baseSim.Cycles,
+			OptCycles:     optSim.Cycles,
+			Speedup:       float64(baseSim.Cycles-optSim.Cycles) / float64(baseSim.Cycles),
+			BaseFolded:    baseFolded,
+			OptFolded:     optFolded,
+			BaseFootprint: baseSim.Footprint,
+			OptFootprint:  optSim.Footprint,
+			BaseSim:       baseSim,
+			OptSim:        optSim,
+		})
+	}
+	return rows, nil
+}
+
+// LoadAll loads the whole suite.
+func LoadAll() ([]*Instance, error) {
+	var out []*Instance
+	for _, b := range All() {
+		in, err := Load(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].B.Name < out[j].B.Name })
+	return out, nil
+}

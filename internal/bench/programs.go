@@ -1,0 +1,632 @@
+// Package bench provides the benchmark suite and the experiment harness
+// that regenerate every table and figure of Ammons & Larus (PLDI 1998).
+//
+// The paper evaluates on seven SPEC95 C benchmarks. Those sources (and
+// the SUIF toolchain) are not reproducible here, so this package supplies
+// seven synthetic programs in pathflow's mini-language, named after their
+// SPEC95 counterparts and engineered to exhibit the *path structure* the
+// paper reports for each:
+//
+//	compress — one tight loop, one dominant hot path, constants
+//	           concentrated in a handful of blocks (Figure 7's
+//	           "11 vertices account for virtually all constants").
+//	go       — the outlier: a cascade of weakly-biased tactical branches
+//	           per iteration, so the executed-path count and the HPG
+//	           growth dwarf every other benchmark (Table 1, Figure 11).
+//	m88ksim  — a fetch/decode/execute loop whose opcode stream is biased
+//	           toward ALU ops; handler constants flow into the retire
+//	           stage, giving a large qualified gain (~7% in the paper).
+//	vortex   — call-heavy transaction processing over several routines,
+//	           with per-routine schema constants (large gain).
+//	ijpeg    — nested block/pixel loops; quantization constants decided
+//	           per block, so most benefit arrives at low coverage.
+//	li       — a recursive evaluator (exercises the profiler's
+//	           activation stacks) with modest path-correlated gains.
+//	perl     — two huge dispatch routines with few path-correlated
+//	           constants: the smallest gain and the heaviest analysis,
+//	           like the paper's yylex/eval.
+//
+// Each program mixes a hand-written hot core with generated ballast
+// (bulk input-dependent arithmetic), a sprinkle of constants that plain
+// Wegman-Zadek already finds (the baseline of the paper's "2-112×"
+// ratio), and cold routines that are almost never called — giving the
+// suite the proportions real programs have: path-correlated constants
+// are a small slice of execution and most static code is cold.
+//
+// Each benchmark has a train input (drives hot-path selection) and a
+// larger ref input (weights every evaluation), both produced by a
+// deterministic SplitMix64 generator, mirroring the paper's use of the
+// SPEC train/ref data sets.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	Name   string
+	Source string
+	// TrainArgs/RefArgs are the programs' arg(k) vectors; by convention
+	// arg(0) scales the main loop.
+	TrainArgs, RefArgs []ir.Value
+	// TrainSeed/RefSeed seed the input() streams.
+	TrainSeed, RefSeed uint64
+	// InputLen is the length of the generated input stream (the stream
+	// wraps, so it only needs to be long enough to avoid obvious
+	// periodicity).
+	InputLen int
+
+	once sync.Once
+	prog *cfg.Program
+	err  error
+}
+
+// Program compiles the benchmark source (cached).
+func (b *Benchmark) Program() (*cfg.Program, error) {
+	b.once.Do(func() { b.prog, b.err = lang.Compile(b.Source) })
+	return b.prog, b.err
+}
+
+// splitmix64 is a tiny deterministic PRNG, independent of Go's math/rand
+// so that profiles are bit-stable across Go releases.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// InputValues generates n non-negative input values from seed.
+func InputValues(seed uint64, n int) []ir.Value {
+	g := splitmix64(seed)
+	out := make([]ir.Value, n)
+	for i := range out {
+		out[i] = ir.Value(g.next() & 0x7fffffff)
+	}
+	return out
+}
+
+// TrainOptions returns fresh interpreter options for the training run.
+func (b *Benchmark) TrainOptions() interp.Options {
+	return interp.Options{
+		Args:  b.TrainArgs,
+		Input: &interp.SliceInput{Values: InputValues(b.TrainSeed, b.InputLen)},
+	}
+}
+
+// RefOptions returns fresh interpreter options for the evaluation run.
+func (b *Benchmark) RefOptions() interp.Options {
+	return interp.Options{
+		Args:  b.RefArgs,
+		Input: &interp.SliceInput{Values: InputValues(b.RefSeed, b.InputLen)},
+	}
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+var all []*Benchmark
+
+// All returns the benchmark suite in alphabetical order.
+func All() []*Benchmark { return all }
+
+func init() {
+	all = []*Benchmark{
+		makeCompress(), makeGo(), makeIjpeg(), makeLi(), makeM88ksim(), makePerl(), makeVortex(),
+	}
+}
+
+// Cold-routine suites giving vortex and perl the large cold code bodies
+// their SPEC95 counterparts have (the paper's perl and vortex are the
+// biggest programs in Table 1).
+var vortexColdSrc, vortexColdCall = coldSuite("vtxcold", 4, 18, 45)
+var perlColdSrc, perlColdCall = coldSuite("perlcold", 10, 20, 75)
+
+func makeCompress() *Benchmark {
+	src := `
+// compress: LZW-flavored loop. One biased mode branch decides the hash
+// configuration; the hot leg pins hbits/hshift/ratio, making the derived
+// mask/step/width computations path-constant. The rare table-reset block
+// holds the constants plain Wegman-Zadek already finds.
+func main() {
+	n = arg(0);
+	limit = 4096;
+	i = 0;
+	z = 1;
+	checksum = 0;
+	free_ent = 257;
+	while (i < n) {
+		c = input() % 256;
+		mode = input() % 100;
+		if (mode < 92) {
+			hbits = 13;
+			hshift = 8;
+			ratio = 2;
+		} else {
+			hbits = (input() % 8) + 9;
+			hshift = input() % 8;
+			ratio = (input() % 4) + 1;
+		}
+		mask = (1 << hbits) - 1;
+		step = hshift * ratio + 7;
+		width = hbits + ratio;
+		h = ((c << hshift) ^ c) & mask;
+		code = h + step + width;
+` + ballast("z", "c", 11, 34) + constChain("cc", 111, 30) + `
+		checksum = checksum + cc % 7;
+		free_ent = free_ent + 1;
+		if (free_ent > 280) {
+			bound = limit - 1;
+			checksum = checksum + bound;
+			free_ent = 257;
+		}
+		checksum = checksum + code + (z & 255);
+		i = i + 1;
+	}
+	if (arg(9) == 424242) {
+		checksum = checksum + audit(checksum) + report(checksum);
+	}
+	print(checksum);
+}
+` + coldFunc("audit", 14, 12) + coldFunc("report", 12, 13)
+	return &Benchmark{
+		Name: "compress", Source: src,
+		TrainArgs: []ir.Value{900},
+		RefArgs:   []ir.Value{9000},
+		TrainSeed: 101, RefSeed: 102, InputLen: 8192,
+	}
+}
+
+func makeGo() *Benchmark {
+	src := `
+// go: position evaluator with a cascade of seven independently biased
+// tactical tests per move. The number of executed acyclic paths explodes
+// combinatorially, so covering 97% of the run needs far more hot paths
+// than any other benchmark — and tracing them blows up the HPG.
+func main() {
+	n = arg(0);
+	boardsize = 19;
+	i = 0;
+	z = 1;
+	score = 0;
+	while (i < n) {
+		t1 = input() % 100;
+		if (t1 < 90) { w1 = 3; } else { w1 = (input() % 7) + 1; }
+		t2 = input() % 100;
+		if (t2 < 88) { w2 = 5; } else { w2 = (input() % 9) + 1; }
+		t3 = input() % 100;
+		if (t3 < 92) { w3 = 2; } else { w3 = (input() % 5) + 1; }
+		t4 = input() % 100;
+		if (t4 < 86) { w4 = 7; } else { w4 = (input() % 11) + 1; }
+		t5 = input() % 100;
+		if (t5 < 91) { w5 = 1; } else { w5 = (input() % 3) + 1; }
+		t6 = input() % 100;
+		if (t6 < 87) { w6 = 4; } else { w6 = (input() % 6) + 1; }
+		t7 = input() % 100;
+		if (t7 < 93) { w7 = 6; } else { w7 = (input() % 8) + 1; }
+
+		// Pattern weights: constant only along all-hot path prefixes.
+		atari = w1 * 2 + w2;
+		ladder = w3 * w4 + 1;
+		shape = w5 + w6 * 3;
+		influence = w7 * 2 + atari;
+		eval = atari + ladder * shape + influence;
+` + ballast("z", "t1", 21, 26) + constChain("gc", 211, 45) + `
+		edge = boardsize - 1;
+		score = score + eval + (z & 1023) + gc % 3 + edge % 5;
+		if (score > 100000000) {
+			score = score % 100000007;
+		}
+		i = i + 1;
+	}
+	if (arg(9) == 424242) {
+		score = score + joseki(score) + fuseki(score) + endgame(score);
+	}
+	print(score);
+}
+` + coldFunc("joseki", 16, 22) + coldFunc("fuseki", 14, 23) + coldFunc("endgame", 12, 24)
+	return &Benchmark{
+		Name: "go", Source: src,
+		TrainArgs: []ir.Value{700},
+		RefArgs:   []ir.Value{5000},
+		TrainSeed: 201, RefSeed: 202, InputLen: 16384,
+	}
+}
+
+func makeM88ksim() *Benchmark {
+	src := `
+// m88ksim: fetch/decode/execute loop. The opcode stream is biased toward
+// the ALU group, whose handler pins width/cycles/mode; the shared retire
+// stage then computes path-constant costs — the shape that gives the
+// paper's m88ksim its ~7% gain in constant instructions.
+func step(op, reg) {
+	if (op < 9) {
+		width = 4;
+		cycles = 1;
+		mode = 2;
+	} else if (op < 12) {
+		width = 8;
+		cycles = 3;
+		mode = input() % 4;
+	} else if (op < 14) {
+		width = 2;
+		cycles = 2;
+		mode = 1;
+	} else {
+		width = (input() % 8) + 1;
+		cycles = (input() % 5) + 1;
+		mode = input() % 4;
+	}
+	// retire: cost model folded from handler constants on the hot path.
+	// The divisions are the expensive operations constant folding wins
+	// back, which is where m88ksim's large speedup comes from.
+	cost = cycles * 3 + width / 4;
+	align = (1 << mode) - 1;
+	span = width * 2 + cycles;
+	penalty = 64 / width + cycles * cycles;
+	scale = 4096 / (width * cycles + 1);
+	val = (reg << mode) & ((1 << span) - 1);
+	return val + cost + align + penalty % 9 + scale % 11;
+}
+func main() {
+	n = arg(0);
+	memsize = 65536;
+	pc = 0;
+	acc = 0;
+	z = 1;
+	reg = 7;
+	while (pc < n) {
+		op = input() % 16;
+		// Non-distributive pair: both legs sum to 3, which
+		// meet-over-paths sees but iterative Wegman-Zadek cannot — the
+		// "Identical" category of the paper's Figure 13.
+		if (pc % 2 == 0) {
+			lo = 1;
+			hi = 2;
+		} else {
+			lo = 2;
+			hi = 1;
+		}
+		parity = lo + hi;
+		acc = acc + step(op, reg) + parity;
+		reg = (reg * 5 + 1) % 8191;
+` + ballast("z", "reg", 31, 30) + constChain("mc", 311, 35) + `
+		acc = acc + (z & 63) + mc % 5;
+		if (pc % 8 == 0) {
+			top = memsize - 4;
+			acc = acc + top % 97;
+		}
+		if (acc > 1000000) {
+			acc = acc % 1000003;
+		}
+		pc = pc + 1;
+	}
+	if (arg(9) == 424242) {
+		acc = acc + trapdump(acc) + m88cold0(acc) + m88cold1(acc);
+	}
+	print(acc);
+}
+` + coldFunc("trapdump", 18, 32) + coldFunc("m88cold0", 14, 33) + coldFunc("m88cold1", 14, 34)
+	return &Benchmark{
+		Name: "m88ksim", Source: src,
+		TrainArgs: []ir.Value{1100},
+		RefArgs:   []ir.Value{11000},
+		TrainSeed: 301, RefSeed: 302, InputLen: 8192,
+	}
+}
+
+func makeVortex() *Benchmark {
+	src := `
+// vortex: transaction processing over several routines. Each routine has
+// a schema-mode branch whose hot leg pins table parameters; lookups
+// dominate the transaction mix.
+func hash_key(k, mode) {
+	if (mode == 1) {
+		p = 31;
+		m = 1021;
+	} else {
+		p = (input() % 61) + 2;
+		m = (input() % 2039) + 17;
+	}
+	probe = p * 2 + m % 7;
+	slot = (k * p) % m;
+	return slot + probe;
+}
+func lookup(k, mode) {
+	h = hash_key(k, mode);
+	depth = 0;
+	while (h % 5 == 0 && depth < 3) {
+		h = h / 5 + 1;
+		depth = depth + 1;
+	}
+	if (mode == 1) {
+		limit = 64;
+		stride = 8;
+	} else {
+		limit = (input() % 128) + 1;
+		stride = (input() % 16) + 1;
+	}
+	window = limit / stride + limit % stride;
+	return h % (window + 1) + depth;
+}
+func insert(k, mode) {
+	h = hash_key(k, mode);
+	if (mode == 1) {
+		grow = 4;
+	} else {
+		grow = (input() % 8) + 1;
+	}
+	cap = grow * 16 + 3;
+	return (h + cap) % 4093;
+}
+func main() {
+	n = arg(0);
+	maxrec = 32768;
+	i = 0;
+	z = 1;
+	total = 0;
+	while (i < n) {
+		k = input() % 65536;
+		sel = input() % 100;
+		md = input() % 100;
+		mode = 0;
+		if (md < 90) { mode = 1; }
+		// Two-phase constant: 32 on even transactions, 48 on odd ones —
+		// constant at every duplicated site but with different values,
+		// the paper's "Variable" category (it reports vortex and go
+		// carrying a small but significant number of these).
+		if (i % 2 == 0) { phase = 2; } else { phase = 3; }
+		korigin = phase * 16;
+		total = total + korigin % 7;
+		if (sel < 70) {
+			total = total + lookup(k, mode);
+		} else if (sel < 90) {
+			total = total + insert(k, mode);
+		} else {
+			total = total + lookup(k, mode) + insert(k, mode);
+		}
+` + ballast("z", "k", 41, 22) + constChain("vc", 411, 40) + `
+		total = total + (z & 127) + vc % 9;
+		if (i % 4 == 0) {
+			quota = maxrec / 4;
+			total = total + quota % 13;
+		}
+		if (total > 50000000) {
+			total = total % 49999999;
+		}
+		i = i + 1;
+	}
+	if (arg(9) == 424242) {
+		total = total + integrity(total) + compact(total) + ` + vortexColdCall + `;
+	}
+	print(total);
+}
+` + coldFunc("integrity", 16, 42) + coldFunc("compact", 14, 43) + vortexColdSrc
+	return &Benchmark{
+		Name: "vortex", Source: src,
+		TrainArgs: []ir.Value{800},
+		RefArgs:   []ir.Value{8000},
+		TrainSeed: 401, RefSeed: 402, InputLen: 8192,
+	}
+}
+
+func makeIjpeg() *Benchmark {
+	src := `
+// ijpeg: nested block/pixel loops. Quality is decided once per block and
+// strongly biased, so the single hottest block path already carries most
+// of the constants — the paper's ijpeg attains most of its benefit at the
+// lowest tested coverage. The per-pixel inner loop crosses recording
+// edges, so its values cannot be path-qualified: only the per-block
+// configuration pays off, as in the paper.
+func main() {
+	blocks = arg(0);
+	width = 64;
+	b = 0;
+	z = 1;
+	out = 0;
+	while (b < blocks) {
+		quality = input() % 100;
+		if (quality < 88) {
+			q = 16;
+			s = 2;
+		} else {
+			q = (input() % 31) + 1;
+			s = (input() % 3) + 1;
+		}
+		qhalf = q / 2;
+		bias = s * 3 + 1;
+		round = qhalf + bias;
+		dim = width * 8;
+` + constChain("jc", 511, 30) + `
+		p = 0;
+		acc = 0;
+		while (p < 8) {
+			pix = input() % 256;
+			dct = (pix * s) >> 1;
+			quant = (dct + round) / (q + 1);
+			acc = acc + quant;
+` + ballast("z", "pix", 51, 3) + `
+			p = p + 1;
+		}
+		if (acc > 255) { acc = 255; }
+		out = out + acc + (z & 31) + dim / 64 + jc % 3;
+		b = b + 1;
+	}
+	if (arg(9) == 424242) {
+		out = out + huffdump(out) + jpegcold0(out);
+	}
+	print(out);
+}
+` + coldFunc("huffdump", 15, 52) + coldFunc("jpegcold0", 14, 53)
+	return &Benchmark{
+		Name: "ijpeg", Source: src,
+		TrainArgs: []ir.Value{250},
+		RefArgs:   []ir.Value{2500},
+		TrainSeed: 501, RefSeed: 502, InputLen: 8192,
+	}
+}
+
+func makeLi() *Benchmark {
+	src := `
+// li: a recursive expression evaluator. Node-type dispatch is biased
+// toward cons cells; tree recursion exercises the profiler's activation
+// stacks. The per-node constants cross the dispatch join, but the
+// recursion keeps gains modest.
+func eval(depth) {
+	if (depth <= 0) {
+		return 1;
+	}
+	t = input() % 10;
+	sub = 0;
+	if (t < 6) {
+		car = 3;
+		cdr = 5;
+		sub = eval(depth - 1);
+	} else if (t < 8) {
+		car = 2;
+		cdr = 1;
+		sub = eval(depth - 1) + eval(depth - 2);
+	} else {
+		car = input() % 7;
+		cdr = input() % 5;
+		sub = input() % 97;
+	}
+	h = car * 8 + cdr;
+` + constChain("lc", 611, 10) + `
+	return h + sub + lc % 2;
+}
+func main() {
+	exprs = arg(0);
+	heap = 262144;
+	depth = arg(1);
+	i = 0;
+	z = 1;
+	total = 0;
+	while (i < exprs) {
+		total = total + eval(depth);
+		gcmark = heap - 2;
+		z = z ^ (total * 13 + 5);
+` + ballast("z", "total", 61, 12) + constChain("lm", 612, 10) + `
+		total = total + (z & 15) + gcmark % 3 + lm % 2;
+		if (total > 100000000) {
+			total = total % 100000007;
+		}
+		i = i + 1;
+	}
+	if (arg(9) == 424242) {
+		total = total + gcsweep(total);
+	}
+	print(total);
+}
+` + coldFunc("gcsweep", 16, 62)
+	return &Benchmark{
+		Name: "li", Source: src,
+		TrainArgs: []ir.Value{60, 6},
+		RefArgs:   []ir.Value{420, 7},
+		TrainSeed: 601, RefSeed: 602, InputLen: 8192,
+	}
+}
+
+func makePerl() *Benchmark {
+	src := `
+// perl: two huge routines — a tokenizer and an opcode evaluator — with
+// long dispatch chains whose legs mostly produce input-dependent values.
+// Only a sliver of the computation is path-constant, so qualification
+// buys little (the paper's perl gains 0.6%), while the sheer size of the
+// routines makes its analysis the most expensive.
+func yylex(c, state) {
+	v = 0;
+` + dispatchChain("c", "v", 16, 71) + `
+	// vq is path-constant only along the arms whose token class is
+	// pinned — a sliver, as in the real tokenizer.
+	vq = v * 2 + 1;
+	tok = c / 12;
+	if (state > 0 && tok == 1) {
+		v = v + state;
+	}
+	return tok * 1000 + (v + vq) % 1000;
+}
+func evalop(op, a, b) {
+	r = 0;
+	if (op == 0) {
+		r = a + b;
+	} else if (op == 1) {
+		r = a - b;
+	} else if (op == 2) {
+		r = a * b;
+	} else if (op == 3) {
+		r = a / (b + 1);
+	} else if (op == 4) {
+		r = a % (b + 1);
+	} else if (op == 5) {
+		r = a & b;
+	} else if (op == 6) {
+		r = a | b;
+	} else if (op == 7) {
+		r = a ^ b;
+	} else if (op == 8) {
+		r = a << (b % 8);
+	} else if (op == 9) {
+		r = a >> (b % 8);
+	} else if (op == 10) {
+		slot = 12;
+		r = a + slot;
+	} else {
+		pad = 4;
+		r = b + pad * 2;
+	}
+	return r;
+}
+func main() {
+	n = arg(0);
+	bufsz = 8192;
+	i = 0;
+	state = 0;
+	z = 1;
+	out = 0;
+	while (i < n) {
+		c = input() % 100;
+		t = yylex(c, state);
+		op = input() % 12;
+		a = t % 4096;
+		b2 = input() % 4096;
+		out = out + evalop(op, a, b2);
+		margin = bufsz - 2;
+` + ballast("z", "t", 72, 26) + constChain("pc", 711, 40) + `
+		out = out + (z & 255) + pc % 11;
+		if (i % 2 == 0) {
+			out = out + margin % 5;
+		}
+		state = (state + t) % 17;
+		i = i + 1;
+	}
+	if (arg(9) == 424242) {
+		out = out + stackdump(out) + symdump(out) + ` + perlColdCall + `;
+	}
+	print(out);
+}
+` + coldFunc("stackdump", 20, 73) + coldFunc("symdump", 18, 74) + perlColdSrc
+	return &Benchmark{
+		Name: "perl", Source: src,
+		TrainArgs: []ir.Value{500},
+		RefArgs:   []ir.Value{5000},
+		TrainSeed: 701, RefSeed: 702, InputLen: 16384,
+	}
+}

@@ -1,0 +1,101 @@
+package bl_test
+
+import (
+	"testing"
+
+	. "pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/lang"
+	"pathflow/internal/paperex"
+)
+
+// benchProgram is a moderately branchy loop used by the micro-benchmarks.
+const benchSrc = `
+func main() {
+	n = arg(0);
+	i = 0;
+	s = 0;
+	while (i < n) {
+		t = input() % 100;
+		if (t < 50) { s = s + 1; } else { s = s + 2; }
+		if (t % 3 == 0) { s = s ^ 7; }
+		if (t % 7 == 0) { s = s * 3 % 1009; }
+		i = i + 1;
+	}
+	print(s);
+}`
+
+func BenchmarkNumberingConstruction(b *testing.B) {
+	f, _, _ := paperex.Build()
+	R := RecordingEdges(f.G)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNumbering(f.G, R); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegenerate(b *testing.B) {
+	f, _, _ := paperex.Build()
+	num, err := NewNumbering(f.G, RecordingEdges(f.G))
+	if err != nil {
+		b.Fatal(err)
+	}
+	starts := []cfg.NodeID{}
+	for e := range num.R {
+		starts = append(starts, f.G.Edge(e).To)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := starts[i%len(starts)]
+		if num.TotalPaths(s) == 0 {
+			continue
+		}
+		if _, err := num.Regenerate(s, int64(i)%num.TotalPaths(s)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackerProfiling(b *testing.B) {
+	prog, err := lang.Compile(benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := interp.Options{Args: []int64{500}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ProfileProgram(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstrumentedProfiling(b *testing.B) {
+	prog, err := lang.Compile(benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ips := map[string]*Instrumented{}
+		for name, fn := range prog.Funcs {
+			ip, err := NewInstrumented(fn, RecordingEdges(fn.G))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ips[name] = ip
+		}
+		_, err := interp.Run(prog, interp.Options{
+			Args:    []int64{500},
+			OnEnter: func(fn *cfg.Func) { ips[fn.Name].Enter() },
+			OnEdge:  func(fn *cfg.Func, e cfg.EdgeID) { ips[fn.Name].Edge(e) },
+			OnExit:  func(fn *cfg.Func) { ips[fn.Name].Exit() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package bl
+
+import (
+	"fmt"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+)
+
+// Tracker carves the interpreter's edge trace into Ball-Larus paths
+// directly: traversing a recording edge closes the current path and starts
+// the next one. It maintains a stack of activation states so recursive
+// functions profile correctly.
+type Tracker struct {
+	g     *cfg.Graph
+	prof  *Profile
+	stack []trackState
+}
+
+type trackState struct {
+	started bool
+	cur     []cfg.EdgeID
+}
+
+// NewTracker returns a tracker for one function.
+func NewTracker(fn *cfg.Func, R map[cfg.EdgeID]bool) *Tracker {
+	return &Tracker{g: fn.G, prof: NewProfile(fn.Name, R)}
+}
+
+// Enter begins a new activation.
+func (t *Tracker) Enter() { t.stack = append(t.stack, trackState{}) }
+
+// Edge consumes one traversed edge of the innermost activation.
+func (t *Tracker) Edge(e cfg.EdgeID) {
+	s := &t.stack[len(t.stack)-1]
+	if !s.started {
+		// The first edge of an activation leaves Entry, so it is a
+		// recording edge; it plays the role of the • placeholder.
+		s.started = true
+		s.cur = s.cur[:0]
+		return
+	}
+	if t.prof.R[e] {
+		edges := make([]cfg.EdgeID, len(s.cur)+1)
+		copy(edges, s.cur)
+		edges[len(s.cur)] = e
+		t.prof.Add(Path{Edges: edges}, 1)
+		s.cur = s.cur[:0]
+		return
+	}
+	s.cur = append(s.cur, e)
+}
+
+// Exit ends the innermost activation.
+func (t *Tracker) Exit() { t.stack = t.stack[:len(t.stack)-1] }
+
+// Profile returns the accumulated profile.
+func (t *Tracker) Profile() *Profile { return t.prof }
+
+// Instrumented is the MICRO '96 profiling scheme: it keeps a single
+// accumulator per activation, adds the edge value on every non-recording
+// edge, and bumps a (start vertex, path id) counter on every recording
+// edge — exactly what the instrumentation the paper's PP pass inserts
+// would compute at run time.
+type Instrumented struct {
+	num    *Numbering
+	name   string
+	counts map[pathKey]int64
+	stack  []instState
+}
+
+type pathKey struct {
+	start cfg.NodeID
+	id    int64
+}
+
+type instState struct {
+	started bool
+	start   cfg.NodeID
+	acc     int64
+}
+
+// NewInstrumented returns an instrumented profiler for one function.
+func NewInstrumented(fn *cfg.Func, R map[cfg.EdgeID]bool) (*Instrumented, error) {
+	num, err := NewNumbering(fn.G, R)
+	if err != nil {
+		return nil, err
+	}
+	return &Instrumented{num: num, name: fn.Name, counts: map[pathKey]int64{}}, nil
+}
+
+// Enter begins a new activation.
+func (ip *Instrumented) Enter() { ip.stack = append(ip.stack, instState{}) }
+
+// Edge consumes one traversed edge of the innermost activation.
+func (ip *Instrumented) Edge(e cfg.EdgeID) {
+	s := &ip.stack[len(ip.stack)-1]
+	if !s.started {
+		s.started = true
+		s.start = ip.num.G.Edge(e).To
+		s.acc = 0
+		return
+	}
+	if ip.num.R[e] {
+		ip.counts[pathKey{s.start, s.acc + ip.num.Val[e]}]++
+		s.start = ip.num.G.Edge(e).To
+		s.acc = 0
+		return
+	}
+	s.acc += ip.num.Val[e]
+}
+
+// Exit ends the innermost activation.
+func (ip *Instrumented) Exit() { ip.stack = ip.stack[:len(ip.stack)-1] }
+
+// Profile regenerates the paths behind the compact counters.
+func (ip *Instrumented) Profile() (*Profile, error) {
+	prof := NewProfile(ip.name, ip.num.R)
+	for k, n := range ip.counts {
+		p, err := ip.num.Regenerate(k.start, k.id)
+		if err != nil {
+			return nil, fmt.Errorf("bl: %s: %w", ip.name, err)
+		}
+		prof.Add(p, n)
+	}
+	return prof, nil
+}
+
+// ProfileProgram runs prog under the interpreter with a Tracker attached
+// to every function and returns the program profile alongside the run
+// result. The recording-edge set of each function is the minimal one.
+func ProfileProgram(prog *cfg.Program, opt interp.Options) (*ProgramProfile, *interp.Result, error) {
+	trackers := map[string]*Tracker{}
+	for name, fn := range prog.Funcs {
+		trackers[name] = NewTracker(fn, RecordingEdges(fn.G))
+	}
+	userEnter, userEdge, userExit := opt.OnEnter, opt.OnEdge, opt.OnExit
+	opt.OnEnter = func(fn *cfg.Func) {
+		trackers[fn.Name].Enter()
+		if userEnter != nil {
+			userEnter(fn)
+		}
+	}
+	opt.OnEdge = func(fn *cfg.Func, e cfg.EdgeID) {
+		trackers[fn.Name].Edge(e)
+		if userEdge != nil {
+			userEdge(fn, e)
+		}
+	}
+	opt.OnExit = func(fn *cfg.Func) {
+		trackers[fn.Name].Exit()
+		if userExit != nil {
+			userExit(fn)
+		}
+	}
+	res, err := interp.Run(prog, opt)
+	if err != nil {
+		return nil, res, err
+	}
+	pp := NewProgramProfile()
+	for name, t := range trackers {
+		pp.Funcs[name] = t.Profile()
+	}
+	return pp, res, nil
+}

@@ -1,0 +1,148 @@
+package bl_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	. "pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/lang"
+	"pathflow/internal/paperex"
+)
+
+func exampleProgramProfile(t *testing.T) (*cfg.Program, *ProgramProfile) {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	prog := cfg.NewProgram()
+	prog.Add(f)
+	pp := NewProgramProfile()
+	pp.Funcs["example"] = paperex.Profile(edges)
+	return prog, pp
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog, pp := exampleProgramProfile(t)
+	var buf bytes.Buffer
+	if err := pp.Save(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Funcs["example"].Equal(pp.Funcs["example"]) {
+		t.Error("round trip changed the profile")
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	prog, pp := exampleProgramProfile(t)
+	var a, b bytes.Buffer
+	if err := pp.Save(&a, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Save(&b, prog); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestLoadRejectsWrongProgram(t *testing.T) {
+	prog, pp := exampleProgramProfile(t)
+	var buf bytes.Buffer
+	if err := pp.Save(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	other, err := lang.Compile(`func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(&buf, other)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	prog, _ := exampleProgramProfile(t)
+	cases := []string{
+		`not json`,
+		`{"version": 99, "fingerprint": 0, "funcs": []}`,
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c), prog); err == nil {
+			t.Errorf("Load(%q) succeeded", c)
+		}
+	}
+}
+
+func TestLoadRejectsTamperedPaths(t *testing.T) {
+	prog, pp := exampleProgramProfile(t)
+	var buf bytes.Buffer
+	if err := pp.Save(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt an edge id inside a path: the path no longer satisfies
+	// Definition 7 and must be rejected.
+	s := buf.String()
+	s = strings.Replace(s, `"edges": [`, `"edges": [4, `, 1)
+	if _, err := Load(strings.NewReader(s), prog); err == nil {
+		t.Error("tampered profile accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	p1, err := lang.Compile(`func main() { x = 1; print(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lang.Compile(`func main() { x = 2; print(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := lang.Compile(`func main() { x = 1; print(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(p1) == Fingerprint(p2) {
+		t.Error("fingerprint ignores constants")
+	}
+	if Fingerprint(p1) != Fingerprint(p3) {
+		t.Error("fingerprint not reproducible")
+	}
+}
+
+func TestRoundTripFromRealRun(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	i = 0;
+	while (i < 30) {
+		if (i % 2 == 0) { i = i + 1; } else { i = i + 2; }
+	}
+	print(i);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, _, err := ProfileProgram(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pp.Save(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range pp.Funcs {
+		if !got.Funcs[name].Equal(pp.Funcs[name]) {
+			t.Errorf("round trip changed %s", name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathflow/internal/ir"
+)
+
+// DotOptions controls Dot rendering.
+type DotOptions struct {
+	// Instrs includes each block's instructions in its label.
+	Instrs bool
+	// VarNames supplies register names for instruction rendering.
+	VarNames []string
+	// Recording marks these edges with dashed lines, like the paper's
+	// figures mark Ball-Larus recording edges.
+	Recording map[EdgeID]bool
+	// NodeLabel, if non-nil, overrides the label of a node.
+	NodeLabel func(NodeID) string
+}
+
+// Dot renders the graph in Graphviz format.
+func (g *Graph) Dot(opt DotOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", n.ID)
+		}
+		if opt.NodeLabel != nil {
+			label = opt.NodeLabel(n.ID)
+		}
+		if opt.Instrs {
+			var lines []string
+			lines = append(lines, label)
+			for i := range n.Instrs {
+				lines = append(lines, instrLabel(&n.Instrs[i], opt.VarNames))
+			}
+			if n.Kind == TermBranch {
+				cond := fmt.Sprintf("v%d", n.Cond)
+				if opt.VarNames != nil && int(n.Cond) < len(opt.VarNames) && opt.VarNames[n.Cond] != "" {
+					cond = opt.VarNames[n.Cond]
+				}
+				lines = append(lines, "branch "+cond)
+			}
+			label = strings.Join(lines, "\\l") + "\\l"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, label)
+	}
+	for _, e := range g.Edges {
+		attrs := []string{}
+		if from := g.Node(e.From); from.Kind == TermBranch {
+			if e.Slot == 0 {
+				attrs = append(attrs, "label=\"T\"")
+			} else {
+				attrs = append(attrs, "label=\"F\"")
+			}
+		}
+		if opt.Recording[e.ID] {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d", e.From, e.To)
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ", "))
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func instrLabel(in *ir.Instr, names []string) string {
+	s := in.String()
+	if names == nil {
+		return s
+	}
+	// Re-render with names by substituting vN tokens; cheaper to rebuild.
+	return rename(s, names)
+}
+
+// rename replaces vN register tokens with their names where available.
+func rename(s string, names []string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == 'v' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
+			j := i + 1
+			n := 0
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				n = n*10 + int(s[j]-'0')
+				j++
+			}
+			if n < len(names) && names[n] != "" {
+				b.WriteString(names[n])
+			} else {
+				b.WriteString(s[i:j])
+			}
+			i = j
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+// String renders a compact text listing of the graph, stable across runs,
+// useful in tests and golden files.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s entry=%d exit=%d\n", g.Name, g.Entry, g.Exit)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %s(%d):", nodeName(n), n.ID)
+		for i := range n.Instrs {
+			fmt.Fprintf(&b, " [%s]", n.Instrs[i].String())
+		}
+		fmt.Fprintf(&b, " %v ->", n.Kind)
+		for _, eid := range n.Out {
+			fmt.Fprintf(&b, " %s", nodeName(g.Node(g.Edge(eid).To)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func nodeName(n *Node) string {
+	if n.Name != "" {
+		return n.Name
+	}
+	return fmt.Sprintf("n%d", n.ID)
+}
+
+// SortedEdgeIDs returns the keys of an edge set in ascending order; handy
+// for deterministic test output.
+func SortedEdgeIDs(set map[EdgeID]bool) []EdgeID {
+	ids := make([]EdgeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,238 @@
+// Package classify implements the taxonomy of Figure 13 in Ammons & Larus
+// (PLDI 1998), which drives the paper's Figure 7, Figure 9 and Figure 10
+// experiments: every dynamic instruction is placed in exactly one of
+//
+//	Local       — constant by analysis of its basic block alone,
+//	Iterative   — constant by Wegman-Zadek analysis of the original CFG,
+//	Identical   — constant with one value at every duplicate in the
+//	              qualified (traced + reduced) graph, but not Iterative,
+//	Variable    — constant at every duplicate but with different values
+//	              at different sites (only duplication reveals these),
+//	Partial     — constant at one or more sites and unknown at one or
+//	              more sites (the paper: "most instructions found
+//	              constant by qualified analysis were neither Identical
+//	              nor Variable"),
+//	Unknowable  — opaque instructions and instructions whose value
+//	              derives from opaque sources on every path, which no
+//	              constant propagator of this family can ever resolve,
+//	Dynamic     — everything else.
+//
+// Categories are assigned per original instruction and weighted by the
+// instruction's dynamic execution count under an evaluation profile.
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/profile"
+)
+
+// Category is one region of the Figure 13 Venn diagram.
+type Category int
+
+// The categories, in reporting order.
+const (
+	Local Category = iota
+	Iterative
+	Identical
+	Variable
+	Partial
+	Unknowable
+	Dynamic
+	NumCategories
+)
+
+var catNames = [NumCategories]string{
+	"Local", "Iterative", "Identical", "Variable", "Partial", "Unknowable", "Dynamic",
+}
+
+func (c Category) String() string {
+	if c >= 0 && c < NumCategories {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Report aggregates classification results for one function or a whole
+// program.
+type Report struct {
+	// Dyn[c] is the dynamic instruction weight in category c.
+	Dyn [NumCategories]int64
+	// Static[c] is the static instruction count in category c.
+	Static [NumCategories]int64
+	// TotalDyn is the total dynamic instruction count.
+	TotalDyn int64
+}
+
+// Add accumulates another report (for program-level totals).
+func (r *Report) Add(o *Report) {
+	for c := 0; c < int(NumCategories); c++ {
+		r.Dyn[c] += o.Dyn[c]
+		r.Static[c] += o.Static[c]
+	}
+	r.TotalDyn += o.TotalDyn
+}
+
+// Frac returns category c's fraction of dynamic instructions.
+func (r *Report) Frac(c Category) float64 {
+	if r.TotalDyn == 0 {
+		return 0
+	}
+	return float64(r.Dyn[c]) / float64(r.TotalDyn)
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %15s %9s %8s\n", "category", "dynamic", "fraction", "static")
+	for c := Category(0); c < NumCategories; c++ {
+		fmt.Fprintf(&b, "%-11s %15d %8.2f%% %8d\n", c, r.Dyn[c], 100*r.Frac(c), r.Static[c])
+	}
+	return b.String()
+}
+
+// Input bundles everything needed to classify one function.
+type Input struct {
+	// Fn is the original function.
+	Fn *cfg.Func
+	// EvalProfile is the evaluation-run path profile on the original
+	// graph (the paper uses the ref input's profile).
+	EvalProfile *bl.Profile
+	// OrigSol is Wegman-Zadek constant propagation on the original graph
+	// (the CA = 0 baseline).
+	OrigSol *constprop.Result
+	// Overlay is the qualified graph (HPG or rHPG); OverlaySol is the
+	// qualified analysis on it; OverlayOrigNode maps overlay nodes to
+	// original vertices. They may all be nil, in which case only the
+	// non-qualified categories are populated.
+	Overlay         profile.Overlay
+	OverlaySol      *constprop.Result
+	OverlayOrigNode func(cfg.NodeID) cfg.NodeID
+	// OverlayProfile is EvalProfile translated onto the overlay. When
+	// set, a Partial instruction's dynamic weight is split per site:
+	// instances executing at sites where the instruction is constant
+	// count as Partial, the rest as Dynamic — a dynamic instance is
+	// "constant" only where the duplicated graph makes it so. When nil,
+	// the whole weight follows the instruction's category.
+	OverlayProfile *bl.Profile
+}
+
+// Classify assigns every instruction of the function to its category.
+func Classify(in Input) *Report {
+	g := in.Fn.G
+	numVars := in.Fn.NumVars()
+	freq := profile.NodeFrequencies(in.EvalProfile, g)
+	taint := SolveTaint(g, numVars)
+
+	// Collect qualified values per original instruction across overlay
+	// duplicates (reached ones only).
+	var dupVals map[cfg.NodeID][]siteVals
+	if in.Overlay != nil {
+		og := in.Overlay.OverlayGraph()
+		var ofreq []int64
+		if in.OverlayProfile != nil {
+			ofreq = profile.NodeFrequencies(in.OverlayProfile, og)
+		}
+		dupVals = map[cfg.NodeID][]siteVals{}
+		for _, nd := range og.Nodes {
+			ov := in.OverlayOrigNode(nd.ID)
+			sv := dupVals[ov]
+			if sv == nil {
+				sv = make([]siteVals, len(nd.Instrs))
+				dupVals[ov] = sv
+			}
+			if !in.OverlaySol.Reached(nd.ID) {
+				continue
+			}
+			vals := in.OverlaySol.InstrValues(nd.ID)
+			for i := range vals {
+				sv[i].sites++
+				if vals[i].IsConst() {
+					sv[i].consts = append(sv[i].consts, vals[i])
+					if ofreq != nil {
+						sv[i].constFreq += ofreq[nd.ID]
+					}
+				} else {
+					sv[i].unknown = true
+				}
+			}
+		}
+	}
+
+	rep := &Report{}
+	for _, nd := range g.Nodes {
+		if len(nd.Instrs) == 0 {
+			continue
+		}
+		local := constprop.LocalValues(g, nd.ID, numVars)
+		iter := in.OrigSol.InstrValues(nd.ID)
+		tainted := taint.InstrTainted(nd.ID)
+		w := freq[nd.ID]
+		for i := range nd.Instrs {
+			instr := &nd.Instrs[i]
+			var cat Category
+			switch {
+			case instr.Op.IsPure() && instr.HasDst() && local[i].IsConst():
+				cat = Local
+			case instr.Op.IsPure() && instr.HasDst() && iter[i].IsConst():
+				cat = Iterative
+			case dupVals != nil && qualifiedCategory(dupVals[nd.ID], i, instr.Op.IsPure() && instr.HasDst(), &cat):
+				// cat set by qualifiedCategory
+			case !instr.Op.IsPure() || !instr.HasDst() || tainted[i]:
+				cat = Unknowable
+			default:
+				cat = Dynamic
+			}
+			rep.Static[cat]++
+			rep.TotalDyn += w
+			if cat == Partial && in.OverlayProfile != nil {
+				// A Partial instruction is constant only where its site
+				// makes it so; the remaining instances are dynamic.
+				cw := dupVals[nd.ID][i].constFreq
+				if cw > w {
+					cw = w
+				}
+				rep.Dyn[Partial] += cw
+				rep.Dyn[Dynamic] += w - cw
+				continue
+			}
+			rep.Dyn[cat] += w
+		}
+	}
+	return rep
+}
+
+// siteVals aggregates the qualified analysis' values of one instruction
+// across its overlay duplicates.
+type siteVals struct {
+	consts    []constprop.Value // constant values observed at reached sites
+	unknown   bool              // some reached site is non-constant
+	sites     int               // number of reached sites
+	constFreq int64             // dynamic executions at constant sites
+}
+
+// qualifiedCategory decides whether instruction i is constant at some
+// qualified site and, if so, stores the precise category in *cat.
+func qualifiedCategory(sites []siteVals, i int, eligible bool, cat *Category) bool {
+	if !eligible || sites == nil || len(sites[i].consts) == 0 {
+		return false
+	}
+	s := &sites[i]
+	if s.unknown {
+		*cat = Partial
+		return true
+	}
+	first := s.consts[0]
+	for _, v := range s.consts[1:] {
+		if v.K != first.K {
+			*cat = Variable
+			return true
+		}
+	}
+	*cat = Identical
+	return true
+}

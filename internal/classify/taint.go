@@ -1,0 +1,133 @@
+package classify
+
+import (
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/ir"
+)
+
+// Taint analysis estimates the paper's "Unknowable" set: a register is
+// tainted at a program point if on *every* path reaching that point its
+// value derives from an opaque source (input, arg, call) — such a value
+// can never be proven constant by any constant propagator in this family,
+// no matter how paths are qualified.
+//
+// The lattice per register is {maybe-clean ⊑ always-tainted} with meet =
+// logical AND (a merge is tainted only if tainted on both sides). This is
+// a second, independent client of the generic data-flow framework,
+// demonstrating that path qualification's substrate is problem-agnostic.
+
+// taintEnv is one fact: tainted[v] says register v is always-tainted.
+type taintEnv []bool
+
+// TaintResult is a solved taint problem.
+type TaintResult struct {
+	G   *cfg.Graph
+	Sol *dataflow.Solution
+	n   int
+}
+
+type taintProblem struct{ numVars int }
+
+var _ dataflow.Problem = (*taintProblem)(nil)
+
+func (p *taintProblem) Entry() dataflow.Fact {
+	// All registers derive from "nothing" at entry: parameters come from
+	// opaque call sites and other registers are unassigned, which the
+	// constant propagator also treats as ⊥ — both are unknowable.
+	e := make(taintEnv, p.numVars)
+	for i := range e {
+		e[i] = true
+	}
+	return e
+}
+
+func (p *taintProblem) Meet(a, b dataflow.Fact) dataflow.Fact {
+	x, y := a.(taintEnv), b.(taintEnv)
+	out := make(taintEnv, len(x))
+	for i := range x {
+		out[i] = x[i] && y[i]
+	}
+	return out
+}
+
+func (p *taintProblem) Equal(a, b dataflow.Fact) bool {
+	x, y := a.(taintEnv), b.(taintEnv)
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *taintProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []dataflow.Fact) {
+	env := append(taintEnv(nil), in.(taintEnv)...)
+	applyTaintBlock(g.Node(n), env, nil)
+	for slot := range out {
+		if slot == 0 {
+			out[slot] = env
+		} else {
+			out[slot] = append(taintEnv(nil), env...)
+		}
+	}
+}
+
+// applyTaintBlock updates env over the block's instructions; when vals is
+// non-nil it receives the taint of each instruction's result.
+func applyTaintBlock(nd *cfg.Node, env taintEnv, vals []bool) {
+	for i := range nd.Instrs {
+		in := &nd.Instrs[i]
+		var t bool
+		switch {
+		case in.Op == ir.Const:
+			t = false
+		case in.Op.Opaque():
+			t = true
+		case in.Op.IsUnary():
+			t = env[in.A]
+		case in.Op.IsBinary():
+			t = env[in.A] || env[in.B]
+		default: // Print, Nop
+			t = true
+		}
+		if vals != nil {
+			vals[i] = t
+		}
+		if in.HasDst() {
+			env[in.Dst] = t
+		}
+	}
+}
+
+// SolveTaint runs the taint analysis over g.
+func SolveTaint(g *cfg.Graph, numVars int) *TaintResult {
+	p := &taintProblem{numVars: numVars}
+	return &TaintResult{G: g, Sol: dataflow.Solve(g, p), n: numVars}
+}
+
+// InstrTainted reports, per instruction of node n, whether its result is
+// always-tainted. Unreached nodes use the all-tainted environment (they
+// can never contribute constants anyway).
+func (t *TaintResult) InstrTainted(n cfg.NodeID) []bool {
+	nd := t.G.Node(n)
+	env := make(taintEnv, t.n)
+	if t.Sol.Reached[n] {
+		copy(env, t.Sol.In[n].(taintEnv))
+	} else {
+		for i := range env {
+			env[i] = true
+		}
+	}
+	vals := make([]bool, len(nd.Instrs))
+	applyTaintBlock(nd, env, vals)
+	return vals
+}
+
+// TaintedAt reports whether register v is always-tainted at n's entry.
+func (t *TaintResult) TaintedAt(n cfg.NodeID, v ir.Var) bool {
+	if !t.Sol.Reached[n] {
+		return true
+	}
+	return t.Sol.In[n].(taintEnv)[v]
+}

@@ -1,0 +1,336 @@
+// Package constprop implements constant propagation: the constant
+// lattice, per-register environments, instruction transfer functions, the
+// Wegman-Zadek conditional constant algorithm the paper uses as its
+// data-flow client, and the purely local (single basic block) analysis
+// that defines the paper's "Local" category.
+//
+// The implementation mirrors the paper's §6 description of its SUIF pass:
+// a worklist algorithm that symbolically executes a routine starting at
+// its entry node and propagates values only across the legs of branches
+// that can execute given the current assignment of values to variables.
+// It is conservative in the same ways: calls, input() and arg() produce
+// unknown (⊥) values.
+package constprop
+
+import (
+	"fmt"
+	"strings"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/ir"
+)
+
+// Kind classifies a lattice value.
+type Kind uint8
+
+// Lattice: Top (no evidence yet) ≥ Const(k) ≥ Bottom (not constant).
+const (
+	Top Kind = iota
+	Const
+	Bottom
+)
+
+// Value is one element of the constant lattice.
+type Value struct {
+	Kind Kind
+	K    ir.Value // meaningful only when Kind == Const
+}
+
+// ConstOf returns the Const lattice value k.
+func ConstOf(k ir.Value) Value { return Value{Kind: Const, K: k} }
+
+// Meet combines two lattice values.
+func (a Value) Meet(b Value) Value {
+	switch {
+	case a.Kind == Top:
+		return b
+	case b.Kind == Top:
+		return a
+	case a.Kind == Bottom || b.Kind == Bottom:
+		return Value{Kind: Bottom}
+	case a.K == b.K:
+		return a
+	default:
+		return Value{Kind: Bottom}
+	}
+}
+
+// IsConst reports whether the value is a known constant.
+func (a Value) IsConst() bool { return a.Kind == Const }
+
+func (a Value) String() string {
+	switch a.Kind {
+	case Top:
+		return "⊤"
+	case Bottom:
+		return "⊥"
+	default:
+		return fmt.Sprintf("%d", a.K)
+	}
+}
+
+// Env maps every register of a function to a lattice value. Envs are
+// treated as immutable facts; all operations return fresh slices.
+type Env []Value
+
+// NewEnv returns an environment with every register set to k.
+func NewEnv(numVars int, k Kind) Env {
+	e := make(Env, numVars)
+	for i := range e {
+		e[i] = Value{Kind: k}
+	}
+	return e
+}
+
+// Clone copies the environment.
+func (e Env) Clone() Env { return append(Env(nil), e...) }
+
+// Meet combines two environments pointwise.
+func (e Env) Meet(o Env) Env {
+	out := make(Env, len(e))
+	for i := range e {
+		out[i] = e[i].Meet(o[i])
+	}
+	return out
+}
+
+// Equal reports pointwise equality.
+func (e Env) Equal(o Env) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for i := range e {
+		if e[i].Kind != o[i].Kind {
+			return false
+		}
+		if e[i].Kind == Const && e[i].K != o[i].K {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the non-⊥ entries using the function's register names.
+func (e Env) String(names []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range e {
+		if v.Kind == Bottom {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		name := fmt.Sprintf("v%d", i)
+		if names != nil && i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, "%s=%s", name, v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EvalInstr computes the lattice value an instruction's destination takes
+// under env. Instructions without a destination yield ⊥.
+func EvalInstr(in *ir.Instr, env Env) Value {
+	switch {
+	case in.Op == ir.Const:
+		return ConstOf(in.K)
+	case in.Op.Opaque() || in.Op == ir.Print || in.Op == ir.Nop:
+		return Value{Kind: Bottom}
+	case in.Op.IsUnary():
+		a := env[in.A]
+		switch a.Kind {
+		case Const:
+			return ConstOf(ir.EvalUn(in.Op, a.K))
+		case Top:
+			return Value{Kind: Top}
+		}
+		return Value{Kind: Bottom}
+	case in.Op.IsBinary():
+		a, b := env[in.A], env[in.B]
+		if a.Kind == Const && b.Kind == Const {
+			return ConstOf(ir.EvalBin(in.Op, a.K, b.K))
+		}
+		if a.Kind == Bottom || b.Kind == Bottom {
+			return Value{Kind: Bottom}
+		}
+		return Value{Kind: Top}
+	}
+	return Value{Kind: Bottom}
+}
+
+// ApplyInstr updates env in place with the effect of one instruction and
+// returns the value written (⊥ for instructions with no destination).
+func ApplyInstr(in *ir.Instr, env Env) Value {
+	v := EvalInstr(in, env)
+	if in.HasDst() {
+		env[in.Dst] = v
+	}
+	return v
+}
+
+// TransferBlock symbolically executes node n's instructions, returning
+// the environment at the block's end and, when vals is true, the value
+// each instruction's destination takes.
+func TransferBlock(g *cfg.Graph, n cfg.NodeID, in Env, vals bool) (Env, []Value) {
+	env := in.Clone()
+	nd := g.Node(n)
+	var out []Value
+	if vals {
+		out = make([]Value, len(nd.Instrs))
+	}
+	for i := range nd.Instrs {
+		v := ApplyInstr(&nd.Instrs[i], env)
+		if vals {
+			out[i] = v
+		}
+	}
+	return env, out
+}
+
+// Problem is the constant-propagation data-flow problem over one graph.
+type Problem struct {
+	NumVars int
+	// Conditional enables Wegman-Zadek branch pruning: a branch whose
+	// condition is a known constant propagates only along the taken
+	// leg, and a branch whose condition is still ⊤ propagates along
+	// neither. When false the problem is the plain iterative one.
+	Conditional bool
+	// EntryEnv optionally overrides the environment at function entry;
+	// nil uses ⊥ for parameters and ⊥ for all other registers.
+	EntryEnv Env
+}
+
+var _ dataflow.Problem = (*Problem)(nil)
+
+// Entry returns the entry fact.
+func (p *Problem) Entry() dataflow.Fact {
+	if p.EntryEnv != nil {
+		return p.EntryEnv.Clone()
+	}
+	return NewEnv(p.NumVars, Bottom)
+}
+
+// Meet combines two environment facts.
+func (p *Problem) Meet(a, b dataflow.Fact) dataflow.Fact {
+	return a.(Env).Meet(b.(Env))
+}
+
+// Equal compares two environment facts.
+func (p *Problem) Equal(a, b dataflow.Fact) bool {
+	return a.(Env).Equal(b.(Env))
+}
+
+// Transfer symbolically executes the block and distributes the resulting
+// environment to the executable out-edges.
+func (p *Problem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []dataflow.Fact) {
+	env, _ := TransferBlock(g, n, in.(Env), false)
+	nd := g.Node(n)
+	switch nd.Kind {
+	case cfg.TermJump, cfg.TermReturn:
+		out[0] = env
+	case cfg.TermBranch:
+		if !p.Conditional {
+			out[0], out[1] = env, env.Clone()
+			return
+		}
+		switch c := env[nd.Cond]; c.Kind {
+		case Top:
+			// No evidence about the condition yet: neither leg is
+			// known executable (optimistic).
+		case Const:
+			if c.K != 0 {
+				out[0] = env
+			} else {
+				out[1] = env
+			}
+		case Bottom:
+			out[0], out[1] = env, env.Clone()
+		}
+	case cfg.TermHalt:
+		// no successors
+	}
+}
+
+// Result bundles a solved constant-propagation problem with its graph.
+type Result struct {
+	G   *cfg.Graph
+	Sol *dataflow.Solution
+}
+
+// Analyze runs constant propagation over g. conditional selects the
+// Wegman-Zadek algorithm (true) or plain iterative propagation (false).
+func Analyze(g *cfg.Graph, numVars int, conditional bool) *Result {
+	p := &Problem{NumVars: numVars, Conditional: conditional}
+	return &Result{G: g, Sol: dataflow.Solve(g, p)}
+}
+
+// EnvAt returns the environment at node n's entry; unreached nodes yield
+// the all-⊤ environment (so meets over vertex sets treat them as the
+// identity, as the reduction algorithm requires).
+func (r *Result) EnvAt(n cfg.NodeID) Env {
+	if !r.Sol.Reached[n] {
+		// Size from any reached env; fall back to empty.
+		for _, f := range r.Sol.In {
+			if f != nil {
+				return NewEnv(len(f.(Env)), Top)
+			}
+		}
+		return nil
+	}
+	return r.Sol.In[n].(Env)
+}
+
+// InstrValues returns the lattice value of each instruction's destination
+// in node n under the solved environment. Unreached nodes yield values
+// under the all-⊤ environment.
+func (r *Result) InstrValues(n cfg.NodeID) []Value {
+	_, vals := TransferBlock(r.G, n, r.EnvAt(n), true)
+	return vals
+}
+
+// Reached reports whether the analysis found node n executable.
+func (r *Result) Reached(n cfg.NodeID) bool { return r.Sol.Reached[n] }
+
+// LocalValues returns the value of each instruction in n derivable by
+// purely local analysis: symbolic execution of the block alone, starting
+// from an all-⊥ environment. Instructions constant under this analysis
+// form the paper's "Local" category (e.g. every Const instruction).
+func LocalValues(g *cfg.Graph, n cfg.NodeID, numVars int) []Value {
+	_, vals := TransferBlock(g, n, NewEnv(numVars, Bottom), true)
+	return vals
+}
+
+// ConstFlags reports, per instruction of node n, whether the instruction
+// has a constant result under env. Only pure instructions with a
+// destination qualify. When excludeLocal is set, instructions already
+// constant under local analysis (the paper's trivial constants) are
+// skipped — the remaining flags mark the paper's "non-local" constants.
+func ConstFlags(g *cfg.Graph, n cfg.NodeID, env Env, numVars int, excludeLocal bool) []bool {
+	nd := g.Node(n)
+	flags := make([]bool, len(nd.Instrs))
+	_, vals := TransferBlock(g, n, env, true)
+	var local []Value
+	if excludeLocal {
+		local = LocalValues(g, n, numVars)
+	}
+	for i := range nd.Instrs {
+		in := &nd.Instrs[i]
+		if !in.Op.IsPure() || !in.HasDst() {
+			continue
+		}
+		if !vals[i].IsConst() {
+			continue
+		}
+		if excludeLocal && local[i].IsConst() {
+			continue
+		}
+		flags[i] = true
+	}
+	return flags
+}

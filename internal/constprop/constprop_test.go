@@ -1,0 +1,349 @@
+package constprop_test
+
+import (
+	"testing"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/cfg"
+	. "pathflow/internal/constprop"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/paperex"
+	"pathflow/internal/trace"
+)
+
+func TestValueMeet(t *testing.T) {
+	top := Value{Kind: Top}
+	bot := Value{Kind: Bottom}
+	c3, c4 := ConstOf(3), ConstOf(4)
+	cases := []struct {
+		a, b, want Value
+	}{
+		{top, top, top},
+		{top, c3, c3},
+		{c3, top, c3},
+		{top, bot, bot},
+		{c3, c3, c3},
+		{c3, c4, bot},
+		{c3, bot, bot},
+		{bot, bot, bot},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Meet(tc.b); got != tc.want {
+			t.Errorf("%v ∧ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMeetCommutativeAssociativeIdempotent(t *testing.T) {
+	vals := []Value{{Kind: Top}, {Kind: Bottom}, ConstOf(0), ConstOf(1), ConstOf(-7)}
+	for _, a := range vals {
+		if a.Meet(a) != a {
+			t.Errorf("%v not idempotent", a)
+		}
+		for _, b := range vals {
+			if a.Meet(b) != b.Meet(a) {
+				t.Errorf("meet not commutative on %v,%v", a, b)
+			}
+			for _, c := range vals {
+				l := a.Meet(b).Meet(c)
+				r := a.Meet(b.Meet(c))
+				if l != r {
+					t.Errorf("meet not associative on %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func analyzeSrc(t *testing.T, src string, conditional bool) (*cfg.Func, *Result) {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Main()
+	return f, Analyze(f.G, f.NumVars(), conditional)
+}
+
+// varAt finds the named variable's lattice value at the entry of the exit
+// node (i.e., at function end).
+func varAt(t *testing.T, f *cfg.Func, r *Result, name string) Value {
+	t.Helper()
+	var v ir.Var = ir.NoVar
+	for i, n := range f.VarNames {
+		if n == name {
+			v = ir.Var(i)
+		}
+	}
+	if !v.Valid() {
+		t.Fatalf("no variable %q", name)
+	}
+	return r.EnvAt(f.G.Exit)[v]
+}
+
+func TestStraightLineConstants(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	x = 3;
+	y = x * 2 + 1;
+	print(y);
+}`, true)
+	if got := varAt(t, f, r, "y"); got != ConstOf(7) {
+		t.Errorf("y = %v, want 7", got)
+	}
+}
+
+func TestMergeDestroysDifferingConstants(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	t = input();
+	if (t > 0) { x = 1; } else { x = 2; }
+	print(x);
+}`, true)
+	if got := varAt(t, f, r, "x"); got.Kind != Bottom {
+		t.Errorf("x = %v, want ⊥", got)
+	}
+}
+
+func TestMergePreservesAgreeingConstants(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	t = input();
+	if (t > 0) { x = 5; y = 1; } else { x = 5; y = 2; }
+	print(x + y);
+}`, true)
+	if got := varAt(t, f, r, "x"); got != ConstOf(5) {
+		t.Errorf("x = %v, want 5", got)
+	}
+	if got := varAt(t, f, r, "y"); got.Kind != Bottom {
+		t.Errorf("y = %v, want ⊥", got)
+	}
+}
+
+func TestConditionalPrunesConstantBranch(t *testing.T) {
+	src := `
+func main() {
+	c = 1;
+	if (c > 0) { x = 10; } else { x = 20; }
+	print(x);
+}`
+	f, r := analyzeSrc(t, src, true)
+	// Wegman-Zadek: only the true leg executes, so x = 10.
+	if got := varAt(t, f, r, "x"); got != ConstOf(10) {
+		t.Errorf("conditional: x = %v, want 10", got)
+	}
+	// Plain iterative propagation merges both legs: x = ⊥.
+	f2, r2 := analyzeSrc(t, src, false)
+	if got := varAt(t, f2, r2, "x"); got.Kind != Bottom {
+		t.Errorf("plain: x = %v, want ⊥", got)
+	}
+}
+
+func TestUnreachableBranchNotVisited(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	c = 0;
+	if (c != 0) { x = 1; } else { x = 2; }
+	print(x);
+}`, true)
+	// Find the then-block (the one assigning 1) and confirm it is
+	// unreached.
+	for _, nd := range f.G.Nodes {
+		for _, in := range nd.Instrs {
+			if in.Op == ir.Const && in.K == 1 && r.Reached(nd.ID) {
+				// The constant 1 appears in the condition computation
+				// too; only flag blocks that are pure assignments.
+				if len(nd.Instrs) == 2 { // const + copy from lowering
+					t.Errorf("then-block %s reached despite false condition", nd.Name)
+				}
+			}
+		}
+	}
+	if got := varAt(t, f, r, "x"); got != ConstOf(2) {
+		t.Errorf("x = %v, want 2", got)
+	}
+}
+
+func TestLoopInvariantStaysConstant(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	k = 7;
+	i = 0;
+	while (i < input()) {
+		i = i + 1;
+	}
+	print(k + i);
+}`, true)
+	if got := varAt(t, f, r, "k"); got != ConstOf(7) {
+		t.Errorf("k = %v, want 7", got)
+	}
+	if got := varAt(t, f, r, "i"); got.Kind != Bottom {
+		t.Errorf("i = %v, want ⊥", got)
+	}
+}
+
+func TestOpaqueSourcesAreBottom(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func g() { return 3; }
+func main() {
+	a = input();
+	b = arg(0);
+	c = g();
+	print(a + b + c);
+}`, true)
+	// Even though g always returns 3, calls are opaque (paper: the
+	// analysis does not track the results of calls).
+	for _, name := range []string{"a", "b", "c"} {
+		if got := varAt(t, f, r, name); got.Kind != Bottom {
+			t.Errorf("%s = %v, want ⊥", name, got)
+		}
+	}
+}
+
+func TestParamsAreBottom(t *testing.T) {
+	p, err := lang.Compile(`
+func f(a) {
+	b = a + 1;
+	return b;
+}
+func main() { print(f(1)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["f"]
+	r := Analyze(f.G, f.NumVars(), true)
+	env := r.EnvAt(f.G.Exit)
+	if env[f.Params[0]].Kind != Bottom {
+		t.Errorf("param = %v, want ⊥", env[f.Params[0]])
+	}
+}
+
+// TestExampleHPGConstants is the paper's §4.1 headline: after tracing,
+// "a + b is always 6 at H14, 5 at H12 and H15, and 4 at H13, i++ is 1 at
+// H14 and H15, and n is always 1 at I17" — none of which hold anywhere in
+// the original graph.
+func TestExampleHPGConstants(t *testing.T) {
+	f, _, edges := paperex.Build()
+	ps := paperex.Paths(edges)
+	a, err := automaton.New(f.G, paperex.Recording(edges), ps[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := trace.Build(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(h.G, f.NumVars(), true)
+
+	byName := map[string]cfg.NodeID{}
+	for _, nd := range h.G.Nodes {
+		byName[nd.Name] = nd.ID
+	}
+	// instrValue finds the value of the instruction writing dst in node.
+	instrValue := func(node string, dst ir.Var) Value {
+		id, ok := byName[node]
+		if !ok {
+			t.Fatalf("no HPG node %s", node)
+		}
+		vals := r.InstrValues(id)
+		for i, in := range h.G.Node(id).Instrs {
+			if in.Dst == dst {
+				return vals[i]
+			}
+		}
+		t.Fatalf("node %s has no instruction writing v%d", node, dst)
+		return Value{}
+	}
+
+	if got := instrValue("H14", paperex.VarX); got != ConstOf(6) {
+		t.Errorf("x at H14 = %v, want 6", got)
+	}
+	if got := instrValue("H12", paperex.VarX); got != ConstOf(5) {
+		t.Errorf("x at H12 = %v, want 5", got)
+	}
+	if got := instrValue("H15", paperex.VarX); got != ConstOf(5) {
+		t.Errorf("x at H15 = %v, want 5", got)
+	}
+	if got := instrValue("H13", paperex.VarX); got != ConstOf(4) {
+		t.Errorf("x at H13 = %v, want 4", got)
+	}
+	if got := instrValue("H14", paperex.VarI); got != ConstOf(1) {
+		t.Errorf("i at H14 = %v, want 1", got)
+	}
+	if got := instrValue("H15", paperex.VarI); got != ConstOf(1) {
+		t.Errorf("i at H15 = %v, want 1", got)
+	}
+	if got := instrValue("I17", paperex.VarN); got != ConstOf(1) {
+		t.Errorf("n at I17 = %v, want 1", got)
+	}
+	// Cold duplicates stay unknown.
+	if got := instrValue("Hε", paperex.VarX); got.Kind != Bottom {
+		t.Errorf("x at Hε = %v, want ⊥", got)
+	}
+	if got := instrValue("Iε", paperex.VarN); got.Kind != Bottom {
+		t.Errorf("n at Iε = %v, want ⊥", got)
+	}
+
+	// And in the original graph, x is nowhere constant (Figure 1: only
+	// assignments of constants are constant instructions).
+	ro := Analyze(f.G, f.NumVars(), true)
+	_, nodes, _ := paperex.Build()
+	valsH := ro.InstrValues(nodes.H)
+	for i, in := range f.G.Node(nodes.H).Instrs {
+		if in.Dst == paperex.VarX && valsH[i].IsConst() {
+			t.Error("x constant at H in the original graph; should not be")
+		}
+	}
+}
+
+func TestLocalValues(t *testing.T) {
+	f, _, _ := paperex.Build()
+	_, nodes, _ := paperex.Build()
+	vals := LocalValues(f.G, nodes.H, f.NumVars())
+	// H: x=a+b (non-local), one=1 (local), i=i+one (non-local), tH=input.
+	if vals[0].IsConst() {
+		t.Error("x=a+b should not be locally constant")
+	}
+	if vals[1] != ConstOf(1) {
+		t.Errorf("one = %v, want 1", vals[1])
+	}
+	if vals[2].IsConst() {
+		t.Error("i=i+one should not be locally constant")
+	}
+	if vals[3].IsConst() {
+		t.Error("input should not be locally constant")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	e := NewEnv(3, Bottom)
+	e[1] = ConstOf(42)
+	s := e.String([]string{"a", "b", "c"})
+	if s != "{b=42}" {
+		t.Errorf("String = %q, want {b=42}", s)
+	}
+}
+
+func TestUnreachedEnvIsTop(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	c = 0;
+	while (c != 0) { x = 1; }
+	print(c);
+}`, true)
+	// The loop body is unreached; its env must be all-⊤ so that the
+	// reduction algorithm's meets treat it as identity.
+	for _, nd := range f.G.Nodes {
+		if !r.Reached(nd.ID) && nd.ID != f.G.Exit {
+			env := r.EnvAt(nd.ID)
+			for i, v := range env {
+				if v.Kind != Top {
+					t.Fatalf("unreached node %s var %d = %v, want ⊤", nd.Name, i, v)
+				}
+			}
+			return
+		}
+	}
+	t.Skip("no unreached node found (lowering changed?)")
+}

@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	. "pathflow/internal/core"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/paperex"
+	"pathflow/internal/profile"
+)
+
+func exampleFuncResult(t *testing.T, o Options) *FuncResult {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	fr, err := AnalyzeFunc(f, paperex.Profile(edges), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestAnalyzeFuncFullPipeline(t *testing.T) {
+	fr := exampleFuncResult(t, Options{CA: 1.0, CR: 0.6})
+	if !fr.Qualified() {
+		t.Fatal("pipeline did not qualify")
+	}
+	if len(fr.Hot) != 4 {
+		t.Errorf("hot paths = %d, want 4", len(fr.Hot))
+	}
+	if fr.Auto.NumStates() != 19 {
+		t.Errorf("automaton states = %d, want 19", fr.Auto.NumStates())
+	}
+	if fr.HPG.G.NumNodes() != 27 {
+		t.Errorf("HPG nodes = %d, want 27", fr.HPG.G.NumNodes())
+	}
+	if fr.Red.G.NumNodes() != 20 {
+		t.Errorf("rHPG nodes = %d, want 20", fr.Red.G.NumNodes())
+	}
+	if fr.FinalGraph() != fr.Red.G {
+		t.Error("FinalGraph should be the reduced graph")
+	}
+	if fr.FinalSol() != fr.RedSol {
+		t.Error("FinalSol should be the reduced solution")
+	}
+	if fr.FinalOverlay() == nil {
+		t.Error("FinalOverlay should be non-nil")
+	}
+	if fr.Times.Total <= 0 || fr.Times.Qualified() <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestAnalyzeFuncBaseline(t *testing.T) {
+	fr := exampleFuncResult(t, Options{CA: 0, CR: 0.95})
+	if fr.Qualified() {
+		t.Fatal("CA=0 must not qualify")
+	}
+	if fr.FinalGraph() != fr.Fn.G {
+		t.Error("FinalGraph should be the original graph")
+	}
+	if fr.FinalOverlay() != nil {
+		t.Error("FinalOverlay should be nil at CA=0")
+	}
+	if fr.FinalOrigNode(3) != 3 {
+		t.Error("FinalOrigNode should be identity at CA=0")
+	}
+	// TranslateEval is the identity at CA=0.
+	_, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	got, err := fr.TranslateEval(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pr {
+		t.Error("TranslateEval should return the input profile at CA=0")
+	}
+}
+
+func TestAnalyzeFuncNilProfile(t *testing.T) {
+	f, _, _ := paperex.Build()
+	fr, err := AnalyzeFunc(f, nil, Options{CA: 0.97, CR: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Qualified() {
+		t.Error("unprofiled function must not qualify")
+	}
+	if fr.OrigSol == nil {
+		t.Error("baseline analysis must still run")
+	}
+}
+
+func TestTranslateEvalOntoReduced(t *testing.T) {
+	fr := exampleFuncResult(t, Options{CA: 1.0, CR: 0.6})
+	_, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	ep, err := fr.TranslateEval(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.TotalCount() != pr.TotalCount() {
+		t.Errorf("translated count = %d, want %d", ep.TotalCount(), pr.TotalCount())
+	}
+	freq := profile.NodeFrequencies(ep, fr.Red.G)
+	var total int64
+	for _, f := range freq {
+		total += f
+	}
+	if total == 0 {
+		t.Error("translated profile yields no frequencies")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.CA != 0.97 || o.CR != 0.95 {
+		t.Errorf("DefaultOptions = %+v", o)
+	}
+}
+
+const multiSrc = `
+func helper(k) {
+	m = input() % 10;
+	if (m < 9) { s = 4; } else { s = input() % 16; }
+	return k * s + s / 2;
+}
+func cold(k) {
+	return k * 31 % 17;
+}
+func main() {
+	n = arg(0);
+	i = 0;
+	t = 0;
+	while (i < n) {
+		t = t + helper(i);
+		i = i + 1;
+	}
+	if (arg(5) == 99) { t = t + cold(t); }
+	print(t);
+}
+`
+
+func analyzeMulti(t *testing.T, o Options) (*cfg.Program, *ProgramResult) {
+	t.Helper()
+	prog, err := lang.Compile(multiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ProfileAndAnalyze(prog, interp.Options{
+		Args:  []ir.Value{200},
+		Input: &interp.SliceInput{Values: stream(7)},
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res
+}
+
+func stream(seed uint64) []ir.Value {
+	vals := make([]ir.Value, 2048)
+	x := seed
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = ir.Value(x & 0x7fffffff)
+	}
+	return vals
+}
+
+func TestAnalyzeProgramMultiFunction(t *testing.T) {
+	prog, res := analyzeMulti(t, Options{CA: 0.97, CR: 0.95})
+	if len(res.Funcs) != 3 {
+		t.Fatalf("results = %d, want 3", len(res.Funcs))
+	}
+	if !res.Funcs["main"].Qualified() || !res.Funcs["helper"].Qualified() {
+		t.Error("hot functions should qualify")
+	}
+	// cold is never executed, so it cannot qualify.
+	if res.Funcs["cold"].Qualified() {
+		t.Error("cold function should not qualify")
+	}
+	st := res.Stats()
+	if st.OrigNodes != prog.NumNodes() {
+		t.Errorf("Stats.OrigNodes = %d, want %d", st.OrigNodes, prog.NumNodes())
+	}
+	if st.HPGNodes < st.OrigNodes || st.RedNodes < st.OrigNodes {
+		t.Error("qualified graphs should not shrink below the original")
+	}
+	if st.RedNodes > st.HPGNodes {
+		t.Error("reduction should not grow the HPG")
+	}
+	if st.HotPaths == 0 || st.TrainPaths == 0 {
+		t.Error("path counts missing")
+	}
+}
+
+func TestOptimizedAndBaselineProgramsEquivalent(t *testing.T) {
+	prog, res := analyzeMulti(t, Options{CA: 1.0, CR: 0.95})
+	run := func(p *cfg.Program) []ir.Value {
+		r, err := interp.Run(p, interp.Options{
+			Args:          []ir.Value{200},
+			Input:         &interp.SliceInput{Values: stream(7)},
+			CollectOutput: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Output
+	}
+	want := run(prog)
+	optProg, optN := res.OptimizedProgram()
+	if optN == 0 {
+		t.Error("optimizer folded nothing")
+	}
+	if got := run(optProg); !reflect.DeepEqual(got, want) {
+		t.Errorf("optimized output = %v, want %v", got, want)
+	}
+	baseProg, baseN := BaselineProgram(prog)
+	if got := run(baseProg); !reflect.DeepEqual(got, want) {
+		t.Errorf("baseline output = %v, want %v", got, want)
+	}
+	// The qualified pipeline folds the helper's s-derived constants the
+	// baseline cannot see, so it must fold strictly more instructions.
+	if optN <= baseN {
+		t.Errorf("qualified folds = %d, baseline folds = %d; want more", optN, baseN)
+	}
+}
+
+func TestProfileAndAnalyzeErrorOnBadRun(t *testing.T) {
+	prog, err := lang.Compile(`func main() { while (1) { x = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ProfileAndAnalyze(prog, interp.Options{MaxSteps: 100}, DefaultOptions())
+	if err == nil {
+		t.Error("expected training-run failure to surface")
+	}
+}
+
+func TestQualifiedConstantsBeatBaselineOnExample(t *testing.T) {
+	fr := exampleFuncResult(t, Options{CA: 1.0, CR: 1.0})
+	_, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	ep, err := fr.TranslateEval(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual := countConstDyn(fr.FinalGraph(), fr.FinalSol(), ep, fr.Fn.NumVars())
+	base := countConstDyn(fr.Fn.G, fr.OrigSol, pr, fr.Fn.NumVars())
+	if base != 0 {
+		t.Errorf("baseline non-local constants = %d, want 0", base)
+	}
+	if qual != 400 {
+		t.Errorf("qualified non-local constants = %d, want 400", qual)
+	}
+}
+
+func countConstDyn(g *cfg.Graph, sol *constprop.Result, pr *bl.Profile, numVars int) int64 {
+	freq := profile.NodeFrequencies(pr, g)
+	var total int64
+	for _, nd := range g.Nodes {
+		flags := constprop.ConstFlags(g, nd.ID, sol.EnvAt(nd.ID), numVars, true)
+		for _, fl := range flags {
+			if fl {
+				total += freq[nd.ID]
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,204 @@
+// Package dataflow provides a generic monotone data-flow framework with
+// an iterative worklist solver.
+//
+// The framework is deliberately edge-based: a problem's transfer function
+// produces one fact per out-edge and may withhold a fact from an edge to
+// mark it non-executable under current knowledge. That is exactly the
+// shape of Wegman-Zadek conditional constant propagation (the client the
+// paper evaluates), and it also accommodates ordinary problems, which
+// simply emit the same fact on every out-edge.
+//
+// The solver is an optimistic chaotic iteration: facts start at ⊤
+// (unreached) and only descend, so accumulating meets per node converges
+// to the greatest fixpoint consistent with executable edges. It assumes
+// nothing about reducibility — hot path graphs produced by tracing are
+// irreducible (paper §4.1), which rules out elimination-style solvers.
+package dataflow
+
+import "pathflow/internal/cfg"
+
+// Fact is an element of the problem's lattice. Facts must be treated as
+// immutable: transfer functions receive a fact and must not modify it.
+type Fact interface{}
+
+// Problem defines a monotone data-flow problem (paper Definition 1).
+type Problem interface {
+	// Entry returns the fact holding at the function's entry (l_r).
+	Entry() Fact
+	// Meet combines two facts (the lattice ∧). Meet is only called with
+	// non-nil facts.
+	Meet(a, b Fact) Fact
+	// Equal reports whether two facts are equal; used to detect
+	// convergence.
+	Equal(a, b Fact) bool
+	// Transfer computes the facts leaving node n given the fact at its
+	// entry. out has one slot per out-edge of n, in slot order; a slot
+	// left nil marks that edge non-executable under in. Slots are
+	// pre-initialized to nil.
+	Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact)
+}
+
+// Widener is implemented by problems over lattices of unbounded height
+// (e.g. intervals). After a node's incoming fact has changed
+// WidenThreshold times, the solver combines with Widen instead of Meet;
+// a correct Widen must guarantee that every chain
+// old, Widen(old, x1), Widen(Widen(old, x1), x2), … stabilizes.
+type Widener interface {
+	Widen(old, new Fact) Fact
+}
+
+// WidenThreshold is the number of per-node fact changes after which the
+// solver switches from Meet to Widen for widening problems. The small
+// constant trades a little precision for fast convergence, as usual.
+const WidenThreshold = 4
+
+// NarrowingPasses is the number of decreasing re-iterations run after a
+// widened solve converges: each pass recomputes every node's fact from
+// its executable predecessors, recovering precision the widening
+// overshot (bounds that a loop exit actually limits). Starting from a
+// sound post-fixpoint, re-application of monotone transfers stays sound,
+// and the fixed pass count bounds the work.
+const NarrowingPasses = 2
+
+// Solution is the result of Solve.
+type Solution struct {
+	// In[n] is the fact at node n's entry — the meet over the facts
+	// delivered by executable in-edges. nil if n was never reached.
+	In []Fact
+	// Reached[n] reports whether the analysis found n executable.
+	Reached []bool
+	// EdgeExecutable[e] reports whether edge e ever carried a fact.
+	EdgeExecutable []bool
+	// Iterations counts node transfers, a measure of analysis effort
+	// (used by the paper's Figure 12-style analysis-time experiment).
+	Iterations int
+}
+
+// Solve runs the worklist algorithm on g.
+func Solve(g *cfg.Graph, p Problem) *Solution {
+	sol := &Solution{
+		In:             make([]Fact, g.NumNodes()),
+		Reached:        make([]bool, g.NumNodes()),
+		EdgeExecutable: make([]bool, g.NumEdges()),
+	}
+	inQueue := make([]bool, g.NumNodes())
+	queue := make([]cfg.NodeID, 0, g.NumNodes())
+	push := func(n cfg.NodeID) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	widener, _ := p.(Widener)
+	var changes []int
+	var widenAt []bool
+	if widener != nil {
+		changes = make([]int, g.NumNodes())
+		// Widen only at loop heads (targets of retreating edges):
+		// widening elsewhere needlessly destroys precision that
+		// branch refinement just established.
+		widenAt = make([]bool, g.NumNodes())
+		dfs := g.DepthFirst()
+		for e := range dfs.Retreating {
+			widenAt[g.Edge(e).To] = true
+		}
+	}
+
+	sol.In[g.Entry] = p.Entry()
+	sol.Reached[g.Entry] = true
+	push(g.Entry)
+
+	var out []Fact
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		sol.Iterations++
+
+		nd := g.Node(n)
+		if cap(out) < len(nd.Out) {
+			out = make([]Fact, len(nd.Out))
+		}
+		out = out[:len(nd.Out)]
+		for i := range out {
+			out[i] = nil
+		}
+		p.Transfer(g, n, sol.In[n], out)
+		for slot, f := range out {
+			if f == nil {
+				continue
+			}
+			eid := nd.Out[slot]
+			sol.EdgeExecutable[eid] = true
+			to := g.Edge(eid).To
+			if !sol.Reached[to] {
+				sol.Reached[to] = true
+				sol.In[to] = f
+				push(to)
+				continue
+			}
+			merged := p.Meet(sol.In[to], f)
+			if !p.Equal(merged, sol.In[to]) {
+				if widener != nil && widenAt[to] {
+					changes[to]++
+					if changes[to] > WidenThreshold {
+						merged = widener.Widen(sol.In[to], merged)
+					}
+				}
+				sol.In[to] = merged
+				push(to)
+			}
+		}
+	}
+	if widener != nil {
+		narrow(g, p, sol)
+	}
+	return sol
+}
+
+// narrow runs NarrowingPasses decreasing re-iterations over the reached
+// nodes in reverse postorder, replacing (not accumulating) each node's
+// fact with the meet over its executable predecessors' current outputs.
+func narrow(g *cfg.Graph, p Problem, sol *Solution) {
+	dfs := g.DepthFirst()
+	for pass := 0; pass < NarrowingPasses; pass++ {
+		// Per-pass cache of recomputed out-facts per node.
+		outs := make([][]Fact, g.NumNodes())
+		outsOf := func(n cfg.NodeID) []Fact {
+			if outs[n] == nil {
+				nd := g.Node(n)
+				o := make([]Fact, len(nd.Out))
+				p.Transfer(g, n, sol.In[n], o)
+				outs[n] = o
+			}
+			return outs[n]
+		}
+		for _, n := range dfs.RPOOrder {
+			if n == g.Entry || !sol.Reached[n] {
+				continue
+			}
+			sol.Iterations++
+			var acc Fact
+			for _, eid := range g.Node(n).In {
+				e := g.Edge(eid)
+				if !sol.Reached[e.From] {
+					continue
+				}
+				f := outsOf(e.From)[e.Slot]
+				if f == nil {
+					continue
+				}
+				if acc == nil {
+					acc = f
+				} else {
+					acc = p.Meet(acc, f)
+				}
+			}
+			if acc != nil && !p.Equal(acc, sol.In[n]) {
+				sol.In[n] = acc
+				// The node's own cached outs are stale now.
+				outs[n] = nil
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"pathflow/internal/cfg"
+	. "pathflow/internal/dataflow"
+	"pathflow/internal/ir"
+)
+
+// distProblem computes the minimum number of blocks on any executable
+// path from entry (capped), a tiny monotone problem: meet is min,
+// transfer adds one.
+type distProblem struct {
+	// blockEdge, if set, marks one (node, slot) pair as never
+	// executable, to exercise edge-level suppression.
+	blockNode cfg.NodeID
+	blockSlot int
+}
+
+const distCap = 1 << 20
+
+func (p *distProblem) Entry() Fact { return 0 }
+
+func (p *distProblem) Meet(a, b Fact) Fact {
+	x, y := a.(int), b.(int)
+	if x < y {
+		return x
+	}
+	return y
+}
+
+func (p *distProblem) Equal(a, b Fact) bool { return a.(int) == b.(int) }
+
+func (p *distProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact) {
+	d := in.(int) + 1
+	if d > distCap {
+		d = distCap
+	}
+	for slot := range out {
+		if n == p.blockNode && slot == p.blockSlot {
+			continue
+		}
+		out[slot] = d
+	}
+}
+
+// diamondWithLoop: entry -> a -> {b, c}; b -> d; c -> d; d -> a (loop) or
+// d -> exit.
+func buildGraph(t *testing.T) (*cfg.Graph, map[string]cfg.NodeID) {
+	t.Helper()
+	g := cfg.New("t")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.Node(a).Kind = cfg.TermBranch
+	g.Node(a).Cond = 0
+	g.Node(d).Kind = cfg.TermBranch
+	g.Node(d).Cond = 0
+	g.AddEdge(g.Entry, a)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	g.AddEdge(d, a) // loop back
+	g.AddEdge(d, g.Exit)
+	if err := g.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	return g, map[string]cfg.NodeID{"a": a, "b": b, "c": c, "d": d}
+}
+
+func TestSolveDistances(t *testing.T) {
+	g, n := buildGraph(t)
+	sol := Solve(g, &distProblem{blockNode: cfg.NoNode})
+	wants := map[string]int{"a": 1, "b": 2, "c": 2, "d": 3}
+	for name, want := range wants {
+		if !sol.Reached[n[name]] {
+			t.Fatalf("%s unreached", name)
+		}
+		if got := sol.In[n[name]].(int); got != want {
+			t.Errorf("dist(%s) = %d, want %d", name, got, want)
+		}
+	}
+	if got := sol.In[g.Exit].(int); got != 4 {
+		t.Errorf("dist(exit) = %d, want 4", got)
+	}
+	if sol.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	for _, e := range g.Edges {
+		if !sol.EdgeExecutable[e.ID] {
+			t.Errorf("edge %d not marked executable", e.ID)
+		}
+	}
+}
+
+func TestSolveWithBlockedEdge(t *testing.T) {
+	g, n := buildGraph(t)
+	// Block a's slot 0 (a -> b): b becomes unreachable.
+	sol := Solve(g, &distProblem{blockNode: n["a"], blockSlot: 0})
+	if sol.Reached[n["b"]] {
+		t.Error("b reached despite blocked edge")
+	}
+	if !sol.Reached[n["c"]] || !sol.Reached[n["d"]] {
+		t.Error("c/d should still be reached")
+	}
+	if sol.EdgeExecutable[g.Node(n["a"]).Out[0]] {
+		t.Error("blocked edge marked executable")
+	}
+	if sol.In[n["b"]] != nil {
+		t.Error("unreached node has a fact")
+	}
+}
+
+func TestSolveConvergesOnLoop(t *testing.T) {
+	// The loop d -> a re-delivers facts; meet(min) must converge to the
+	// shortest distance, not oscillate.
+	g, n := buildGraph(t)
+	sol := Solve(g, &distProblem{blockNode: cfg.NoNode})
+	// a's distance stays 1 (from entry), despite the longer loop path.
+	if got := sol.In[n["a"]].(int); got != 1 {
+		t.Errorf("dist(a) = %d, want 1", got)
+	}
+}
+
+// counterProblem tracks an ever-growing counter around a loop: without
+// widening the solver would iterate forever; with Widen it must
+// stabilize at the cap sentinel.
+type counterProblem struct{}
+
+const counterInf = int(^uint(0) >> 1)
+
+func (p *counterProblem) Entry() Fact { return 0 }
+func (p *counterProblem) Meet(a, b Fact) Fact {
+	if a.(int) > b.(int) {
+		return a
+	}
+	return b
+}
+func (p *counterProblem) Equal(a, b Fact) bool { return a.(int) == b.(int) }
+func (p *counterProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact) {
+	v := in.(int)
+	if v != counterInf {
+		v++
+	}
+	for i := range out {
+		out[i] = v
+	}
+}
+func (p *counterProblem) Widen(old, new Fact) Fact { return counterInf }
+
+var _ Widener = (*counterProblem)(nil)
+
+func TestWideningTerminatesUnboundedLattice(t *testing.T) {
+	g, n := buildGraph(t) // contains the loop d -> a
+	done := make(chan *Solution, 1)
+	go func() { done <- Solve(g, &counterProblem{}) }()
+	sol := <-done
+	// The loop-head a must have been widened to the sentinel.
+	if got := sol.In[n["a"]].(int); got != counterInf {
+		t.Errorf("loop head fact = %d, want widened sentinel", got)
+	}
+	if !sol.Reached[g.Exit] {
+		t.Error("exit unreached")
+	}
+	// The entry-side fact stays finite: widening applies at loop heads
+	// only, and entry is not one.
+	if got := sol.In[g.Entry].(int); got != 0 {
+		t.Errorf("entry fact = %d, want 0", got)
+	}
+}
+
+func TestSolveSingleNode(t *testing.T) {
+	g := cfg.New("tiny")
+	a := g.AddNode("a")
+	g.Node(a).Kind = cfg.TermReturn
+	g.Node(a).Ret = ir.NoVar
+	g.AddEdge(g.Entry, a)
+	g.AddEdge(a, g.Exit)
+	if err := g.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	sol := Solve(g, &distProblem{blockNode: cfg.NoNode})
+	if !sol.Reached[g.Exit] || sol.In[g.Exit].(int) != 2 {
+		t.Errorf("exit fact = %v", sol.In[g.Exit])
+	}
+}

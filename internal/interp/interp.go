@@ -1,0 +1,256 @@
+// Package interp executes CFG programs deterministically.
+//
+// The interpreter is pathflow's stand-in for the paper's instrumented
+// native runs: it executes a program on a given input, counts dynamic
+// instructions (the paper's unit of measure), exposes per-block execution
+// counts, and offers edge/block hooks that the Ball-Larus profiler
+// (internal/bl) and the i-cache model (internal/machine) attach to.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/ir"
+)
+
+// InputSource supplies the values returned by the language's input()
+// builtin.
+type InputSource interface {
+	Next() ir.Value
+}
+
+// SliceInput replays a fixed sequence, wrapping around at the end so runs
+// of any length are deterministic. An empty SliceInput yields zeros.
+type SliceInput struct {
+	Values []ir.Value
+	pos    int
+}
+
+// Next returns the next input value.
+func (s *SliceInput) Next() ir.Value {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	v := s.Values[s.pos]
+	s.pos++
+	if s.pos == len(s.Values) {
+		s.pos = 0
+	}
+	return v
+}
+
+// Reset rewinds the stream to its beginning.
+func (s *SliceInput) Reset() { s.pos = 0 }
+
+// FuncInput adapts a function to an InputSource.
+type FuncInput func() ir.Value
+
+// Next returns the next input value.
+func (f FuncInput) Next() ir.Value { return f() }
+
+// Options configures a run.
+type Options struct {
+	// Args are the run's fixed parameters, read by arg(k); out-of-range
+	// reads yield 0.
+	Args []ir.Value
+	// Input feeds input(); nil behaves as an endless zero stream.
+	Input InputSource
+	// MaxSteps bounds the number of executed basic blocks (0 means the
+	// package default of 50 million). Exceeding it aborts the run.
+	MaxSteps int64
+	// MaxDepth bounds call-stack depth (0 means the default of 1000).
+	MaxDepth int
+	// CollectOutput keeps print() values in Result.Output.
+	CollectOutput bool
+
+	// OnEnter fires at each activation of a function, before its entry
+	// block. OnEdge fires for every control-flow edge traversed,
+	// including the edge out of Entry and the edge into Exit. OnBlock
+	// fires when a block begins executing (including Entry and Exit).
+	OnEnter func(fn *cfg.Func)
+	OnEdge  func(fn *cfg.Func, e cfg.EdgeID)
+	OnBlock func(fn *cfg.Func, n cfg.NodeID)
+	OnExit  func(fn *cfg.Func)
+	// OnBlockEnv fires like OnBlock but also exposes the activation's
+	// live register file, letting tests check data-flow claims against
+	// actual execution. The callee must not retain or modify regs.
+	OnBlockEnv func(fn *cfg.Func, n cfg.NodeID, regs []ir.Value)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Ret is main's return value (0 for void).
+	Ret ir.Value
+	// Output holds print()ed values when Options.CollectOutput is set.
+	Output []ir.Value
+	// BlockCount[fname][node] is how many times each block executed.
+	BlockCount map[string][]int64
+	// DynInstrs is the total number of IR instructions executed — the
+	// paper's "dynamic instructions". Terminators are not counted.
+	DynInstrs int64
+	// Steps is the number of basic blocks executed.
+	Steps int64
+	// Calls is the number of function activations, including main.
+	Calls int64
+}
+
+// Default limits.
+const (
+	DefaultMaxSteps = 50_000_000
+	DefaultMaxDepth = 1000
+)
+
+// ErrStepLimit is returned when a run exceeds Options.MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// ErrDepthLimit is returned when a run exceeds Options.MaxDepth.
+var ErrDepthLimit = errors.New("interp: call depth limit exceeded")
+
+type machine struct {
+	prog *cfg.Program
+	opt  Options
+	res  *Result
+}
+
+// Run executes prog from its main function.
+func Run(prog *cfg.Program, opt Options) (*Result, error) {
+	main := prog.Main()
+	if main == nil {
+		return nil, errors.New("interp: program has no functions")
+	}
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = DefaultMaxSteps
+	}
+	if opt.MaxDepth == 0 {
+		opt.MaxDepth = DefaultMaxDepth
+	}
+	m := &machine{
+		prog: prog,
+		opt:  opt,
+		res:  &Result{BlockCount: map[string][]int64{}},
+	}
+	for name, f := range prog.Funcs {
+		m.res.BlockCount[name] = make([]int64, f.G.NumNodes())
+	}
+	ret, err := m.call(main, nil, 0)
+	if err != nil {
+		return m.res, err
+	}
+	m.res.Ret = ret
+	return m.res, nil
+}
+
+func (m *machine) input() ir.Value {
+	if m.opt.Input == nil {
+		return 0
+	}
+	return m.opt.Input.Next()
+}
+
+func (m *machine) arg(k ir.Value) ir.Value {
+	if k < 0 || k >= int64(len(m.opt.Args)) {
+		return 0
+	}
+	return m.opt.Args[k]
+}
+
+// call runs one activation of fn.
+func (m *machine) call(fn *cfg.Func, args []ir.Value, depth int) (ir.Value, error) {
+	if depth >= m.opt.MaxDepth {
+		return 0, fmt.Errorf("%w (%d frames) in %s", ErrDepthLimit, depth, fn.Name)
+	}
+	if m.opt.OnEnter != nil {
+		m.opt.OnEnter(fn)
+	}
+	m.res.Calls++
+	g := fn.G
+	regs := make([]ir.Value, fn.NumVars())
+	for i, p := range fn.Params {
+		if i < len(args) {
+			regs[p] = args[i]
+		}
+	}
+	counts := m.res.BlockCount[fn.Name]
+	cur := g.Entry
+	var retVal ir.Value
+	for {
+		m.res.Steps++
+		if m.res.Steps > m.opt.MaxSteps {
+			return 0, fmt.Errorf("%w (%d blocks) in %s", ErrStepLimit, m.opt.MaxSteps, fn.Name)
+		}
+		counts[cur]++
+		if m.opt.OnBlock != nil {
+			m.opt.OnBlock(fn, cur)
+		}
+		if m.opt.OnBlockEnv != nil {
+			m.opt.OnBlockEnv(fn, cur, regs)
+		}
+		nd := g.Node(cur)
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			m.res.DynInstrs++
+			switch {
+			case in.Op == ir.Nop:
+			case in.Op == ir.Const:
+				regs[in.Dst] = in.K
+			case in.Op == ir.Input:
+				regs[in.Dst] = m.input()
+			case in.Op == ir.Arg:
+				regs[in.Dst] = m.arg(in.K)
+			case in.Op == ir.Print:
+				if m.opt.CollectOutput {
+					m.res.Output = append(m.res.Output, regs[in.A])
+				}
+			case in.Op == ir.Call:
+				callee, ok := m.prog.Funcs[in.Callee]
+				if !ok {
+					return 0, fmt.Errorf("interp: %s calls undefined function %q", fn.Name, in.Callee)
+				}
+				vals := make([]ir.Value, len(in.Args))
+				for j, a := range in.Args {
+					vals[j] = regs[a]
+				}
+				v, err := m.call(callee, vals, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case in.Op.IsUnary():
+				regs[in.Dst] = ir.EvalUn(in.Op, regs[in.A])
+			case in.Op.IsBinary():
+				regs[in.Dst] = ir.EvalBin(in.Op, regs[in.A], regs[in.B])
+			default:
+				return 0, fmt.Errorf("interp: unknown opcode %v in %s", in.Op, fn.Name)
+			}
+		}
+		var next cfg.EdgeID
+		switch nd.Kind {
+		case cfg.TermJump:
+			next = nd.Out[0]
+		case cfg.TermBranch:
+			if regs[nd.Cond] != 0 {
+				next = nd.Out[0]
+			} else {
+				next = nd.Out[1]
+			}
+		case cfg.TermReturn:
+			if nd.Ret.Valid() {
+				retVal = regs[nd.Ret]
+			}
+			next = nd.Out[0]
+		case cfg.TermHalt:
+			if m.opt.OnExit != nil {
+				m.opt.OnExit(fn)
+			}
+			return retVal, nil
+		default:
+			return 0, fmt.Errorf("interp: node %d of %s has unknown terminator", cur, fn.Name)
+		}
+		if m.opt.OnEdge != nil {
+			m.opt.OnEdge(fn, next)
+		}
+		cur = g.Edge(next).To
+	}
+}

@@ -1,0 +1,235 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+)
+
+func run(t *testing.T, src string, opt Options) *Result {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	opt.CollectOutput = true
+	res, err := Run(p, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+func main() {
+	print(2 + 3 * 4);
+	print((2 + 3) * 4);
+	print(10 / 3);
+	print(10 % 3);
+	print(7 / 0);
+	print(7 % 0);
+	print(-5);
+	print(!0);
+	print(!7);
+	print(1 << 4);
+	print(256 >> 4);
+	print(6 & 3);
+	print(6 | 3);
+	print(6 ^ 3);
+}`, Options{})
+	want := []ir.Value{14, 20, 3, 1, 0, 0, -5, 1, 0, 16, 16, 2, 7, 5}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	res := run(t, `
+func main() {
+	print(1 < 2); print(2 < 1); print(2 <= 2);
+	print(3 > 2); print(2 >= 3); print(4 == 4); print(4 != 4);
+}`, Options{})
+	want := []ir.Value{1, 0, 1, 1, 0, 1, 0}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+func main() {
+	s = 0;
+	i = 0;
+	while (i < 5) {
+		if (i % 2 == 0) { s = s + i; }
+		i = i + 1;
+	}
+	print(s);
+}`, Options{})
+	if !reflect.DeepEqual(res.Output, []ir.Value{6}) {
+		t.Errorf("output = %v, want [6]", res.Output)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// The right side of && must not consume input when the left is false.
+	res := run(t, `
+func main() {
+	a = 0;
+	if (a != 0 && input() > 0) { print(1); } else { print(2); }
+	print(input());
+}`, Options{Input: &SliceInput{Values: []ir.Value{42, 43}}})
+	want := []ir.Value{2, 42}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	res := run(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(10)); }`, Options{})
+	if !reflect.DeepEqual(res.Output, []ir.Value{55}) {
+		t.Errorf("output = %v, want [55]", res.Output)
+	}
+	if res.Calls < 2 {
+		t.Errorf("Calls = %d, want many", res.Calls)
+	}
+}
+
+func TestArgsAndInput(t *testing.T) {
+	res := run(t, `
+func main() {
+	print(arg(0));
+	print(arg(1));
+	print(arg(9)); // out of range -> 0
+	print(input());
+	print(input());
+	print(input()); // wraps around
+}`, Options{
+		Args:  []ir.Value{7, 8},
+		Input: &SliceInput{Values: []ir.Value{1, 2}},
+	})
+	want := []ir.Value{7, 8, 0, 1, 2, 1}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := lang.Compile(`func main() { while (1) { } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	p, err := lang.Compile(`
+func f(n) { return f(n + 1); }
+func main() { print(f(0)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Options{MaxDepth: 50})
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("err = %v, want ErrDepthLimit", err)
+	}
+}
+
+func TestBlockCountsAndDynInstrs(t *testing.T) {
+	src := `
+func main() {
+	i = 0;
+	while (i < 10) { i = i + 1; }
+	print(i);
+}`
+	res := run(t, src, Options{})
+	if res.DynInstrs == 0 {
+		t.Fatal("DynInstrs = 0")
+	}
+	counts := res.BlockCount["main"]
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != res.Steps {
+		t.Errorf("sum(BlockCount) = %d, want Steps = %d", total, res.Steps)
+	}
+	p, _ := lang.Compile(src)
+	g := p.Main().G
+	if counts[g.Entry] != 1 || counts[g.Exit] != 1 {
+		t.Errorf("entry/exit counts = %d/%d, want 1/1", counts[g.Entry], counts[g.Exit])
+	}
+}
+
+func TestEdgeHookSeesCompletePath(t *testing.T) {
+	src := `
+func main() {
+	x = input();
+	if (x > 0) { y = 1; } else { y = 2; }
+	print(y);
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Main().G
+	var edges []cfg.EdgeID
+	_, err = Run(p, Options{
+		Input:  &SliceInput{Values: []ir.Value{5}},
+		OnEdge: func(fn *cfg.Func, e cfg.EdgeID) { edges = append(edges, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 {
+		t.Fatal("no edges observed")
+	}
+	// The observed edges must form a connected path from Entry to Exit.
+	cur := g.Entry
+	for _, e := range edges {
+		if g.Edge(e).From != cur {
+			t.Fatalf("edge %d starts at %d, expected %d", e, g.Edge(e).From, cur)
+		}
+		cur = g.Edge(e).To
+	}
+	if cur != g.Exit {
+		t.Errorf("path ends at %d, want exit %d", cur, g.Exit)
+	}
+}
+
+func TestSliceInputReset(t *testing.T) {
+	in := &SliceInput{Values: []ir.Value{1, 2, 3}}
+	in.Next()
+	in.Next()
+	in.Reset()
+	if got := in.Next(); got != 1 {
+		t.Errorf("after Reset, Next = %d, want 1", got)
+	}
+}
+
+func TestMainReturnValue(t *testing.T) {
+	p, err := lang.Compile(`func main() { return 41 + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Errorf("Ret = %d, want 42", res.Ret)
+	}
+}

@@ -1,0 +1,501 @@
+// Package intervals implements value-range analysis — a third data-flow
+// client, this one over a lattice of *unbounded height*, exercising the
+// framework's widening support. Facts map registers to integer intervals
+// with ±∞ bounds; loops converge via widening (dataflow.Widener).
+//
+// Like the other clients, the analysis runs unchanged on hot path graphs:
+// a range that merges to [-∞,+∞] on the original CFG can stay tight along
+// a duplicated hot path. The analysis is branch-aware and refines
+// comparison operands on both branch legs (`while (i < n)` teaches the
+// loop body that i < n), using the same block-local value numbering as
+// the sign analysis to see through the front end's lowering copies.
+package intervals
+
+import (
+	"fmt"
+	"math"
+
+	"pathflow/internal/ir"
+)
+
+// Bounds sentinels: the extreme int64 values act as -∞ / +∞.
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Interval is a closed integer interval [Lo, Hi], possibly unbounded.
+// The zero value is the empty interval (⊤: no values observed).
+type Interval struct {
+	Lo, Hi int64
+	// nonEmpty inverted so the zero value is empty.
+	present bool
+}
+
+// EmptyI returns ⊤.
+func EmptyI() Interval { return Interval{} }
+
+// Full returns ⊥ = [-∞, +∞].
+func Full() Interval { return Interval{Lo: NegInf, Hi: PosInf, present: true} }
+
+// ConstI returns the singleton [k, k].
+func ConstI(k int64) Interval { return Interval{Lo: k, Hi: k, present: true} }
+
+// Range returns [lo, hi]; lo must not exceed hi.
+func Range(lo, hi int64) Interval {
+	if lo > hi {
+		panic(fmt.Sprintf("intervals: bad range [%d,%d]", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// IsEmpty reports ⊤.
+func (a Interval) IsEmpty() bool { return !a.present }
+
+// IsConst reports a singleton interval and its value.
+func (a Interval) IsConst() (int64, bool) {
+	if a.present && a.Lo == a.Hi {
+		return a.Lo, true
+	}
+	return 0, false
+}
+
+// Bounded reports whether both ends are finite.
+func (a Interval) Bounded() bool {
+	return a.present && a.Lo != NegInf && a.Hi != PosInf
+}
+
+// Contains reports v ∈ a.
+func (a Interval) Contains(v int64) bool { return a.present && a.Lo <= v && v <= a.Hi }
+
+// Width returns Hi-Lo+1 for bounded intervals (used by metrics);
+// unbounded or empty intervals return PosInf / 0.
+func (a Interval) Width() int64 {
+	if !a.present {
+		return 0
+	}
+	if !a.Bounded() {
+		return PosInf
+	}
+	w := a.Hi - a.Lo
+	if w == PosInf { // overflow guard
+		return PosInf
+	}
+	return w + 1
+}
+
+// Meet is the interval hull (join in range order; the lattice descends
+// toward Full).
+func (a Interval) Meet(b Interval) Interval {
+	switch {
+	case !a.present:
+		return b
+	case !b.present:
+		return a
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// Widen extrapolates unstable bounds to infinity.
+func (a Interval) Widen(b Interval) Interval {
+	switch {
+	case !a.present:
+		return b
+	case !b.present:
+		return a
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = NegInf
+	}
+	if b.Hi > hi {
+		hi = PosInf
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// Intersect clips a to b; the result may be empty.
+func (a Interval) Intersect(b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if lo > hi {
+		return Interval{}
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+func (a Interval) String() string {
+	if !a.present {
+		return "⊤"
+	}
+	lo, hi := "-∞", "+∞"
+	if a.Lo != NegInf {
+		lo = fmt.Sprintf("%d", a.Lo)
+	}
+	if a.Hi != PosInf {
+		hi = fmt.Sprintf("%d", a.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// Saturating helpers treating the sentinels as infinities.
+
+func addSat(a, b int64) int64 {
+	switch {
+	case a == NegInf || b == NegInf:
+		return NegInf
+	case a == PosInf || b == PosInf:
+		return PosInf
+	}
+	s := a + b
+	// Overflow checks.
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		if b > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return s
+}
+
+func negSat(a int64) int64 {
+	switch a {
+	case NegInf:
+		return PosInf
+	case PosInf:
+		return NegInf
+	}
+	return -a
+}
+
+// mulSat with the interval-arithmetic convention 0 × ∞ = 0.
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == NegInf || a == PosInf || b == NegInf || b == PosInf {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	p := a * b
+	if p/b != a { // overflow
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	return p
+}
+
+func divSat(a, b int64) int64 {
+	// b is finite and non-zero here.
+	switch a {
+	case NegInf:
+		if b > 0 {
+			return NegInf
+		}
+		return PosInf
+	case PosInf:
+		if b > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return a / b
+}
+
+// Arithmetic on intervals.
+
+// Add returns a + b.
+func (a Interval) Add(b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	return Interval{Lo: addSat(a.Lo, b.Lo), Hi: addSat(a.Hi, b.Hi), present: true}
+}
+
+// Neg returns -a.
+func (a Interval) Neg() Interval {
+	if !a.present {
+		return a
+	}
+	return Interval{Lo: negSat(a.Hi), Hi: negSat(a.Lo), present: true}
+}
+
+// Sub returns a - b.
+func (a Interval) Sub(b Interval) Interval { return a.Add(b.Neg()) }
+
+// Mul returns a × b.
+func (a Interval) Mul(b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	c := [...]int64{
+		mulSat(a.Lo, b.Lo), mulSat(a.Lo, b.Hi),
+		mulSat(a.Hi, b.Lo), mulSat(a.Hi, b.Hi),
+	}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// Div returns a / b under the IR's total division (x/0 = 0, truncation
+// toward zero).
+func (a Interval) Div(b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	out := Interval{}
+	if b.Contains(0) {
+		out = out.Meet(ConstI(0)) // the defined x/0 = 0 case
+	}
+	if pos := b.Intersect(Range(1, PosInf)); !pos.IsEmpty() {
+		out = out.Meet(divByNonzero(a, pos))
+	}
+	if neg := b.Intersect(Range(NegInf, -1)); !neg.IsEmpty() {
+		out = out.Meet(divByNonzero(a, neg))
+	}
+	return out
+}
+
+// divByNonzero divides by an interval that does not contain zero.
+func divByNonzero(a, b Interval) Interval {
+	// Endpoint candidates suffice: for fixed divisor the quotient is
+	// monotone in the dividend, and for a fixed dividend it is
+	// piecewise monotone in the divisor with extremes at the endpoints.
+	// Infinite divisor endpoints drive the quotient toward 0.
+	cand := make([]int64, 0, 4)
+	for _, x := range [...]int64{a.Lo, a.Hi} {
+		for _, y := range [...]int64{b.Lo, b.Hi} {
+			if y == NegInf || y == PosInf {
+				cand = append(cand, 0)
+				continue
+			}
+			cand = append(cand, divSat(x, y))
+		}
+	}
+	lo, hi := cand[0], cand[0]
+	for _, v := range cand[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// Mod returns a % b under the IR semantics (x%0 = 0; the result takes the
+// dividend's sign and |result| < |b|).
+func (a Interval) Mod(b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	// Largest possible |b| - 1.
+	maxAbs := int64(PosInf)
+	if b.Lo != NegInf && b.Hi != PosInf {
+		la, lb := b.Lo, b.Hi
+		if la < 0 {
+			la = -la
+		}
+		if lb < 0 {
+			lb = -lb
+		}
+		if lb > la {
+			la = lb
+		}
+		if la > 0 {
+			maxAbs = la - 1
+		} else {
+			maxAbs = 0
+		}
+	}
+	lo, hi := int64(0), int64(0)
+	if a.Hi > 0 {
+		hi = maxAbs
+		if a.Hi != PosInf && a.Hi < hi {
+			hi = a.Hi
+		}
+	}
+	if a.Lo < 0 {
+		lo = negSat(maxAbs)
+		if a.Lo != NegInf && a.Lo > lo {
+			lo = a.Lo
+		}
+	}
+	return Interval{Lo: lo, Hi: hi, present: true}
+}
+
+// nextPow2Minus1 returns the smallest 2^k-1 ≥ v (for v ≥ 0).
+func nextPow2Minus1(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	m := int64(1)
+	for m-1 < v {
+		if m > (PosInf >> 1) {
+			return PosInf
+		}
+		m <<= 1
+	}
+	return m - 1
+}
+
+// EvalBin computes op over intervals.
+func EvalBin(op ir.Op, a, b Interval) Interval {
+	if !a.present || !b.present {
+		return Interval{}
+	}
+	switch op {
+	case ir.Add:
+		return a.Add(b)
+	case ir.Sub:
+		return a.Sub(b)
+	case ir.Mul:
+		return a.Mul(b)
+	case ir.Div:
+		return a.Div(b)
+	case ir.Mod:
+		return a.Mod(b)
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		return cmpIntervals(op, a, b)
+	case ir.And:
+		if a.Lo >= 0 && b.Lo >= 0 {
+			hi := a.Hi
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			return Interval{Lo: 0, Hi: hi, present: true}
+		}
+		return Full()
+	case ir.Or, ir.Xor:
+		if a.Lo >= 0 && b.Lo >= 0 {
+			if a.Hi == PosInf || b.Hi == PosInf {
+				return Range(0, PosInf)
+			}
+			m := nextPow2Minus1(a.Hi)
+			if n := nextPow2Minus1(b.Hi); n > m {
+				m = n
+			}
+			return Interval{Lo: 0, Hi: m, present: true}
+		}
+		return Full()
+	case ir.Shl:
+		if ka, ok := a.IsConst(); ok {
+			if kb, okb := b.IsConst(); okb {
+				return ConstI(ir.EvalBin(ir.Shl, ka, kb))
+			}
+		}
+		if a.Lo == 0 && a.Hi == 0 {
+			return ConstI(0)
+		}
+		return Full()
+	case ir.Shr:
+		if b.Lo >= 0 && b.Hi <= 63 {
+			if a.Lo >= 0 {
+				lo := a.Lo >> uint(b.Hi)
+				hi := a.Hi
+				if hi != PosInf {
+					hi = a.Hi >> uint(b.Lo)
+				}
+				return Interval{Lo: lo, Hi: hi, present: true}
+			}
+		}
+		if ka, ok := a.IsConst(); ok {
+			if kb, okb := b.IsConst(); okb {
+				return ConstI(ir.EvalBin(ir.Shr, ka, kb))
+			}
+		}
+		return Full()
+	}
+	return Full()
+}
+
+// cmpIntervals decides comparisons where the ranges are disjoint enough.
+func cmpIntervals(op ir.Op, a, b Interval) Interval {
+	var maybeTrue, maybeFalse bool
+	decide := func(alwaysTrue, alwaysFalse bool) {
+		switch {
+		case alwaysTrue:
+			maybeTrue = true
+		case alwaysFalse:
+			maybeFalse = true
+		default:
+			maybeTrue, maybeFalse = true, true
+		}
+	}
+	switch op {
+	case ir.Lt:
+		decide(a.Hi < b.Lo, a.Lo >= b.Hi)
+	case ir.Le:
+		decide(a.Hi <= b.Lo, a.Lo > b.Hi)
+	case ir.Gt:
+		decide(a.Lo > b.Hi, a.Hi <= b.Lo)
+	case ir.Ge:
+		decide(a.Lo >= b.Hi, a.Hi < b.Lo)
+	case ir.Eq:
+		ka, oka := a.IsConst()
+		kb, okb := b.IsConst()
+		decide(oka && okb && ka == kb, a.Intersect(b).IsEmpty())
+	case ir.Ne:
+		ka, oka := a.IsConst()
+		kb, okb := b.IsConst()
+		decide(a.Intersect(b).IsEmpty(), oka && okb && ka == kb)
+	}
+	switch {
+	case maybeTrue && maybeFalse:
+		return Range(0, 1)
+	case maybeTrue:
+		return ConstI(1)
+	default:
+		return ConstI(0)
+	}
+}
+
+// EvalUn computes unary ops over intervals.
+func EvalUn(op ir.Op, a Interval) Interval {
+	if !a.present {
+		return a
+	}
+	switch op {
+	case ir.Copy:
+		return a
+	case ir.Neg:
+		return a.Neg()
+	case ir.Not:
+		if !a.Contains(0) {
+			return ConstI(0)
+		}
+		if k, ok := a.IsConst(); ok && k == 0 {
+			return ConstI(1)
+		}
+		return Range(0, 1)
+	}
+	return Full()
+}

@@ -1,0 +1,290 @@
+// Package ir defines the register-based intermediate representation that
+// the rest of pathflow analyzes and executes.
+//
+// The IR deliberately matches the granularity of the "SUIF instructions"
+// that Ammons & Larus (PLDI 1998) measure: every instruction produces at
+// most one value into a virtual register (a Var), reads at most two
+// registers, and has no hidden state. Constants enter a function only
+// through Const instructions, so "assignments of constants" are exactly
+// the locally-constant instructions of the paper's Figure 13 taxonomy.
+//
+// Sources of values the analyses cannot see are explicit: Input reads the
+// next value from the run's input stream, Arg reads a fixed run parameter,
+// and Call invokes another function (executed by the interpreter but
+// treated as bottom by constant propagation, mirroring the paper's
+// conservative handling of calls).
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is the runtime value type of the IR: a 64-bit signed integer.
+// Comparisons produce 1 (true) or 0 (false).
+type Value = int64
+
+// Var names a virtual register inside one function. NoVar marks an unused
+// operand slot.
+type Var int32
+
+// NoVar is the sentinel for "no register" (e.g. the Dst of a Print).
+const NoVar Var = -1
+
+// Valid reports whether v names a real register.
+func (v Var) Valid() bool { return v >= 0 }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// The opcode set. Arithmetic and comparison opcodes read registers A and B;
+// unary opcodes read A only.
+const (
+	Nop   Op = iota // no operation
+	Const           // Dst = K
+	Copy            // Dst = A
+	Neg             // Dst = -A
+	Not             // Dst = (A == 0)
+	Add             // Dst = A + B
+	Sub             // Dst = A - B
+	Mul             // Dst = A * B
+	Div             // Dst = A / B (0 when B == 0; see EvalBin)
+	Mod             // Dst = A % B (0 when B == 0)
+	Eq              // Dst = (A == B)
+	Ne              // Dst = (A != B)
+	Lt              // Dst = (A < B)
+	Le              // Dst = (A <= B)
+	Gt              // Dst = (A > B)
+	Ge              // Dst = (A >= B)
+	And             // Dst = A & B
+	Or              // Dst = A | B
+	Xor             // Dst = A ^ B
+	Shl             // Dst = A << (B & 63)
+	Shr             // Dst = A >> (B & 63)
+	Input           // Dst = next value of the input stream (opaque)
+	Arg             // Dst = run argument number K (opaque)
+	Call            // Dst = Callee(Args...) (opaque to analysis)
+	Print           // emit A to the run's output (no Dst)
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", Const: "const", Copy: "copy", Neg: "neg", Not: "not",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	Input: "input", Arg: "arg", Call: "call", Print: "print",
+}
+
+// String returns the assembler-style mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBinary reports whether op reads both A and B.
+func (op Op) IsBinary() bool { return op >= Add && op <= Shr }
+
+// IsUnary reports whether op reads only A.
+func (op Op) IsUnary() bool { return op == Copy || op == Neg || op == Not }
+
+// IsPure reports whether the instruction's result depends only on its
+// register operands (and constant K), so that a constant result may be
+// folded. Input, Arg, Call and Print are impure.
+func (op Op) IsPure() bool {
+	switch op {
+	case Input, Arg, Call, Print, Nop:
+		return false
+	}
+	return true
+}
+
+// Opaque reports whether op produces a value the data-flow analyses must
+// treat as unknowable (paper Figure 13: "our analyses do not track ...
+// the results of calls").
+func (op Op) Opaque() bool { return op == Input || op == Arg || op == Call }
+
+// Instr is a single IR instruction. The zero value is a Nop.
+type Instr struct {
+	Op     Op
+	Dst    Var    // result register, NoVar if the op produces none
+	A, B   Var    // operand registers, NoVar if unused
+	K      Value  // Const: the literal; Arg: the argument index
+	Callee string // Call: target function name
+	Args   []Var  // Call: argument registers
+}
+
+// HasDst reports whether the instruction writes a register.
+func (in *Instr) HasDst() bool { return in.Dst.Valid() }
+
+// Uses appends the registers read by the instruction to dst and returns it.
+func (in *Instr) Uses(dst []Var) []Var {
+	switch {
+	case in.Op == Call:
+		dst = append(dst, in.Args...)
+	case in.Op == Print:
+		dst = append(dst, in.A)
+	case in.Op.IsBinary():
+		dst = append(dst, in.A, in.B)
+	case in.Op.IsUnary():
+		dst = append(dst, in.A)
+	}
+	return dst
+}
+
+// EvalBin computes a binary operation on concrete values. Division and
+// modulus by zero are defined to produce 0, so that execution, analysis
+// and folding agree on every input.
+func EvalBin(op Op, a, b Value) Value {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case Mod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case Eq:
+		return b2v(a == b)
+	case Ne:
+		return b2v(a != b)
+	case Lt:
+		return b2v(a < b)
+	case Le:
+		return b2v(a <= b)
+	case Gt:
+		return b2v(a > b)
+	case Ge:
+		return b2v(a >= b)
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return a >> (uint64(b) & 63)
+	}
+	panic(fmt.Sprintf("ir: EvalBin called with non-binary op %v", op))
+}
+
+// EvalUn computes a unary operation on a concrete value.
+func EvalUn(op Op, a Value) Value {
+	switch op {
+	case Copy:
+		return a
+	case Neg:
+		return -a
+	case Not:
+		return b2v(a == 0)
+	}
+	panic(fmt.Sprintf("ir: EvalUn called with non-unary op %v", op))
+}
+
+func b2v(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders the instruction in a readable assembler-like syntax using
+// vN register names. Use Func.InstrString for named registers.
+func (in *Instr) String() string { return in.string(nil) }
+
+func (in *Instr) string(names []string) string {
+	v := func(x Var) string {
+		if !x.Valid() {
+			return "_"
+		}
+		if names != nil && int(x) < len(names) && names[x] != "" {
+			return names[x]
+		}
+		return fmt.Sprintf("v%d", x)
+	}
+	switch {
+	case in.Op == Nop:
+		return "nop"
+	case in.Op == Const:
+		return fmt.Sprintf("%s = const %d", v(in.Dst), in.K)
+	case in.Op == Arg:
+		return fmt.Sprintf("%s = arg %d", v(in.Dst), in.K)
+	case in.Op == Input:
+		return fmt.Sprintf("%s = input", v(in.Dst))
+	case in.Op == Call:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = v(a)
+		}
+		return fmt.Sprintf("%s = call %s(%s)", v(in.Dst), in.Callee, strings.Join(args, ", "))
+	case in.Op == Print:
+		return fmt.Sprintf("print %s", v(in.A))
+	case in.Op.IsUnary():
+		return fmt.Sprintf("%s = %s %s", v(in.Dst), in.Op, v(in.A))
+	case in.Op.IsBinary():
+		return fmt.Sprintf("%s = %s %s, %s", v(in.Dst), in.Op, v(in.A), v(in.B))
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// Validate checks structural invariants of a single instruction given the
+// number of registers in the enclosing function.
+func (in *Instr) Validate(numVars int) error {
+	ck := func(x Var, need bool, what string) error {
+		if need && !x.Valid() {
+			return fmt.Errorf("ir: %v: missing %s register", in.Op, what)
+		}
+		if x.Valid() && int(x) >= numVars {
+			return fmt.Errorf("ir: %v: %s register v%d out of range (%d vars)", in.Op, what, x, numVars)
+		}
+		return nil
+	}
+	switch {
+	case in.Op == Nop:
+		return nil
+	case in.Op == Const, in.Op == Arg, in.Op == Input:
+		return ck(in.Dst, true, "dst")
+	case in.Op == Call:
+		if err := ck(in.Dst, true, "dst"); err != nil {
+			return err
+		}
+		if in.Callee == "" {
+			return fmt.Errorf("ir: call with empty callee")
+		}
+		for _, a := range in.Args {
+			if err := ck(a, true, "arg"); err != nil {
+				return err
+			}
+		}
+		return nil
+	case in.Op == Print:
+		return ck(in.A, true, "src")
+	case in.Op.IsUnary():
+		if err := ck(in.Dst, true, "dst"); err != nil {
+			return err
+		}
+		return ck(in.A, true, "src")
+	case in.Op.IsBinary():
+		if err := ck(in.Dst, true, "dst"); err != nil {
+			return err
+		}
+		if err := ck(in.A, true, "lhs"); err != nil {
+			return err
+		}
+		return ck(in.B, true, "rhs")
+	}
+	return fmt.Errorf("ir: unknown opcode %d", uint8(in.Op))
+}

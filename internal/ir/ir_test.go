@@ -1,0 +1,216 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	// Every opcode is exactly one of: nullary producer, unary, binary,
+	// or effect-only.
+	for op := Op(0); op < 32; op++ {
+		if op.String() == "" {
+			continue
+		}
+		classes := 0
+		if op.IsUnary() {
+			classes++
+		}
+		if op.IsBinary() {
+			classes++
+		}
+		if classes > 1 {
+			t.Errorf("%v is both unary and binary", op)
+		}
+	}
+	if !Add.IsBinary() || !Shr.IsBinary() || Add.IsUnary() {
+		t.Error("binary classification broken")
+	}
+	if !Copy.IsUnary() || !Not.IsUnary() || Copy.IsBinary() {
+		t.Error("unary classification broken")
+	}
+	for _, op := range []Op{Input, Arg, Call} {
+		if !op.Opaque() || op.IsPure() {
+			t.Errorf("%v must be opaque and impure", op)
+		}
+	}
+	for _, op := range []Op{Const, Copy, Add, Div, Eq, Shl} {
+		if !op.IsPure() || op.Opaque() {
+			t.Errorf("%v must be pure and not opaque", op)
+		}
+	}
+	if Print.IsPure() || Nop.IsPure() {
+		t.Error("print/nop must be impure")
+	}
+}
+
+func TestEvalBin(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w Value
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, -4, 3, -12},
+		{Div, 7, 2, 3},
+		{Div, 7, 0, 0}, // division by zero is defined as 0
+		{Div, -7, 2, -3},
+		{Mod, 7, 3, 1},
+		{Mod, 7, 0, 0},
+		{Mod, -7, 3, -1},
+		{Eq, 3, 3, 1},
+		{Eq, 3, 4, 0},
+		{Ne, 3, 4, 1},
+		{Lt, -1, 0, 1},
+		{Le, 0, 0, 1},
+		{Gt, 1, 0, 1},
+		{Ge, -1, 0, 0},
+		{And, 6, 3, 2},
+		{Or, 6, 3, 7},
+		{Xor, 6, 3, 5},
+		{Shl, 1, 4, 16},
+		{Shl, 1, 64, 1}, // shift counts are masked mod 64
+		{Shl, 1, 65, 2}, // 65 & 63 == 1
+		{Shr, 16, 4, 1},
+		{Shr, -16, 1, -8}, // arithmetic shift
+	}
+	for _, tc := range cases {
+		if got := EvalBin(tc.op, tc.a, tc.b); got != tc.w {
+			t.Errorf("EvalBin(%v, %d, %d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.w)
+		}
+	}
+}
+
+func TestEvalUn(t *testing.T) {
+	if EvalUn(Copy, 42) != 42 || EvalUn(Neg, 42) != -42 {
+		t.Error("copy/neg broken")
+	}
+	if EvalUn(Not, 0) != 1 || EvalUn(Not, 7) != 0 {
+		t.Error("not broken")
+	}
+}
+
+func TestEvalPanicsOnWrongArity(t *testing.T) {
+	assertPanics(t, func() { EvalBin(Copy, 1, 2) })
+	assertPanics(t, func() { EvalUn(Add, 1) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// Comparisons always yield 0 or 1 — checked with testing/quick.
+func TestComparisonsAreBoolean(t *testing.T) {
+	f := func(a, b int64) bool {
+		for _, op := range []Op{Eq, Ne, Lt, Le, Gt, Ge} {
+			v := EvalBin(op, a, b)
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		// Trichotomy: exactly one of <, ==, > holds.
+		n := EvalBin(Lt, a, b) + EvalBin(Eq, a, b) + EvalBin(Gt, a, b)
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Division identity: (a/b)*b + a%b == a for b != 0 — checked with
+// testing/quick.
+func TestDivModIdentity(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 {
+			return EvalBin(Div, a, b) == 0 && EvalBin(Mod, a, b) == 0
+		}
+		if a == -1<<63 && b == -1 {
+			return true // Go's division overflow case; unused by the IR's clients
+		}
+		return EvalBin(Div, a, b)*b+EvalBin(Mod, a, b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Const, Dst: 0, A: NoVar, B: NoVar, K: 7}, "v0 = const 7"},
+		{Instr{Op: Copy, Dst: 1, A: 0, B: NoVar}, "v1 = copy v0"},
+		{Instr{Op: Add, Dst: 2, A: 0, B: 1}, "v2 = add v0, v1"},
+		{Instr{Op: Input, Dst: 3, A: NoVar, B: NoVar}, "v3 = input"},
+		{Instr{Op: Arg, Dst: 3, A: NoVar, B: NoVar, K: 2}, "v3 = arg 2"},
+		{Instr{Op: Print, Dst: NoVar, A: 1, B: NoVar}, "print v1"},
+		{Instr{Op: Call, Dst: 4, A: NoVar, B: NoVar, Callee: "f", Args: []Var{0, 1}}, "v4 = call f(v0, v1)"},
+		{Instr{Op: Nop}, "nop"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestInstrUses(t *testing.T) {
+	add := Instr{Op: Add, Dst: 2, A: 0, B: 1}
+	if got := add.Uses(nil); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Uses(add) = %v", got)
+	}
+	call := Instr{Op: Call, Dst: 4, Callee: "f", Args: []Var{3, 2}}
+	if got := call.Uses(nil); len(got) != 2 || got[0] != 3 {
+		t.Errorf("Uses(call) = %v", got)
+	}
+	k := Instr{Op: Const, Dst: 0, A: NoVar, B: NoVar}
+	if got := k.Uses(nil); len(got) != 0 {
+		t.Errorf("Uses(const) = %v", got)
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	ok := []Instr{
+		{Op: Const, Dst: 0, A: NoVar, B: NoVar},
+		{Op: Add, Dst: 0, A: 1, B: 2},
+		{Op: Print, Dst: NoVar, A: 0, B: NoVar},
+		{Op: Call, Dst: 0, A: NoVar, B: NoVar, Callee: "f", Args: []Var{1}},
+		{Op: Nop},
+	}
+	for _, in := range ok {
+		if err := in.Validate(3); err != nil {
+			t.Errorf("Validate(%s) = %v", in.String(), err)
+		}
+	}
+	bad := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Const, Dst: NoVar, A: NoVar, B: NoVar}, "missing dst"},
+		{Instr{Op: Add, Dst: 0, A: NoVar, B: 1}, "missing lhs"},
+		{Instr{Op: Add, Dst: 0, A: 1, B: 9}, "out of range"},
+		{Instr{Op: Call, Dst: 0, A: NoVar, B: NoVar, Callee: ""}, "empty callee"},
+		{Instr{Op: Print, Dst: NoVar, A: NoVar, B: NoVar}, "missing src"},
+		{Instr{Op: Op(200), Dst: 0}, "unknown opcode"},
+	}
+	for _, tc := range bad {
+		err := tc.in.Validate(3)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%v) = %v, want containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestVarValid(t *testing.T) {
+	if NoVar.Valid() || !Var(0).Valid() {
+		t.Error("Var.Valid broken")
+	}
+}

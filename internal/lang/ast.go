@@ -1,0 +1,137 @@
+package lang
+
+// The AST mirrors the concrete syntax closely; lowering (see lower.go)
+// flattens it into IR.
+
+// File is a parsed source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function declaration.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+// Stmt is implemented by every statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// AssignStmt is `name = expr;` (also used for `var name = expr;`).
+type AssignStmt struct {
+	Name string
+	X    Expr
+	Pos  Pos
+}
+
+// IfStmt is `if (cond) { ... } else ...`; Else may be nil, a *Block, or
+// another *IfStmt (for else-if chains).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Pos  Pos
+}
+
+// WhileStmt is `while (cond) { ... }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// PrintStmt is `print(expr);`.
+type PrintStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// ReturnStmt is `return;` or `return expr;`.
+type ReturnStmt struct {
+	X   Expr // nil for void return
+	Pos Pos
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt is a bare call expression used for effect, `f(x);`.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmt()        {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*PrintStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is implemented by every expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// VarRef reads a variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// UnaryExpr applies "-" or "!".
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies an arithmetic, comparison, bitwise, or short-circuit
+// operator ("&&"/"||" lower to control flow).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// CallExpr invokes a declared function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// InputExpr is `input()`: the next value of the run's input stream.
+type InputExpr struct{ Pos Pos }
+
+// ArgExpr is `arg(k)`: fixed run parameter k.
+type ArgExpr struct {
+	Index int64
+	Pos   Pos
+}
+
+func (*IntLit) expr()     {}
+func (*VarRef) expr()     {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CallExpr) expr()   {}
+func (*InputExpr) expr()  {}
+func (*ArgExpr) expr()    {}

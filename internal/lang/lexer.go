@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer turns source text into tokens. It supports // line comments and
+// /* block */ comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if lx.peekByte() == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts are matched before single characters.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case c >= '0' && c <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errf(line, col, "integer literal %s out of range", text)
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Line: line, Col: col}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+	for _, p := range twoCharPuncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.advance()
+			lx.advance()
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '(', ')', '{', '}', ',', ';':
+		lx.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole source, appending a final EOF token.
+func lexAll(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

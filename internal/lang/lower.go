@@ -1,0 +1,406 @@
+package lang
+
+import (
+	"fmt"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/ir"
+)
+
+// Compile parses and lowers a source file into a CFG program. Every
+// function is validated structurally before being returned.
+func Compile(src string) (*cfg.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// MustCompile is Compile that panics on error; intended for the built-in
+// benchmark programs, whose sources are compile-time constants.
+func MustCompile(src string) *cfg.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang: MustCompile: %v", err))
+	}
+	return p
+}
+
+// Lower converts a parsed file into a CFG program.
+func Lower(file *File) (*cfg.Program, error) {
+	// Collect signatures first so calls can be checked during lowering.
+	arity := map[string]int{}
+	for _, fn := range file.Funcs {
+		if _, dup := arity[fn.Name]; dup {
+			return nil, errf(fn.Pos.Line, fn.Pos.Col, "duplicate function %q", fn.Name)
+		}
+		arity[fn.Name] = len(fn.Params)
+	}
+	prog := cfg.NewProgram()
+	for _, fn := range file.Funcs {
+		lw := &lowerer{arity: arity, vars: map[string]ir.Var{}}
+		f, err := lw.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.G.Validate(f.NumVars()); err != nil {
+			return nil, fmt.Errorf("lang: internal error lowering %s: %w", fn.Name, err)
+		}
+		prog.Add(f)
+	}
+	return prog, nil
+}
+
+type loopCtx struct {
+	head  cfg.NodeID // continue target
+	after cfg.NodeID // break target
+}
+
+type lowerer struct {
+	arity map[string]int
+	f     *cfg.Func
+	g     *cfg.Graph
+	cur   cfg.NodeID
+	vars  map[string]ir.Var
+	loops []loopCtx
+	nNode int
+}
+
+func (lw *lowerer) lowerFunc(fn *FuncDecl) (*cfg.Func, error) {
+	lw.g = cfg.New(fn.Name)
+	lw.f = &cfg.Func{Name: fn.Name, G: lw.g}
+	for _, p := range fn.Params {
+		if _, dup := lw.vars[p]; dup {
+			return nil, errf(fn.Pos.Line, fn.Pos.Col, "duplicate parameter %q in %s", p, fn.Name)
+		}
+		v := lw.newVar(p)
+		lw.vars[p] = v
+		lw.f.Params = append(lw.f.Params, v)
+	}
+	first := lw.newBlock()
+	lw.g.AddEdge(lw.g.Entry, first)
+	lw.cur = first
+	if err := lw.block(fn.Body); err != nil {
+		return nil, err
+	}
+	// Implicit void return at the end of the body, if it is reachable.
+	if lw.cur != cfg.NoNode {
+		lw.terminateReturn(ir.NoVar)
+	}
+	// Any block left dangling (dead code after return/break, or a join no
+	// arm reaches) becomes an unreachable void return so the graph
+	// validates.
+	for _, n := range lw.g.Nodes {
+		if n.ID != lw.g.Exit && n.Kind == cfg.TermJump && len(n.Out) == 0 {
+			n.Kind = cfg.TermReturn
+			n.Ret = ir.NoVar
+			lw.g.AddEdge(n.ID, lw.g.Exit)
+		}
+	}
+	return lw.f, nil
+}
+
+func (lw *lowerer) newVar(name string) ir.Var {
+	v := ir.Var(len(lw.f.VarNames))
+	lw.f.VarNames = append(lw.f.VarNames, name)
+	return v
+}
+
+func (lw *lowerer) newTemp() ir.Var { return lw.newVar("") }
+
+func (lw *lowerer) newBlock() cfg.NodeID {
+	lw.nNode++
+	return lw.g.AddNode(fmt.Sprintf("b%d", lw.nNode))
+}
+
+// ensureBlock makes sure there is a current block to emit into: code after
+// a return/break/continue lands in a fresh block that will be unreachable.
+func (lw *lowerer) ensureBlock() {
+	if lw.cur == cfg.NoNode {
+		lw.cur = lw.newBlock()
+	}
+}
+
+func (lw *lowerer) emit(in ir.Instr) {
+	lw.ensureBlock()
+	nd := lw.g.Node(lw.cur)
+	nd.Instrs = append(nd.Instrs, in)
+}
+
+// terminateJump ends the current block with a jump to target; the lowerer
+// has no current block afterwards.
+func (lw *lowerer) terminateJump(target cfg.NodeID) {
+	lw.ensureBlock()
+	nd := lw.g.Node(lw.cur)
+	nd.Kind = cfg.TermJump
+	lw.g.AddEdge(lw.cur, target)
+	lw.cur = cfg.NoNode
+}
+
+func (lw *lowerer) terminateReturn(ret ir.Var) {
+	lw.ensureBlock()
+	nd := lw.g.Node(lw.cur)
+	nd.Kind = cfg.TermReturn
+	nd.Ret = ret
+	lw.g.AddEdge(lw.cur, lw.g.Exit)
+	lw.cur = cfg.NoNode
+}
+
+// terminateBranch ends the current block with a two-way branch; the
+// lowerer has no current block afterwards (callers position lw.cur).
+func (lw *lowerer) terminateBranch(cond ir.Var, trueTarget, falseTarget cfg.NodeID) {
+	lw.ensureBlock()
+	nd := lw.g.Node(lw.cur)
+	nd.Kind = cfg.TermBranch
+	nd.Cond = cond
+	lw.g.AddEdge(lw.cur, trueTarget)  // slot 0: taken
+	lw.g.AddEdge(lw.cur, falseTarget) // slot 1: fallthrough
+	lw.cur = cfg.NoNode
+}
+
+func (lw *lowerer) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return lw.block(st)
+	case *AssignStmt:
+		dst, ok := lw.vars[st.Name]
+		if !ok {
+			dst = lw.newVar(st.Name)
+			lw.vars[st.Name] = dst
+		}
+		return lw.exprInto(st.X, dst)
+	case *PrintStmt:
+		v, err := lw.expr(st.X)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.Instr{Op: ir.Print, Dst: ir.NoVar, A: v, B: ir.NoVar})
+		return nil
+	case *ExprStmt:
+		_, err := lw.expr(st.X)
+		return err
+	case *ReturnStmt:
+		ret := ir.NoVar
+		if st.X != nil {
+			v, err := lw.expr(st.X)
+			if err != nil {
+				return err
+			}
+			ret = v
+		}
+		lw.terminateReturn(ret)
+		return nil
+	case *BreakStmt:
+		if len(lw.loops) == 0 {
+			return errf(st.Pos.Line, st.Pos.Col, "break outside loop")
+		}
+		lw.terminateJump(lw.loops[len(lw.loops)-1].after)
+		return nil
+	case *ContinueStmt:
+		if len(lw.loops) == 0 {
+			return errf(st.Pos.Line, st.Pos.Col, "continue outside loop")
+		}
+		lw.terminateJump(lw.loops[len(lw.loops)-1].head)
+		return nil
+	case *IfStmt:
+		return lw.ifStmt(st)
+	case *WhileStmt:
+		return lw.whileStmt(st)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (lw *lowerer) ifStmt(st *IfStmt) error {
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.newBlock()
+	join := lw.newBlock()
+	elseB := join
+	if st.Else != nil {
+		elseB = lw.newBlock()
+	}
+	lw.terminateBranch(cond, thenB, elseB)
+
+	lw.cur = thenB
+	if err := lw.block(st.Then); err != nil {
+		return err
+	}
+	if lw.cur != cfg.NoNode {
+		lw.terminateJump(join)
+	}
+
+	if st.Else != nil {
+		lw.cur = elseB
+		if err := lw.stmt(st.Else); err != nil {
+			return err
+		}
+		if lw.cur != cfg.NoNode {
+			lw.terminateJump(join)
+		}
+	}
+	lw.cur = join
+	return nil
+}
+
+func (lw *lowerer) whileStmt(st *WhileStmt) error {
+	head := lw.newBlock()
+	lw.terminateJump(head)
+	lw.cur = head
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	// The condition may itself branch (short-circuit operators), so the
+	// block holding the final branch may differ from head; continue must
+	// target head, where condition evaluation restarts.
+	body := lw.newBlock()
+	after := lw.newBlock()
+	lw.terminateBranch(cond, body, after)
+	lw.loops = append(lw.loops, loopCtx{head: head, after: after})
+	lw.cur = body
+	if err := lw.block(st.Body); err != nil {
+		return err
+	}
+	if lw.cur != cfg.NoNode {
+		lw.terminateJump(head) // the loop's retreating edge
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = after
+	return nil
+}
+
+// expr lowers an expression and returns the register holding its value.
+func (lw *lowerer) expr(e Expr) (ir.Var, error) {
+	dst := lw.newTemp()
+	if err := lw.exprInto(e, dst); err != nil {
+		return ir.NoVar, err
+	}
+	return dst, nil
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+	"==": ir.Eq, "!=": ir.Ne, "<": ir.Lt, "<=": ir.Le, ">": ir.Gt, ">=": ir.Ge,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+}
+
+// exprInto lowers an expression so its value lands in dst.
+func (lw *lowerer) exprInto(e Expr, dst ir.Var) error {
+	switch x := e.(type) {
+	case *IntLit:
+		lw.emit(ir.Instr{Op: ir.Const, Dst: dst, A: ir.NoVar, B: ir.NoVar, K: x.Val})
+		return nil
+	case *VarRef:
+		src, ok := lw.vars[x.Name]
+		if !ok {
+			return errf(x.Pos.Line, x.Pos.Col, "undefined variable %q", x.Name)
+		}
+		lw.emit(ir.Instr{Op: ir.Copy, Dst: dst, A: src, B: ir.NoVar})
+		return nil
+	case *InputExpr:
+		lw.emit(ir.Instr{Op: ir.Input, Dst: dst, A: ir.NoVar, B: ir.NoVar})
+		return nil
+	case *ArgExpr:
+		lw.emit(ir.Instr{Op: ir.Arg, Dst: dst, A: ir.NoVar, B: ir.NoVar, K: x.Index})
+		return nil
+	case *UnaryExpr:
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return err
+		}
+		op := ir.Neg
+		if x.Op == "!" {
+			op = ir.Not
+		}
+		lw.emit(ir.Instr{Op: op, Dst: dst, A: v, B: ir.NoVar})
+		return nil
+	case *CallExpr:
+		want, ok := lw.arity[x.Name]
+		if !ok {
+			return errf(x.Pos.Line, x.Pos.Col, "call to undefined function %q", x.Name)
+		}
+		if want != len(x.Args) {
+			return errf(x.Pos.Line, x.Pos.Col, "%s takes %d arguments, got %d", x.Name, want, len(x.Args))
+		}
+		args := make([]ir.Var, len(x.Args))
+		for i, a := range x.Args {
+			v, err := lw.expr(a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		lw.emit(ir.Instr{Op: ir.Call, Dst: dst, A: ir.NoVar, B: ir.NoVar, Callee: x.Name, Args: args})
+		return nil
+	case *BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return lw.shortCircuit(x, dst)
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return errf(x.Pos.Line, x.Pos.Col, "unknown operator %q", x.Op)
+		}
+		l, err := lw.expr(x.L)
+		if err != nil {
+			return err
+		}
+		r, err := lw.expr(x.R)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.Instr{Op: op, Dst: dst, A: l, B: r})
+		return nil
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// shortCircuit lowers && and || to control flow, producing 0 or 1 in dst.
+func (lw *lowerer) shortCircuit(x *BinaryExpr, dst ir.Var) error {
+	l, err := lw.expr(x.L)
+	if err != nil {
+		return err
+	}
+	rhsB := lw.newBlock()
+	shortB := lw.newBlock()
+	join := lw.newBlock()
+	if x.Op == "&&" {
+		// l true -> evaluate rhs; l false -> dst = 0
+		lw.terminateBranch(l, rhsB, shortB)
+	} else {
+		// l true -> dst = 1; l false -> evaluate rhs
+		lw.terminateBranch(l, shortB, rhsB)
+	}
+
+	lw.cur = shortB
+	k := int64(0)
+	if x.Op == "||" {
+		k = 1
+	}
+	lw.emit(ir.Instr{Op: ir.Const, Dst: dst, A: ir.NoVar, B: ir.NoVar, K: k})
+	lw.terminateJump(join)
+
+	lw.cur = rhsB
+	r, err := lw.expr(x.R)
+	if err != nil {
+		return err
+	}
+	zero := lw.newTemp()
+	lw.emit(ir.Instr{Op: ir.Const, Dst: zero, A: ir.NoVar, B: ir.NoVar, K: 0})
+	lw.emit(ir.Instr{Op: ir.Ne, Dst: dst, A: r, B: zero})
+	lw.terminateJump(join)
+
+	lw.cur = join
+	return nil
+}

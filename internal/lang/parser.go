@@ -1,0 +1,390 @@
+package lang
+
+// parser is a recursive-descent parser over the token slice.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(TokEOF, "") {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errf(1, 1, "empty program: expected at least one func")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) curPos() Pos { t := p.cur(); return Pos{t.Line, t.Col} }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			switch kind {
+			case TokIdent:
+				want = "identifier"
+			case TokInt:
+				want = "integer"
+			default:
+				want = "token"
+			}
+			return t, errf(t.Line, t.Col, "expected %s, found %s", want, t)
+		}
+		return t, errf(t.Line, t.Col, "expected %q, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start := p.curPos()
+	if _, err := p.expect(TokKeyword, "func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(TokPunct, ")") {
+		for {
+			id, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, Params: params, Body: body, Pos: start}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	start := p.curPos()
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start}
+	for !p.at(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errf(start.Line, start.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // consume "}"
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	pos := Pos{t.Line, t.Col}
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.block()
+	case p.accept(TokKeyword, "var"):
+		// `var x = e;` is sugar for an assignment; all variables are
+		// function-scoped, declared on first write.
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, X: x, Pos: pos}, nil
+	case p.accept(TokKeyword, "if"):
+		return p.ifStmt(pos)
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case p.accept(TokKeyword, "print"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{X: x, Pos: pos}, nil
+	case p.accept(TokKeyword, "return"):
+		var x Expr
+		if !p.at(TokPunct, ";") {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Pos: pos}, nil
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case t.Kind == TokIdent:
+		// Either an assignment or a bare call statement.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == "(" {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			if _, ok := x.(*CallExpr); !ok {
+				return nil, errf(pos.Line, pos.Col, "expression statement must be a call")
+			}
+			return &ExprStmt{X: x, Pos: pos}, nil
+		}
+		name, _ := p.expect(TokIdent, "")
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, X: x, Pos: pos}, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s at start of statement", t)
+}
+
+func (p *parser) ifStmt(pos Pos) (Stmt, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.accept(TokKeyword, "else") {
+		if p.accept(TokKeyword, "if") {
+			elsePos := p.curPos()
+			st.Else, err = p.ifStmt(elsePos)
+		} else {
+			st.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Expression parsing with precedence climbing.
+
+type precLevel struct {
+	ops []string
+}
+
+// levels from loosest to tightest; && and || get their own levels so they
+// short-circuit correctly during lowering.
+var levels = []precLevel{
+	{[]string{"||"}},
+	{[]string{"&&"}},
+	{[]string{"==", "!=", "<", "<=", ">", ">="}},
+	{[]string{"+", "-", "|", "^"}},
+	{[]string{"*", "/", "%", "&", "<<", ">>"}},
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(levels) {
+		return p.unary()
+	}
+	l, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range levels[level].ops {
+			if p.at(TokPunct, op) {
+				pos := p.curPos()
+				p.pos++
+				r, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &BinaryExpr{Op: op, L: l, R: r, Pos: pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	pos := Pos{t.Line, t.Col}
+	if p.accept(TokPunct, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Pos: pos}, nil
+	}
+	if p.accept(TokPunct, "!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x, Pos: pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	pos := Pos{t.Line, t.Col}
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		return &IntLit{Val: t.Val, Pos: pos}, nil
+	case p.accept(TokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case p.accept(TokKeyword, "input"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &InputExpr{Pos: pos}, nil
+	case p.accept(TokKeyword, "arg"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		idx, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &ArgExpr{Index: idx.Val, Pos: pos}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.accept(TokPunct, "(") {
+			var args []Expr
+			if !p.at(TokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args, Pos: pos}, nil
+		}
+		return &VarRef{Name: t.Text, Pos: pos}, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %s in expression", t)
+}

@@ -1,0 +1,70 @@
+// Package lang implements the small C-like language that pathflow's
+// benchmark programs and examples are written in. It stands in for the
+// paper's SUIF C front end: a lexer, a recursive-descent parser, and a
+// lowering pass from the AST to the register IR and CFG of
+// internal/ir and internal/cfg.
+//
+// The language is expression-oriented over 64-bit integers. Opaque value
+// sources are explicit: input() reads the next value of the run's input
+// stream, arg(k) reads a fixed run parameter. Short-circuit && and ||
+// lower to control flow, which is one of the ways benchmark programs grow
+// interesting path structure.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokPunct // one of the operator/punctuation spellings below
+	TokKeyword
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"func": true, "if": true, "else": true, "while": true, "return": true,
+	"print": true, "break": true, "continue": true, "input": true, "arg": true,
+	"var": true,
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Pos: Pos{line, col}, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,235 @@
+// Package machine models the execution cost of a program run: a per-op
+// cost table plus a direct-mapped instruction cache.
+//
+// The paper's Table 2 measures wall-clock time on an UltraSPARC, where
+// the code growth introduced by tracing interacts with the instruction
+// cache and branch predictor ("our experiments did not measure the effect
+// on the instruction cache or branch predictor" — but the observed
+// slowdowns are attributed to such effects). This package makes those
+// effects explicit and reproducible: run time is
+//
+//	Σ executed-instruction costs + MissPenalty × i-cache misses
+//
+// so a program whose optimized form grows enough to thrash the modeled
+// cache can lose more to misses than it gains from constant folding,
+// reproducing the paper's mixed speedup/slowdown column.
+package machine
+
+import (
+	"fmt"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+)
+
+// CostModel assigns abstract cycles to operations.
+type CostModel struct {
+	// Op[op] is the cost of executing one instruction with that opcode.
+	Op [32]int64
+	// Jump, Branch and Return are terminator costs.
+	Jump, Branch, Return int64
+	// TakenTransfer is the extra cost of a control transfer whose target
+	// is not the next block in the code layout. Each block has at most
+	// one fall-through predecessor, so graphs with duplicated paths pay
+	// more of these — the paper's §6.1.1 names exactly this effect
+	// ("tracing can introduce extra jumps") as a slowdown source.
+	TakenTransfer int64
+}
+
+// DefaultCostModel returns a cost table with cheap moves/constants,
+// moderate ALU operations and expensive multiplies/divides, so constant
+// folding (which rewrites computations into Const loads) saves cycles.
+func DefaultCostModel() *CostModel {
+	cm := &CostModel{Jump: 1, Branch: 2, Return: 2, TakenTransfer: 4}
+	for op := ir.Op(0); op < 32; op++ {
+		cm.Op[op] = 2
+	}
+	cm.Op[ir.Nop] = 0
+	cm.Op[ir.Const] = 1
+	cm.Op[ir.Copy] = 1
+	cm.Op[ir.Mul] = 4
+	cm.Op[ir.Div] = 12
+	cm.Op[ir.Mod] = 12
+	cm.Op[ir.Input] = 3
+	cm.Op[ir.Arg] = 1
+	cm.Op[ir.Call] = 4
+	cm.Op[ir.Print] = 3
+	return cm
+}
+
+// BlockCost returns the cost of one execution of the block.
+func (cm *CostModel) BlockCost(nd *cfg.Node) int64 {
+	var c int64
+	for i := range nd.Instrs {
+		c += cm.Op[nd.Instrs[i].Op]
+	}
+	switch nd.Kind {
+	case cfg.TermJump:
+		c += cm.Jump
+	case cfg.TermBranch:
+		c += cm.Branch
+	case cfg.TermReturn:
+		c += cm.Return
+	}
+	return c
+}
+
+// ICacheConfig describes a direct-mapped instruction cache measured in
+// instruction slots.
+type ICacheConfig struct {
+	// Lines is the number of cache lines; LineSize is instruction slots
+	// per line. Both must be powers of two.
+	Lines    int
+	LineSize int
+	// MissPenalty is the cycle cost of one line fill.
+	MissPenalty int64
+}
+
+// DefaultICache returns the configuration used by the benchmark harness:
+// 1024 lines × 8 slots = 8192 instruction slots, 30-cycle misses. The
+// benchmark programs fit comfortably until tracing duplicates their hot
+// regions; only heavily duplicated graphs start conflicting.
+func DefaultICache() ICacheConfig {
+	return ICacheConfig{Lines: 1024, LineSize: 8, MissPenalty: 12}
+}
+
+// Layout assigns every basic block of a program a contiguous address
+// range of instruction slots (one slot per instruction plus one for the
+// terminator), functions laid out in declaration order.
+type Layout struct {
+	// Base[fname][node] is the starting slot of the block.
+	Base map[string][]int64
+	// Size[fname][node] is the slot count of the block.
+	Size map[string][]int64
+	// Total is the program's static footprint in slots.
+	Total int64
+}
+
+// NewLayout lays out the program.
+func NewLayout(prog *cfg.Program) *Layout {
+	l := &Layout{Base: map[string][]int64{}, Size: map[string][]int64{}}
+	var addr int64
+	for _, name := range prog.Order {
+		f := prog.Funcs[name]
+		base := make([]int64, f.G.NumNodes())
+		size := make([]int64, f.G.NumNodes())
+		for _, nd := range f.G.Nodes {
+			base[nd.ID] = addr
+			size[nd.ID] = int64(len(nd.Instrs)) + 1
+			addr += size[nd.ID]
+		}
+		l.Base[name] = base
+		l.Size[name] = size
+	}
+	l.Total = addr
+	return l
+}
+
+// icache is the direct-mapped cache state.
+type icache struct {
+	cfg  ICacheConfig
+	tags []int64
+}
+
+func newICache(c ICacheConfig) (*icache, error) {
+	if c.Lines <= 0 || c.LineSize <= 0 {
+		return nil, fmt.Errorf("machine: invalid icache geometry %+v", c)
+	}
+	if c.Lines&(c.Lines-1) != 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return nil, fmt.Errorf("machine: icache geometry must be powers of two, got %+v", c)
+	}
+	t := make([]int64, c.Lines)
+	for i := range t {
+		t[i] = -1
+	}
+	return &icache{cfg: c, tags: t}, nil
+}
+
+// touch accesses slots [base, base+size) and returns the number of misses.
+func (ic *icache) touch(base, size int64) int64 {
+	lineSize := int64(ic.cfg.LineSize)
+	lines := int64(ic.cfg.Lines)
+	first := base / lineSize
+	last := (base + size - 1) / lineSize
+	var misses int64
+	for ln := first; ln <= last; ln++ {
+		idx := ln & (lines - 1)
+		if ic.tags[idx] != ln {
+			ic.tags[idx] = ln
+			misses++
+		}
+	}
+	return misses
+}
+
+// Simulation reports the modeled run.
+type Simulation struct {
+	// Cycles is the total modeled run time.
+	Cycles int64
+	// ComputeCycles is the instruction-cost component.
+	ComputeCycles int64
+	// Misses is the number of i-cache line fills.
+	Misses int64
+	// TakenTransfers counts control transfers that broke the layout's
+	// fall-through sequence.
+	TakenTransfers int64
+	// Footprint is the program's static size in instruction slots.
+	Footprint int64
+}
+
+// Simulate executes prog under the interpreter while accounting block
+// costs, fall-through breaks and i-cache behavior. The caller's interp
+// hooks in opt are preserved.
+func Simulate(prog *cfg.Program, opt interp.Options, cm *CostModel, cc ICacheConfig) (*Simulation, *interp.Result, error) {
+	ic, err := newICache(cc)
+	if err != nil {
+		return nil, nil, err
+	}
+	layout := NewLayout(prog)
+	sim := &Simulation{Footprint: layout.Total}
+	// prev tracks the previously executed block per activation, so that
+	// non-sequential transfers can be charged; calls interleave blocks
+	// of different activations, hence the stack.
+	type frame struct {
+		fn   string
+		prev cfg.NodeID
+	}
+	var stack []frame
+	userEnter, userBlock, userExit := opt.OnEnter, opt.OnBlock, opt.OnExit
+	opt.OnEnter = func(fn *cfg.Func) {
+		stack = append(stack, frame{fn: fn.Name, prev: cfg.NoNode})
+		if userEnter != nil {
+			userEnter(fn)
+		}
+	}
+	opt.OnExit = func(fn *cfg.Func) {
+		stack = stack[:len(stack)-1]
+		if userExit != nil {
+			userExit(fn)
+		}
+	}
+	opt.OnBlock = func(fn *cfg.Func, n cfg.NodeID) {
+		nd := fn.G.Node(n)
+		sim.ComputeCycles += cm.BlockCost(nd)
+		sim.Misses += ic.touch(layout.Base[fn.Name][n], layout.Size[fn.Name][n])
+		// Entry and Exit are virtual (no emitted code), so transfers
+		// touching them never break the fall-through sequence.
+		if len(stack) > 0 && n != fn.G.Exit {
+			f := &stack[len(stack)-1]
+			if f.prev != cfg.NoNode && f.prev != fn.G.Entry && n != f.prev+1 {
+				sim.TakenTransfers++
+			}
+			f.prev = n
+		}
+		if userBlock != nil {
+			userBlock(fn, n)
+		}
+	}
+	res, err := interp.Run(prog, opt)
+	if err != nil {
+		return nil, res, err
+	}
+	sim.Cycles = sim.ComputeCycles + sim.Misses*cc.MissPenalty + sim.TakenTransfers*cm.TakenTransfer
+	return sim, res, nil
+}

@@ -1,0 +1,238 @@
+package machine_test
+
+import (
+	"testing"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	. "pathflow/internal/machine"
+)
+
+func TestDefaultCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.Op[ir.Const] >= cm.Op[ir.Mul] {
+		t.Error("constants must be cheaper than multiplies for folding to pay")
+	}
+	if cm.Op[ir.Div] <= cm.Op[ir.Add] {
+		t.Error("division must be expensive")
+	}
+	if cm.Op[ir.Nop] != 0 {
+		t.Error("nop must be free")
+	}
+}
+
+func TestBlockCost(t *testing.T) {
+	cm := DefaultCostModel()
+	g := cfg.New("t")
+	a := g.AddNode("a")
+	g.Node(a).Kind = cfg.TermReturn
+	g.Node(a).Instrs = []ir.Instr{
+		{Op: ir.Const, Dst: 0, A: ir.NoVar, B: ir.NoVar, K: 1},
+		{Op: ir.Mul, Dst: 1, A: 0, B: 0},
+	}
+	g.AddEdge(g.Entry, a)
+	g.AddEdge(a, g.Exit)
+	want := cm.Op[ir.Const] + cm.Op[ir.Mul] + cm.Return
+	if got := cm.BlockCost(g.Node(a)); got != want {
+		t.Errorf("BlockCost = %d, want %d", got, want)
+	}
+}
+
+func compile(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLayoutContiguous(t *testing.T) {
+	prog := compile(t, `
+func f(a) { return a * 2; }
+func main() { x = f(3); print(x); }`)
+	l := NewLayout(prog)
+	var addr int64
+	for _, name := range prog.Order {
+		f := prog.Funcs[name]
+		for _, nd := range f.G.Nodes {
+			if l.Base[name][nd.ID] != addr {
+				t.Fatalf("block %s/%d at %d, want %d", name, nd.ID, l.Base[name][nd.ID], addr)
+			}
+			if l.Size[name][nd.ID] != int64(len(nd.Instrs))+1 {
+				t.Fatalf("block %s/%d size %d", name, nd.ID, l.Size[name][nd.ID])
+			}
+			addr += l.Size[name][nd.ID]
+		}
+	}
+	if l.Total != addr {
+		t.Errorf("Total = %d, want %d", l.Total, addr)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	i = 0;
+	s = 0;
+	while (i < 100) {
+		if (i % 3 == 0) { s = s + 2; } else { s = s * 2 % 1000; }
+		i = i + 1;
+	}
+	print(s);
+}`)
+	cm := DefaultCostModel()
+	cc := DefaultICache()
+	s1, r1, err := Simulate(prog, interp.Options{}, cm, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Simulate(prog, interp.Options{}, cm, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *s1 != *s2 {
+		t.Errorf("simulations differ: %+v vs %+v", s1, s2)
+	}
+	if s1.Cycles != s1.ComputeCycles+s1.Misses*cc.MissPenalty+s1.TakenTransfers*cm.TakenTransfer {
+		t.Error("cycle accounting inconsistent")
+	}
+	if s1.ComputeCycles <= r1.DynInstrs {
+		t.Errorf("compute cycles %d should exceed instruction count %d", s1.ComputeCycles, r1.DynInstrs)
+	}
+}
+
+func TestStraightLineHasNoBrokenFallthrough(t *testing.T) {
+	prog := compile(t, `func main() { x = 1; y = x + 2; print(y); }`)
+	sim, _, err := Simulate(prog, interp.Options{}, DefaultCostModel(), DefaultICache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TakenTransfers != 0 {
+		t.Errorf("straight-line program has %d broken fallthroughs", sim.TakenTransfers)
+	}
+}
+
+func TestLoopPaysBackEdgeTransfers(t *testing.T) {
+	prog := compile(t, `
+func main() {
+	i = 0;
+	while (i < 50) { i = i + 1; }
+	print(i);
+}`)
+	sim, _, err := Simulate(prog, interp.Options{}, DefaultCostModel(), DefaultICache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every iteration's back edge breaks the layout sequence once.
+	if sim.TakenTransfers < 50 {
+		t.Errorf("TakenTransfers = %d, want >= 50", sim.TakenTransfers)
+	}
+}
+
+func TestICacheColdMissesScaleWithFootprint(t *testing.T) {
+	small := compile(t, `func main() { print(1); }`)
+	big := compile(t, `
+func main() {
+	i = 0;
+	while (i < 4) {
+		x = i * 3 + 1; x = x * 5 + 2; x = x * 7 + 3; x = x * 11 + 4;
+		x = x * 13 + 5; x = x * 17 + 6; x = x * 19 + 7; x = x * 23 + 8;
+		print(x);
+		i = i + 1;
+	}
+}`)
+	cm := DefaultCostModel()
+	cc := DefaultICache()
+	s1, _, err := Simulate(small, interp.Options{}, cm, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Simulate(big, interp.Options{}, cm, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Misses <= s1.Misses {
+		t.Errorf("bigger code should miss more: %d vs %d", s2.Misses, s1.Misses)
+	}
+	// Re-executing the same loop hits the cache: misses far below one
+	// per block execution.
+	if s2.Misses*4 >= s2.ComputeCycles {
+		t.Errorf("hot loop should mostly hit the cache (misses=%d)", s2.Misses)
+	}
+}
+
+func TestICacheConflictsWhenFootprintExceedsCache(t *testing.T) {
+	// Two alternating loop bodies whose combined footprint exceeds a
+	// tiny cache conflict forever; the same program under a large cache
+	// almost never misses after warmup.
+	src := `
+func main() {
+	i = 0;
+	s = 0;
+	while (i < 500) {
+		if (i % 2 == 0) {
+			s = s + i * 3; s = s ^ 7; s = s + i * 5; s = s ^ 11;
+			s = s + i * 7; s = s ^ 13; s = s + i * 11; s = s ^ 17;
+		} else {
+			s = s - i * 3; s = s ^ 19; s = s - i * 5; s = s ^ 23;
+			s = s - i * 7; s = s ^ 29; s = s - i * 11; s = s ^ 31;
+		}
+		i = i + 1;
+	}
+	print(s);
+}`
+	prog := compile(t, src)
+	cm := DefaultCostModel()
+	tiny := ICacheConfig{Lines: 4, LineSize: 8, MissPenalty: 12}
+	bigC := ICacheConfig{Lines: 1024, LineSize: 8, MissPenalty: 12}
+	sTiny, _, err := Simulate(prog, interp.Options{}, cm, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, _, err := Simulate(prog, interp.Options{}, cm, bigC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTiny.Misses < 10*sBig.Misses {
+		t.Errorf("tiny cache misses %d, big cache %d: expected heavy conflicts", sTiny.Misses, sBig.Misses)
+	}
+}
+
+func TestICacheGeometryValidation(t *testing.T) {
+	prog := compile(t, `func main() { print(1); }`)
+	cm := DefaultCostModel()
+	bad := []ICacheConfig{
+		{Lines: 0, LineSize: 8},
+		{Lines: 8, LineSize: 0},
+		{Lines: 3, LineSize: 8},
+		{Lines: 8, LineSize: 6},
+	}
+	for _, cc := range bad {
+		if _, _, err := Simulate(prog, interp.Options{}, cm, cc); err == nil {
+			t.Errorf("geometry %+v accepted", cc)
+		}
+	}
+}
+
+func TestSimulatePreservesUserHooks(t *testing.T) {
+	prog := compile(t, `func main() { x = 1; print(x); }`)
+	blocks := 0
+	enters := 0
+	opts := interp.Options{
+		OnBlock: func(*cfg.Func, cfg.NodeID) { blocks++ },
+		OnEnter: func(*cfg.Func) { enters++ },
+	}
+	_, res, err := Simulate(prog, opts, DefaultCostModel(), DefaultICache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(blocks) != res.Steps {
+		t.Errorf("user OnBlock saw %d blocks, run had %d", blocks, res.Steps)
+	}
+	if enters != 1 {
+		t.Errorf("user OnEnter saw %d activations", enters)
+	}
+}

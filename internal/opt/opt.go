@@ -1,0 +1,61 @@
+// Package opt consumes a constant-propagation solution and rewrites the
+// analyzed graph: every pure instruction whose result is a known constant
+// becomes a Const load. This is the optimization the paper's PW pass
+// performs before handing the program to the backend; downstream effects
+// (cheaper ALU ops, shorter dependence chains) are modeled by
+// internal/machine's cost table.
+package opt
+
+import (
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/ir"
+)
+
+// Fold rewrites the constant-result instructions of g in place and
+// returns how many instructions were folded. Only reached nodes are
+// rewritten; instructions that are already Const loads are left alone.
+//
+// Fold mutates g: pass a cfg.Graph.Clone if the analyzed graph must stay
+// intact.
+func Fold(g *cfg.Graph, sol *constprop.Result) int {
+	folded := 0
+	for _, nd := range g.Nodes {
+		if !sol.Reached(nd.ID) || len(nd.Instrs) == 0 {
+			continue
+		}
+		vals := sol.InstrValues(nd.ID)
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			if in.Op == ir.Const || !in.Op.IsPure() || !in.HasDst() {
+				continue
+			}
+			if !vals[i].IsConst() {
+				continue
+			}
+			*in = ir.Instr{Op: ir.Const, Dst: in.Dst, A: ir.NoVar, B: ir.NoVar, K: vals[i].K}
+			folded++
+		}
+	}
+	return folded
+}
+
+// OptimizeFunc clones fn, runs Wegman-Zadek constant propagation on the
+// clone and folds the constants it finds. It is the per-function baseline
+// optimization (the paper's CA = 0 configuration).
+func OptimizeFunc(fn *cfg.Func) (*cfg.Func, int) {
+	out := fn.CloneFunc()
+	sol := constprop.Analyze(out.G, out.NumVars(), true)
+	n := Fold(out.G, sol)
+	return out, n
+}
+
+// OptimizeGraph clones g, analyzes and folds it, returning the optimized
+// graph. Used for qualified graphs (HPG/rHPG), whose own analysis result
+// the caller wants to keep.
+func OptimizeGraph(g *cfg.Graph, numVars int) (*cfg.Graph, int) {
+	out := g.Clone()
+	sol := constprop.Analyze(out, numVars, true)
+	n := Fold(out, sol)
+	return out, n
+}

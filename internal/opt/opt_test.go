@@ -1,0 +1,168 @@
+package opt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	. "pathflow/internal/opt"
+	"pathflow/internal/paperex"
+	"pathflow/internal/trace"
+)
+
+func TestFoldStraightLine(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	x = 3;
+	y = x * 2 + 1;
+	z = y - 7;
+	print(z);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	sol := constprop.Analyze(f.G, f.NumVars(), true)
+	n := Fold(f.G, sol)
+	if n == 0 {
+		t.Fatal("nothing folded")
+	}
+	// After folding, every pure instruction with a destination is a
+	// Const load.
+	for _, nd := range f.G.Nodes {
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			if in.Op.IsPure() && in.HasDst() && in.Op != ir.Const {
+				t.Errorf("unfolded instruction %s in %s", in.String(), nd.Name)
+			}
+		}
+	}
+	// The program still prints 0: z = (3*2+1) - 7.
+	res, err := interp.Run(prog, interp.Options{CollectOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []ir.Value{0}) {
+		t.Errorf("output = %v, want [0]", res.Output)
+	}
+}
+
+func TestFoldLeavesImpureAlone(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	a = input();
+	b = 2 + 3;
+	print(a + b);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	sol := constprop.Analyze(f.G, f.NumVars(), true)
+	Fold(f.G, sol)
+	inputs := 0
+	for _, nd := range f.G.Nodes {
+		for i := range nd.Instrs {
+			if nd.Instrs[i].Op == ir.Input {
+				inputs++
+			}
+		}
+	}
+	if inputs != 1 {
+		t.Errorf("input instructions = %d, want 1 (must not fold)", inputs)
+	}
+}
+
+func TestOptimizeFuncDoesNotMutateOriginal(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	x = 3;
+	y = x * 2;
+	print(y);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	before := f.G.String()
+	optF, n := OptimizeFunc(f)
+	if n == 0 {
+		t.Fatal("nothing folded")
+	}
+	if f.G.String() != before {
+		t.Error("OptimizeFunc mutated the original graph")
+	}
+	if optF.G.String() == before {
+		t.Error("OptimizeFunc returned an unmodified clone")
+	}
+}
+
+func TestFoldOnExampleHPGPreservesBehaviour(t *testing.T) {
+	f, _, edges := paperex.Build()
+	ps := paperex.Paths(edges)
+	a, err := automaton.New(f.G, paperex.Recording(edges), ps[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := trace.Build(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, n := OptimizeGraph(h.G, f.NumVars())
+	// x=a+b at H12..H15, i++ at H14/H15 and n=i at I17 all fold, plus
+	// folded copies.
+	if n < 7 {
+		t.Errorf("folded %d instructions, want >= 7", n)
+	}
+	for kind := 1; kind <= 3; kind++ {
+		in := paperex.RunInputs(kind)
+		p1 := cfg.NewProgram()
+		p1.Add(f)
+		r1, err := interp.Run(p1, interp.Options{Input: &interp.SliceInput{Values: in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := cfg.NewProgram()
+		p2.Add(&cfg.Func{Name: f.Name, Params: f.Params, VarNames: f.VarNames, G: folded})
+		r2, err := interp.Run(p2, interp.Options{Input: &interp.SliceInput{Values: in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Ret != r2.Ret {
+			t.Errorf("kind %d: folded HPG returns %d, original %d", kind, r2.Ret, r1.Ret)
+		}
+	}
+}
+
+func TestFoldSkipsUnreachedNodes(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	c = 0;
+	if (c != 0) { x = 1 + 2; print(x); }
+	print(c);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	sol := constprop.Analyze(f.G, f.NumVars(), true)
+	Fold(f.G, sol)
+	// The dead then-branch keeps its add: the analysis never reached it,
+	// so folding it would be based on the meaningless all-⊤ environment.
+	adds := 0
+	for _, nd := range f.G.Nodes {
+		for i := range nd.Instrs {
+			if nd.Instrs[i].Op == ir.Add {
+				adds++
+			}
+		}
+	}
+	if adds == 0 {
+		t.Error("dead code was folded")
+	}
+}

@@ -1,0 +1,214 @@
+// Package paperex constructs the running example of Ammons & Larus (PLDI
+// 1998): the control-flow graph of Figure 1, the path profile of Figure 2,
+// and input streams that make the interpreter reproduce that profile. It
+// is shared by tests across the whole module and by examples/paperfig.
+//
+// The program behind Figure 1:
+//
+//	Entry → A: a = 2; i = 0
+//	A → B (loop head): branch on an opaque input
+//	B → C: b = 4        B → D: b = 3
+//	C,D → E: branch on an opaque input
+//	E → F: c = 5        E → G: b = 2
+//	F,G → H: x = a + b; i = i + 1; branch on an opaque input
+//	H → B (retreating)  H → I: n = i; return
+//	I → Exit
+//
+// Recording edges (dashed in the figure): Entry→A, H→B, I→Exit. The
+// profile's four Ball-Larus paths and the weights used by the reduction
+// example (H12=30, H13=100, H14=140, H15=60, I17=70) come out exactly as
+// in the paper.
+package paperex
+
+import (
+	"fmt"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/ir"
+)
+
+// Nodes names the CFG nodes of the example.
+type Nodes struct {
+	Entry, A, B, C, D, E, F, G, H, I, Exit cfg.NodeID
+}
+
+// Registers used by the example, exported for assertions in tests.
+const (
+	VarA ir.Var = iota // a
+	VarB               // b
+	VarC               // c
+	VarI               // i
+	VarN               // n
+	VarX               // x
+	VarOne
+	VarTB // branch condition at B
+	VarTE // branch condition at E
+	VarTH // branch condition at H
+	numVars
+)
+
+// Build constructs the Figure 1 function. The returned edge map is keyed
+// by "From->To" using the single-letter node names.
+func Build() (*cfg.Func, Nodes, map[string]cfg.EdgeID) {
+	g := cfg.New("example")
+	var n Nodes
+	n.Entry, n.Exit = g.Entry, g.Exit
+	n.A = g.AddNode("A")
+	n.B = g.AddNode("B")
+	n.C = g.AddNode("C")
+	n.D = g.AddNode("D")
+	n.E = g.AddNode("E")
+	n.F = g.AddNode("F")
+	n.G = g.AddNode("G")
+	n.H = g.AddNode("H")
+	n.I = g.AddNode("I")
+
+	set := func(id cfg.NodeID, instrs []ir.Instr, kind cfg.TermKind, cond ir.Var) {
+		nd := g.Node(id)
+		nd.Instrs = instrs
+		nd.Kind = kind
+		nd.Cond = cond
+	}
+	set(n.A, []ir.Instr{
+		{Op: ir.Const, Dst: VarA, A: ir.NoVar, B: ir.NoVar, K: 2},
+		{Op: ir.Const, Dst: VarI, A: ir.NoVar, B: ir.NoVar, K: 0},
+	}, cfg.TermJump, ir.NoVar)
+	set(n.B, []ir.Instr{
+		{Op: ir.Input, Dst: VarTB, A: ir.NoVar, B: ir.NoVar},
+	}, cfg.TermBranch, VarTB)
+	set(n.C, []ir.Instr{
+		{Op: ir.Const, Dst: VarB, A: ir.NoVar, B: ir.NoVar, K: 4},
+	}, cfg.TermJump, ir.NoVar)
+	set(n.D, []ir.Instr{
+		{Op: ir.Const, Dst: VarB, A: ir.NoVar, B: ir.NoVar, K: 3},
+	}, cfg.TermJump, ir.NoVar)
+	set(n.E, []ir.Instr{
+		{Op: ir.Input, Dst: VarTE, A: ir.NoVar, B: ir.NoVar},
+	}, cfg.TermBranch, VarTE)
+	set(n.F, []ir.Instr{
+		{Op: ir.Const, Dst: VarC, A: ir.NoVar, B: ir.NoVar, K: 5},
+	}, cfg.TermJump, ir.NoVar)
+	set(n.G, []ir.Instr{
+		{Op: ir.Const, Dst: VarB, A: ir.NoVar, B: ir.NoVar, K: 2},
+	}, cfg.TermJump, ir.NoVar)
+	set(n.H, []ir.Instr{
+		{Op: ir.Add, Dst: VarX, A: VarA, B: VarB},
+		{Op: ir.Const, Dst: VarOne, A: ir.NoVar, B: ir.NoVar, K: 1},
+		{Op: ir.Add, Dst: VarI, A: VarI, B: VarOne},
+		{Op: ir.Input, Dst: VarTH, A: ir.NoVar, B: ir.NoVar},
+	}, cfg.TermBranch, VarTH)
+	set(n.I, []ir.Instr{
+		{Op: ir.Copy, Dst: VarN, A: VarI, B: ir.NoVar},
+	}, cfg.TermReturn, ir.NoVar)
+	g.Node(n.I).Ret = VarN
+
+	edges := map[string]cfg.EdgeID{}
+	add := func(name string, from, to cfg.NodeID) {
+		edges[name] = g.AddEdge(from, to)
+	}
+	// Out-edges must be appended in slot order (true leg first).
+	add("Entry->A", n.Entry, n.A)
+	add("A->B", n.A, n.B)
+	add("B->C", n.B, n.C) // taken
+	add("B->D", n.B, n.D)
+	add("C->E", n.C, n.E)
+	add("D->E", n.D, n.E)
+	add("E->F", n.E, n.F) // taken
+	add("E->G", n.E, n.G)
+	add("F->H", n.F, n.H)
+	add("G->H", n.G, n.H)
+	add("H->B", n.H, n.B) // taken: loop
+	add("H->I", n.H, n.I)
+	add("I->Exit", n.I, n.Exit)
+
+	names := make([]string, numVars)
+	names[VarA], names[VarB], names[VarC] = "a", "b", "c"
+	names[VarI], names[VarN], names[VarX] = "i", "n", "x"
+	names[VarOne], names[VarTB], names[VarTE], names[VarTH] = "one", "tB", "tE", "tH"
+	f := &cfg.Func{Name: "example", VarNames: names, G: g}
+	if err := g.Validate(f.NumVars()); err != nil {
+		panic(fmt.Sprintf("paperex: invalid example graph: %v", err))
+	}
+	return f, n, edges
+}
+
+// Recording returns the example's recording edges: Entry→A, H→B, I→Exit.
+func Recording(edges map[string]cfg.EdgeID) map[cfg.EdgeID]bool {
+	return map[cfg.EdgeID]bool{
+		edges["Entry->A"]: true,
+		edges["H->B"]:     true,
+		edges["I->Exit"]:  true,
+	}
+}
+
+// Figure 2 path counts. Run 2 iterates the inner G-loop 5 times and run 3
+// iterates it 3 times, which yields exactly the vertex weights the paper's
+// reduction example uses (H12=30, H13=100, H14=140, H15=60, I17=70).
+const (
+	CountRun1 = 70 // [Entry,A,B,C,E,F,H,I,Exit]
+	CountRun2 = 5  // [Entry,A,B,D,E,F,H] · [B,D,E,G,H]^5 · [B,D,E,F,H,I,Exit]
+	CountRun3 = 25 // [Entry,A,B,D,E,F,H] · [B,D,E,G,H]^3 · [B,D,E,F,H,I,Exit]
+
+	InnerIters2 = 5
+	InnerIters3 = 3
+)
+
+// Paths returns the four Ball-Larus paths of Figure 2 in the order
+// p1 = [•,A,B,C,E,F,H,I,Exit], p2 = [•,A,B,D,E,F,H,(B)],
+// p3 = [•,B,D,E,G,H,(B)], p4 = [•,B,D,E,F,H,I,Exit].
+func Paths(edges map[string]cfg.EdgeID) [4]bl.Path {
+	e := func(names ...string) []cfg.EdgeID {
+		out := make([]cfg.EdgeID, len(names))
+		for i, nm := range names {
+			id, ok := edges[nm]
+			if !ok {
+				panic("paperex: unknown edge " + nm)
+			}
+			out[i] = id
+		}
+		return out
+	}
+	return [4]bl.Path{
+		{Edges: e("A->B", "B->C", "C->E", "E->F", "F->H", "H->I", "I->Exit")},
+		{Edges: e("A->B", "B->D", "D->E", "E->F", "F->H", "H->B")},
+		{Edges: e("B->D", "D->E", "E->G", "G->H", "H->B")},
+		{Edges: e("B->D", "D->E", "E->F", "F->H", "H->I", "I->Exit")},
+	}
+}
+
+// Profile returns the Figure 2 path profile.
+func Profile(edges map[string]cfg.EdgeID) *bl.Profile {
+	pr := bl.NewProfile("example", Recording(edges))
+	ps := Paths(edges)
+	pr.Add(ps[0], CountRun1)
+	pr.Add(ps[1], CountRun2+CountRun3)
+	pr.Add(ps[2], CountRun2*InnerIters2+CountRun3*InnerIters3)
+	pr.Add(ps[3], CountRun2+CountRun3)
+	return pr
+}
+
+// RunInputs returns the input stream that drives one activation of the
+// example through run type k (1, 2 or 3). The example reads one input in
+// B (branch to C when nonzero), one in E (branch to F when nonzero) and
+// one in H (loop back to B when nonzero).
+func RunInputs(kind int) []ir.Value {
+	switch kind {
+	case 1:
+		// B→C, E→F, H→I
+		return []ir.Value{1, 1, 0}
+	case 2, 3:
+		iters := InnerIters2
+		if kind == 3 {
+			iters = InnerIters3
+		}
+		var in []ir.Value
+		in = append(in, 0, 1, 1) // B→D, E→F, H→B
+		for i := 0; i < iters; i++ {
+			in = append(in, 0, 0, 1) // B→D, E→G, H→B
+		}
+		in = append(in, 0, 1, 0) // B→D, E→F, H→I
+		return in
+	}
+	panic(fmt.Sprintf("paperex: unknown run kind %d", kind))
+}

@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// Edge-profile-based hot-path estimation.
+//
+// Before Ball-Larus path profiling, hot paths were estimated from edge
+// profiles by greedily following the heaviest out-edges — the heuristic
+// behind trace scheduling and superblock formation. The estimation
+// assumes branch outcomes are independent, so it can manufacture paths
+// that never execute together and miss genuinely hot correlated paths.
+// This file implements the classic estimator so the benchmark harness
+// can quantify the difference — the motivation for using true path
+// profiles that the paper inherits from [BL96].
+
+// EdgeCounts derives per-edge execution counts from a path profile (the
+// information an edge profiler would have collected directly).
+func EdgeCounts(pr *bl.Profile, g *cfg.Graph) []int64 {
+	counts := make([]int64, g.NumEdges())
+	for _, ent := range pr.Entries {
+		for _, e := range ent.Path.Edges {
+			counts[e] += ent.Count
+		}
+	}
+	return counts
+}
+
+// SelectHotFromEdges estimates the hot paths covering fraction ca of the
+// dynamic instructions using only edge counts: it repeatedly peels the
+// heaviest estimated path — start at the recording-edge target with the
+// most remaining inbound recording flow, follow the highest-count
+// out-edge until a recording edge closes the path, debit the path's
+// estimated frequency (the minimum remaining count along it) from its
+// edges — until the estimated coverage goal is met or no flow remains.
+//
+// The returned paths are structurally valid Ball-Larus paths, but their
+// estimated frequencies can be wrong in both directions, which is
+// exactly what the ablation measures.
+func SelectHotFromEdges(counts []int64, g *cfg.Graph, R map[cfg.EdgeID]bool, ca float64) []bl.Path {
+	if ca <= 0 {
+		return nil
+	}
+	remaining := append([]int64(nil), counts...)
+
+	// Total dynamic instructions estimated from edge counts: a node
+	// executes once per inbound edge traversal (the entry node never
+	// has inbound flow and holds no instructions anyway).
+	var total int64
+	for _, e := range g.Edges {
+		total += counts[e.ID] * int64(len(g.Node(e.To).Instrs))
+	}
+	goal := ca * float64(total)
+
+	seen := map[string]bool{}
+	var hot []bl.Path
+	var acc float64
+	for range counts { // bounded number of peels
+		if acc >= goal {
+			break
+		}
+		// Heaviest start: the recording edge with the most remaining
+		// flow; its target starts the path.
+		var start cfg.EdgeID = cfg.NoEdge
+		for e := range R {
+			if start == cfg.NoEdge || remaining[e] > remaining[start] {
+				start = e
+			}
+		}
+		if start == cfg.NoEdge || remaining[start] <= 0 {
+			break
+		}
+		v := g.Edge(start).To
+		minFlow := remaining[start]
+		var edges []cfg.EdgeID
+		var instrs int64
+		for {
+			nd := g.Node(v)
+			if len(nd.Out) == 0 {
+				break // exit node: the final edge was recording
+			}
+			instrs += int64(len(nd.Instrs))
+			// Heaviest out-edge.
+			best := nd.Out[0]
+			for _, eid := range nd.Out[1:] {
+				if remaining[eid] > remaining[best] {
+					best = eid
+				}
+			}
+			edges = append(edges, best)
+			if remaining[best] < minFlow {
+				minFlow = remaining[best]
+			}
+			if R[best] {
+				break
+			}
+			v = g.Edge(best).To
+		}
+		if len(edges) == 0 || !R[edges[len(edges)-1]] {
+			break // ran into the exit without closing: malformed flow
+		}
+		if minFlow <= 0 {
+			break
+		}
+		// Debit the flow.
+		remaining[start] -= minFlow
+		for _, e := range edges {
+			remaining[e] -= minFlow
+		}
+		acc += float64(minFlow * instrs)
+		p := bl.Path{Edges: edges}
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			hot = append(hot, p)
+		}
+	}
+	return hot
+}

@@ -1,0 +1,140 @@
+// Package profile provides the path-profile manipulations of Ammons &
+// Larus (PLDI 1998) that sit above raw collection: selecting the hot paths
+// that cover a fraction CA of a training run's dynamic instructions
+// (paper §3), translating a profile of the original graph into a profile
+// of the hot path graph or reduced hot path graph (paper §4.2, Lemmas 1
+// and 2), and deriving per-vertex execution frequencies from a profile.
+package profile
+
+import (
+	"fmt"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// SelectHot returns the minimal set of paths that covers fraction ca of
+// the profile's dynamic instructions: paths are considered in descending
+// order of instructions executed along the path (length × frequency) and
+// marked hot until the coverage goal is reached. ca <= 0 selects nothing;
+// ca >= 1 selects every executed path.
+func SelectHot(pr *bl.Profile, g *cfg.Graph, ca float64) []bl.Path {
+	if ca <= 0 {
+		return nil
+	}
+	total := pr.DynInstrs(g)
+	if total == 0 {
+		return nil
+	}
+	goal := ca * float64(total)
+	var hot []bl.Path
+	var acc float64
+	for _, e := range pr.SortedEntries(g) {
+		if acc >= goal {
+			break
+		}
+		hot = append(hot, e.Path)
+		acc += float64(e.Count * int64(e.Path.NumInstrs(g)))
+	}
+	return hot
+}
+
+// Coverage returns the fraction of the profile's dynamic instructions the
+// given paths cover.
+func Coverage(pr *bl.Profile, g *cfg.Graph, paths []bl.Path) float64 {
+	total := pr.DynInstrs(g)
+	if total == 0 {
+		return 0
+	}
+	var acc int64
+	for _, p := range paths {
+		if e, ok := pr.Entries[p.Key()]; ok {
+			acc += e.Count * int64(p.NumInstrs(g))
+		}
+	}
+	return float64(acc) / float64(total)
+}
+
+// Overlay is a graph derived from an original CFG whose edges correspond
+// slot-for-slot to original edges: the hot path graph (trace.HPG) and the
+// reduced hot path graph (reduce.Reduced) both satisfy it. The paper's
+// Lemmas 1 and 2 guarantee that a Ball-Larus path of the original graph
+// maps to exactly one Ball-Larus path of the overlay, starting at the
+// overlay node that represents (start vertex, q•).
+type Overlay interface {
+	// OverlayGraph returns the derived graph.
+	OverlayGraph() *cfg.Graph
+	// OverlayStart returns the overlay node where paths beginning at
+	// original vertex v start.
+	OverlayStart(v cfg.NodeID) (cfg.NodeID, bool)
+	// OverlayRecording returns the overlay's recording-edge set.
+	OverlayRecording() map[cfg.EdgeID]bool
+	// OverlayOrigEdge maps an overlay edge back to the original edge it
+	// duplicates.
+	OverlayOrigEdge(e cfg.EdgeID) cfg.EdgeID
+}
+
+// Translate re-expresses a profile of the original graph as a profile of
+// the overlay. Each path is laid out by following the overlay's unique
+// edge in the same successor slot as the original edge (Lemma 2); the
+// result is validated against the overlay's recording edges.
+func Translate(pr *bl.Profile, orig *cfg.Graph, ov Overlay) (*bl.Profile, error) {
+	og := ov.OverlayGraph()
+	out := bl.NewProfile(pr.FuncName, ov.OverlayRecording())
+	for _, ent := range pr.Entries {
+		startV := ent.Path.Start(orig)
+		cur, ok := ov.OverlayStart(startV)
+		if !ok {
+			return nil, fmt.Errorf("profile: no overlay start for vertex %d (path %s)", startV, ent.Path.Key())
+		}
+		edges := make([]cfg.EdgeID, 0, len(ent.Path.Edges))
+		for _, oe := range ent.Path.Edges {
+			slot := orig.Edge(oe).Slot
+			nd := og.Node(cur)
+			if slot >= len(nd.Out) {
+				return nil, fmt.Errorf("profile: overlay node %d lacks successor slot %d", cur, slot)
+			}
+			he := nd.Out[slot]
+			if got := ov.OverlayOrigEdge(he); got != oe {
+				return nil, fmt.Errorf("profile: overlay edge %d duplicates %d, want %d", he, got, oe)
+			}
+			edges = append(edges, he)
+			cur = og.Edge(he).To
+		}
+		p := bl.Path{Edges: edges}
+		if err := p.Validate(og, out.R); err != nil {
+			return nil, fmt.Errorf("profile: translated path invalid: %w", err)
+		}
+		out.Add(p, ent.Count)
+	}
+	return out, nil
+}
+
+// NodeFrequencies returns how many times each node of g executes under
+// profile pr. Following the chaining convention of bl.Path.NumInstrs, a
+// path is charged for every vertex except its final one, which the
+// following path counts as its start; the function's entry vertex is
+// charged to no path.
+func NodeFrequencies(pr *bl.Profile, g *cfg.Graph) []int64 {
+	freq := make([]int64, g.NumNodes())
+	for _, ent := range pr.Entries {
+		vs := ent.Path.Vertices(g)
+		if len(vs) == 0 {
+			continue
+		}
+		for _, v := range vs[:len(vs)-1] {
+			freq[v] += ent.Count
+		}
+	}
+	return freq
+}
+
+// DynInstrsByNode returns, per node, frequency × static instruction
+// count: the dynamic instructions each node contributes under pr.
+func DynInstrsByNode(pr *bl.Profile, g *cfg.Graph) []int64 {
+	freq := NodeFrequencies(pr, g)
+	for i, nd := range g.Nodes {
+		freq[i] *= int64(len(nd.Instrs))
+	}
+	return freq
+}

@@ -1,0 +1,261 @@
+package profile_test
+
+import (
+	"testing"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/paperex"
+	. "pathflow/internal/profile"
+	"pathflow/internal/trace"
+)
+
+// Example dynamic-instruction weights: p1 = 70×11 = 770, p2 = 30×9 = 270,
+// p3 = 100×8 = 800, p4 = 30×10 = 300; total 2140; descending order
+// p3, p1, p4, p2.
+
+func TestSelectHotOrdering(t *testing.T) {
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	if got := pr.DynInstrs(f.G); got != 2140 {
+		t.Fatalf("profile DynInstrs = %d, want 2140", got)
+	}
+	cases := []struct {
+		ca   float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.3, 1},  // goal 642 ≤ 800 (p3)
+		{0.5, 2},  // goal 1070: p3+p1 = 1570
+		{0.75, 3}, // goal 1605: p3+p1+p4 = 1870
+		{0.9, 4},  // goal 1926: all
+		{1.0, 4},
+		{2.0, 4}, // clamped by available paths
+	}
+	for _, tc := range cases {
+		hot := SelectHot(pr, f.G, tc.ca)
+		if len(hot) != tc.want {
+			t.Errorf("SelectHot(ca=%v) = %d paths, want %d", tc.ca, len(hot), tc.want)
+		}
+	}
+	// The single hottest path is p3 (count 100).
+	hot := SelectHot(pr, f.G, 0.3)
+	if e := pr.Entries[hot[0].Key()]; e.Count != 100 {
+		t.Errorf("hottest path count = %d, want 100", e.Count)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	all := SelectHot(pr, f.G, 1.0)
+	if got := Coverage(pr, f.G, all); got != 1.0 {
+		t.Errorf("full coverage = %v, want 1", got)
+	}
+	one := SelectHot(pr, f.G, 0.3)
+	want := 800.0 / 2140.0
+	if got := Coverage(pr, f.G, one); got != want {
+		t.Errorf("p3 coverage = %v, want %v", got, want)
+	}
+	if got := Coverage(pr, f.G, nil); got != 0 {
+		t.Errorf("empty coverage = %v, want 0", got)
+	}
+}
+
+func buildHPG(t *testing.T, nHot int) (*cfg.Func, map[string]cfg.EdgeID, *trace.HPG, *bl.Profile) {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	ps := paperex.Paths(edges)
+	a, err := automaton.New(f.G, paperex.Recording(edges), ps[:nHot])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := trace.Build(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, edges, h, pr
+}
+
+func TestTranslateReproducesFigure6(t *testing.T) {
+	f, _, h, pr := buildHPG(t, 4)
+	tp, err := Translate(pr, f.G, h)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if err := tp.Validate(h.G); err != nil {
+		t.Fatalf("translated profile invalid: %v", err)
+	}
+	// Lemma 1 gives a bijection: same number of distinct paths, same
+	// total count.
+	if tp.NumPaths() != pr.NumPaths() {
+		t.Errorf("translated paths = %d, want %d", tp.NumPaths(), pr.NumPaths())
+	}
+	if tp.TotalCount() != pr.TotalCount() {
+		t.Errorf("translated count = %d, want %d", tp.TotalCount(), pr.TotalCount())
+	}
+	// Figure 6's vertex sequences.
+	wantSeqs := map[string]int64{
+		"[•,A0,B1,C3,E6,F10,H14,I17,exit0]": 70,
+		"[•,A0,B1,D4,E7,F11,H15,B0]":        30,
+		"[•,B0,D2,E5,G9,H13,B0]":            100,
+		"[•,B0,D2,E5,F8,H12,I16,exit0]":     30,
+	}
+	got := map[string]int64{}
+	for _, e := range tp.Entries {
+		got[e.Path.String(h.G)] = e.Count
+	}
+	for seq, count := range wantSeqs {
+		if got[seq] != count {
+			t.Errorf("translated path %s count = %d, want %d (have %v)", seq, got[seq], count, got)
+		}
+	}
+}
+
+func TestTranslatedDynInstrsPreserved(t *testing.T) {
+	f, _, h, pr := buildHPG(t, 4)
+	tp, err := Translate(pr, f.G, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracing duplicates vertices but does not change instruction
+	// counts along any path.
+	if got, want := tp.DynInstrs(h.G), pr.DynInstrs(f.G); got != want {
+		t.Errorf("translated DynInstrs = %d, want %d", got, want)
+	}
+}
+
+func TestNodeFrequencies(t *testing.T) {
+	f, nodes, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	freq := NodeFrequencies(pr, f.G)
+	// A executes once per activation: 70+5+25 = 100. B: every path
+	// start or interior B: p1 (70) + p2 (30) + p3 start (100) + p4
+	// start (30) = 230. H appears in every path once: 70+30+100+30=230.
+	wants := map[cfg.NodeID]int64{
+		nodes.A: 100,
+		nodes.B: 230,
+		nodes.H: 230,
+		nodes.I: 100, // p1 (70) + p4 (30)
+		nodes.G: 100, // p3 only
+	}
+	for v, want := range wants {
+		if freq[v] != want {
+			t.Errorf("freq[%s] = %d, want %d", f.G.Node(v).Name, freq[v], want)
+		}
+	}
+}
+
+func TestHPGNodeFrequenciesMatchPaperWeights(t *testing.T) {
+	f, _, h, pr := buildHPG(t, 4)
+	tp, err := Translate(pr, f.G, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := NodeFrequencies(tp, h.G)
+	// Execution frequencies behind the paper's §5 weights.
+	wants := map[string]int64{
+		"H12": 30, "H13": 100, "H14": 70, "H15": 30, "I17": 70,
+		"B0": 130, "B1": 100, "Hε": 0, "Iε": 0,
+	}
+	byName := map[string]cfg.NodeID{}
+	for _, nd := range h.G.Nodes {
+		byName[nd.Name] = nd.ID
+	}
+	for name, want := range wants {
+		id, ok := byName[name]
+		if !ok {
+			t.Fatalf("HPG lacks node %s", name)
+		}
+		if freq[id] != want {
+			t.Errorf("freq[%s] = %d, want %d", name, freq[id], want)
+		}
+	}
+}
+
+func TestDynInstrsByNode(t *testing.T) {
+	f, nodes, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	per := DynInstrsByNode(pr, f.G)
+	// H has 4 instructions and executes 230 times.
+	if per[nodes.H] != 4*230 {
+		t.Errorf("dyn instrs at H = %d, want %d", per[nodes.H], 4*230)
+	}
+	var total int64
+	for _, n := range per {
+		total += n
+	}
+	if total != pr.DynInstrs(f.G) {
+		t.Errorf("sum by node = %d, want %d", total, pr.DynInstrs(f.G))
+	}
+}
+
+func TestEdgeCounts(t *testing.T) {
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	counts := EdgeCounts(pr, f.G)
+	// H→B is crossed by p2 (30) and p3 (100); H→I by p1 (70) and p4 (30).
+	if got := counts[edges["H->B"]]; got != 130 {
+		t.Errorf("count(H->B) = %d, want 130", got)
+	}
+	if got := counts[edges["H->I"]]; got != 100 {
+		t.Errorf("count(H->I) = %d, want 100", got)
+	}
+	// B→D: p2 (30) + p3 (100) + p4 (30) = 160; B→C only p1 (70).
+	if got := counts[edges["B->D"]]; got != 160 {
+		t.Errorf("count(B->D) = %d, want 160", got)
+	}
+	if got := counts[edges["B->C"]]; got != 70 {
+		t.Errorf("count(B->C) = %d, want 70", got)
+	}
+}
+
+func TestSelectHotFromEdges(t *testing.T) {
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	R := paperex.Recording(edges)
+	counts := EdgeCounts(pr, f.G)
+	hot := SelectHotFromEdges(counts, f.G, R, 0.97)
+	if len(hot) == 0 {
+		t.Fatal("no paths estimated")
+	}
+	for _, p := range hot {
+		if err := p.Validate(f.G, R); err != nil {
+			t.Errorf("estimated path invalid: %v", err)
+		}
+	}
+	// The heaviest estimated path follows B→D (160) and E→G? E→F is
+	// crossed by p1+p2+p4 = 130, E→G by p3 = 100, so the peel follows
+	// E→F — manufacturing [•,B,D,E,F,H,B], a path that accounts for
+	// most flow under independence but executes only rarely... the
+	// estimator's characteristic mistake is producing *some* path mix
+	// different from the true profile's hot set. At minimum, selection
+	// from edges must differ from the true 4-path profile here or agree
+	// structurally; just check determinism and bounds.
+	again := SelectHotFromEdges(counts, f.G, R, 0.97)
+	if len(again) != len(hot) {
+		t.Errorf("estimation not deterministic: %d vs %d", len(hot), len(again))
+	}
+	if got := SelectHotFromEdges(counts, f.G, R, 0); got != nil {
+		t.Errorf("ca=0 selected %d paths", len(got))
+	}
+}
+
+func TestTranslateWithPartialAutomaton(t *testing.T) {
+	// Translation must work regardless of which paths are hot: cold
+	// paths map onto ε-state vertices.
+	f, _, h, pr := buildHPG(t, 1)
+	tp, err := Translate(pr, f.G, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.TotalCount() != pr.TotalCount() {
+		t.Errorf("count = %d, want %d", tp.TotalCount(), pr.TotalCount())
+	}
+	if got, want := tp.DynInstrs(h.G), pr.DynInstrs(f.G); got != want {
+		t.Errorf("translated DynInstrs = %d, want %d", got, want)
+	}
+}

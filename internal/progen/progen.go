@@ -1,0 +1,215 @@
+// Package progen generates random, terminating mini-language programs for
+// differential and property-based testing: every random program must
+// profile consistently under both Ball-Larus profilers, trace to an
+// execution-equivalent HPG, reduce to an execution-equivalent rHPG, and
+// optimize to an observationally identical program. Loops are generated
+// in a canonical bounded form and the call graph is kept acyclic, so
+// every generated program terminates.
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config bounds the generator.
+type Config struct {
+	Seed uint64
+	// Funcs is the number of functions besides main.
+	Funcs int
+	// MaxStmts bounds statements per block; MaxDepth bounds nesting.
+	MaxStmts int
+	MaxDepth int
+	// MaxVars bounds the live scalar variables per function.
+	MaxVars int
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, Funcs: 2, MaxStmts: 6, MaxDepth: 3, MaxVars: 6}
+}
+
+type gen struct {
+	cfg     Config
+	rng     splitmix
+	b       strings.Builder
+	funcs   []string // defined functions, callable by later ones
+	arities map[string]int
+	loopN   int
+	// inLoop suppresses calls inside loop bodies: loops may nest and
+	// functions may call functions, but never both multiplicatively, so
+	// every generated program runs in a small bounded number of blocks.
+	inLoop bool
+}
+
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *gen) intn(n int) int { return int(g.rng.next() % uint64(n)) }
+
+// Generate produces the source text of a random program.
+func Generate(cfg Config) string {
+	if cfg.MaxStmts <= 0 {
+		cfg.MaxStmts = 4
+	}
+	if cfg.MaxVars <= 1 {
+		cfg.MaxVars = 3
+	}
+	g := &gen{cfg: cfg, rng: splitmix(cfg.Seed), arities: map[string]int{}}
+	for i := 0; i < cfg.Funcs; i++ {
+		g.genFunc(fmt.Sprintf("f%d", i))
+	}
+	g.genMain()
+	return g.b.String()
+}
+
+func (g *gen) genFunc(name string) {
+	arity := g.intn(3)
+	params := make([]string, arity)
+	vars := []string{}
+	for i := range params {
+		params[i] = fmt.Sprintf("p%d", i)
+		vars = append(vars, params[i])
+	}
+	fmt.Fprintf(&g.b, "func %s(%s) {\n", name, strings.Join(params, ", "))
+	vars = g.genBlock(1, vars, g.cfg.MaxDepth)
+	fmt.Fprintf(&g.b, "\treturn %s;\n}\n", g.expr(vars, 2))
+	g.funcs = append(g.funcs, name)
+	g.arities[name] = arity
+}
+
+func (g *gen) genMain() {
+	g.b.WriteString("func main() {\n")
+	vars := g.genBlock(1, nil, g.cfg.MaxDepth)
+	if len(vars) == 0 {
+		g.b.WriteString("\tx0 = 1;\n")
+		vars = []string{"x0"}
+	}
+	for _, v := range vars {
+		fmt.Fprintf(&g.b, "\tprint(%s);\n", v)
+	}
+	g.b.WriteString("}\n")
+}
+
+// genBlock emits statements at the given indent, returning the variables
+// in scope afterwards.
+func (g *gen) genBlock(indent int, vars []string, depth int) []string {
+	n := 1 + g.intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		vars = g.genStmt(indent, vars, depth)
+	}
+	return vars
+}
+
+func (g *gen) genStmt(indent int, vars []string, depth int) []string {
+	pad := strings.Repeat("\t", indent)
+	kind := g.intn(10)
+	switch {
+	case kind < 5 || depth == 0 || len(vars) == 0:
+		// Assignment: pick an existing variable or declare a new one.
+		var name string
+		if len(vars) > 0 && (g.intn(2) == 0 || len(vars) >= g.cfg.MaxVars) {
+			name = vars[g.intn(len(vars))]
+		} else {
+			name = fmt.Sprintf("x%d", len(vars))
+			vars = append(vars, name)
+		}
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, name, g.expr(vars, 3))
+		return vars
+	case kind < 8:
+		// if / if-else. Branch-local declarations don't dominate uses
+		// after the join, so only pre-existing variables stay in scope.
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, g.expr(vars, 2))
+		g.assignExisting(indent+1, vars)
+		g.genBlock(indent+1, vars, depth-1)
+		if g.intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", pad)
+			g.genBlock(indent+1, vars, depth-1)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+		return vars
+	default:
+		// Canonical bounded loop; the counter is reserved.
+		c := fmt.Sprintf("c%d", g.loopN)
+		g.loopN++
+		bound := 2 + g.intn(6)
+		fmt.Fprintf(&g.b, "%s%s = 0;\n", pad, c)
+		fmt.Fprintf(&g.b, "%swhile (%s < %d) {\n", pad, c, bound)
+		wasInLoop := g.inLoop
+		g.inLoop = true
+		g.genBlock(indent+1, vars, depth-1)
+		g.inLoop = wasInLoop
+		fmt.Fprintf(&g.b, "%s\t%s = %s + 1;\n", pad, c, c)
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+		return vars
+	}
+}
+
+// assignExisting emits an assignment to an existing variable (used inside
+// branches so the variable set stays consistent across join points).
+func (g *gen) assignExisting(indent int, vars []string) {
+	if len(vars) == 0 {
+		return
+	}
+	pad := strings.Repeat("\t", indent)
+	name := vars[g.intn(len(vars))]
+	fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, name, g.expr(vars, 2))
+}
+
+var binops = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func (g *gen) expr(vars []string, depth int) string {
+	if depth == 0 || g.intn(3) == 0 {
+		return g.atom(vars)
+	}
+	switch g.intn(6) {
+	case 0:
+		return fmt.Sprintf("(-%s)", g.expr(vars, depth-1))
+	case 1:
+		return fmt.Sprintf("(!%s)", g.expr(vars, depth-1))
+	case 2:
+		if len(g.funcs) > 0 && !g.inLoop {
+			name := g.funcs[g.intn(len(g.funcs))]
+			args := make([]string, g.arities[name])
+			for i := range args {
+				args[i] = g.expr(vars, depth-1)
+			}
+			return fmt.Sprintf("%s(%s)", name, strings.Join(args, ", "))
+		}
+		fallthrough
+	default:
+		op := binops[g.intn(len(binops))]
+		l := g.expr(vars, depth-1)
+		r := g.expr(vars, depth-1)
+		// Shift amounts are masked by the IR, but keep them small so
+		// values stay comparable across graphs.
+		if op == "<<" || op == ">>" {
+			r = fmt.Sprintf("(%s %% 8)", r)
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r)
+	}
+}
+
+func (g *gen) atom(vars []string) string {
+	switch g.intn(5) {
+	case 0:
+		return fmt.Sprintf("%d", g.intn(100))
+	case 1:
+		return "input()"
+	case 2:
+		return fmt.Sprintf("arg(%d)", g.intn(3))
+	default:
+		if len(vars) == 0 {
+			return fmt.Sprintf("%d", g.intn(100))
+		}
+		return vars[g.intn(len(vars))]
+	}
+}

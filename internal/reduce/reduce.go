@@ -1,0 +1,452 @@
+// Package reduce implements §5 of Ammons & Larus (PLDI 1998): shrinking a
+// hot path graph to retain only the duplicates whose data-flow solutions
+// pay for themselves.
+//
+// The algorithm:
+//
+//  1. Weigh each HPG vertex by the dynamic executions of its non-local
+//     constant instructions (profile frequency × constants found by the
+//     qualified analysis but not by local analysis) and mark vertices hot,
+//     in descending weight order, until a fraction CR of the total weight
+//     is covered.
+//  2. For each original vertex v, greedily partition its HPG duplicates
+//     (v,q) into compatible sets: two vertices are compatible if neither
+//     is hot, or if lowering both solutions to the meet of their lattice
+//     values destroys no constant in a hot vertex. Vertices are considered
+//     in descending weight order to keep hot vertices together.
+//  3. Refine the partition with the standard DFA-minimization algorithm
+//     (Hopcroft, via Gries) so that it becomes a congruence: every member
+//     of a class must agree, per successor slot, on the class of its
+//     successor. The quotient graph then introduces no new paths, so no
+//     solution is lowered beyond the meets accepted in step 2.
+//  4. Replace each class by a representative vertex, producing the
+//     reduced hot path graph (rHPG), and carry the recording edges over
+//     (well-defined: all members project to the same original edge).
+package reduce
+
+import (
+	"fmt"
+	"sort"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/ir"
+	"pathflow/internal/profile"
+	"pathflow/internal/trace"
+)
+
+// Options configures reduction.
+type Options struct {
+	// CR is the benefit cutoff: the fraction of dynamic non-local
+	// constants that the hot vertices must cover (the paper uses 0.95).
+	CR float64
+}
+
+// Reduced is a reduced hot path graph.
+type Reduced struct {
+	// H is the HPG this graph was reduced from.
+	H *trace.HPG
+	// G is the quotient graph.
+	G *cfg.Graph
+	// Class maps each HPG node to its class index.
+	Class []int
+	// Members lists the HPG nodes of each class.
+	Members [][]cfg.NodeID
+	// Rep maps each class to its rHPG node.
+	Rep []cfg.NodeID
+	// OrigNode maps each rHPG node to the original CFG vertex.
+	OrigNode []cfg.NodeID
+	// OrigEdge maps each rHPG edge to the original CFG edge.
+	OrigEdge []cfg.EdgeID
+	// Recording is the rHPG's recording-edge set.
+	Recording map[cfg.EdgeID]bool
+	// Hot lists the HPG nodes selected as hot vertices.
+	Hot []cfg.NodeID
+	// Weights holds the per-HPG-node benefit weights used for selection.
+	Weights []int64
+}
+
+// constMask is a bitset over the instructions of one block.
+type constMask []uint64
+
+func newMask(n int) constMask { return make(constMask, (n+63)/64) }
+
+func (m constMask) set(i int)      { m[i/64] |= 1 << (i % 64) }
+func (m constMask) get(i int) bool { return m[i/64]&(1<<(i%64)) != 0 }
+
+// contains reports whether m ⊇ o.
+func (m constMask) contains(o constMask) bool {
+	for i := range o {
+		if o[i]&^m[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonLocalConstMask returns the set of instructions of HPG node n that
+// are constant under env but not under local analysis.
+func nonLocalConstMask(g *cfg.Graph, n cfg.NodeID, env constprop.Env, local []constprop.Value) constMask {
+	nd := g.Node(n)
+	mask := newMask(len(nd.Instrs))
+	_, vals := constprop.TransferBlock(g, n, env, true)
+	for i := range nd.Instrs {
+		in := &nd.Instrs[i]
+		if !in.Op.IsPure() || !in.HasDst() {
+			continue
+		}
+		if vals[i].IsConst() && !local[i].IsConst() {
+			mask.set(i)
+		}
+	}
+	return mask
+}
+
+// Reduce shrinks the HPG h, whose qualified constant-propagation result is
+// sol and whose translated path profile is hpgProf.
+func Reduce(h *trace.HPG, sol *constprop.Result, hpgProf *bl.Profile, opt Options) (*Reduced, error) {
+	g := h.G
+	numVars := h.Fn.NumVars()
+	freq := profile.NodeFrequencies(hpgProf, g)
+
+	// Per-node local values (shared across duplicates of the same
+	// original vertex — instructions are identical).
+	localByOrig := map[cfg.NodeID][]constprop.Value{}
+	localOf := func(n cfg.NodeID) []constprop.Value {
+		ov := h.OrigNode[n]
+		if l, ok := localByOrig[ov]; ok {
+			return l
+		}
+		l := constprop.LocalValues(g, n, numVars)
+		localByOrig[ov] = l
+		return l
+	}
+
+	// Step 1: weights and hot vertices.
+	weights := make([]int64, g.NumNodes())
+	masks := make([]constMask, g.NumNodes())
+	var total int64
+	for _, nd := range g.Nodes {
+		mask := nonLocalConstMask(g, nd.ID, sol.EnvAt(nd.ID), localOf(nd.ID))
+		masks[nd.ID] = mask
+		var nconst int64
+		for i := range nd.Instrs {
+			if mask.get(i) {
+				nconst++
+			}
+		}
+		weights[nd.ID] = nconst * freq[nd.ID]
+		total += weights[nd.ID]
+	}
+	order := make([]cfg.NodeID, g.NumNodes())
+	for i := range order {
+		order[i] = cfg.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if weights[order[i]] != weights[order[j]] {
+			return weights[order[i]] > weights[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	hot := make([]bool, g.NumNodes())
+	var hotList []cfg.NodeID
+	goal := opt.CR * float64(total)
+	var acc float64
+	for _, n := range order {
+		if acc >= goal || weights[n] == 0 {
+			break
+		}
+		hot[n] = true
+		hotList = append(hotList, n)
+		acc += float64(weights[n])
+	}
+
+	// Step 2: greedy compatibility partition, per original vertex.
+	byOrig := map[cfg.NodeID][]cfg.NodeID{}
+	for _, nd := range g.Nodes {
+		byOrig[h.OrigNode[nd.ID]] = append(byOrig[h.OrigNode[nd.ID]], nd.ID)
+	}
+	class := make([]int, g.NumNodes())
+	for i := range class {
+		class[i] = -1
+	}
+	numClasses := 0
+	origIDs := make([]cfg.NodeID, 0, len(byOrig))
+	for ov := range byOrig {
+		origIDs = append(origIDs, ov)
+	}
+	sort.Slice(origIDs, func(i, j int) bool { return origIDs[i] < origIDs[j] })
+	for _, ov := range origIDs {
+		group := byOrig[ov]
+		sort.Slice(group, func(i, j int) bool {
+			if weights[group[i]] != weights[group[j]] {
+				return weights[group[i]] > weights[group[j]]
+			}
+			return group[i] < group[j]
+		})
+		type set struct {
+			id      int
+			meet    constprop.Env
+			hasHot  bool
+			hotMask constMask // union of hot members' required constants
+		}
+		var sets []*set
+		nInstrs := len(g.Node(group[0]).Instrs)
+		for _, n := range group {
+			env := sol.EnvAt(n)
+			placed := false
+			for _, s := range sets {
+				if !s.hasHot && !hot[n] {
+					// Neither side hot: always compatible.
+					s.meet = s.meet.Meet(env)
+					class[n] = s.id
+					placed = true
+					break
+				}
+				m := s.meet.Meet(env)
+				need := newMask(nInstrs)
+				copy(need, s.hotMask)
+				if hot[n] {
+					for i := range need {
+						need[i] |= masks[n][i]
+					}
+				}
+				got := nonLocalConstMask(g, n, m, localOf(n))
+				if got.contains(need) {
+					s.meet = m
+					s.hasHot = s.hasHot || hot[n]
+					s.hotMask = need
+					class[n] = s.id
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				s := &set{id: numClasses, meet: sol.EnvAt(n).Clone(), hasHot: hot[n], hotMask: newMask(nInstrs)}
+				if hot[n] {
+					copy(s.hotMask, masks[n])
+				}
+				numClasses++
+				sets = append(sets, s)
+				class[n] = s.id
+			}
+		}
+	}
+
+	// Step 3: refine to the coarsest congruence (DFA minimization).
+	class, numClasses = refine(g, class, numClasses)
+
+	// Step 4: build the quotient graph.
+	red := &Reduced{
+		H:         h,
+		G:         &cfg.Graph{Name: g.Name + "#reduced"},
+		Class:     class,
+		Members:   make([][]cfg.NodeID, numClasses),
+		Rep:       make([]cfg.NodeID, numClasses),
+		Recording: map[cfg.EdgeID]bool{},
+		Hot:       hotList,
+		Weights:   weights,
+	}
+	for _, nd := range g.Nodes {
+		red.Members[class[nd.ID]] = append(red.Members[class[nd.ID]], nd.ID)
+	}
+	for c := range red.Members {
+		if len(red.Members[c]) == 0 {
+			return nil, fmt.Errorf("reduce: empty class %d", c)
+		}
+		leader := red.Members[c][0]
+		ov := h.OrigNode[leader]
+		origNd := h.Fn.G.Node(ov)
+		name := g.Node(leader).Name
+		if len(red.Members[c]) > 1 {
+			// The paper's Figure 8 drops state numbers from merged
+			// vertices.
+			name = origNd.Name
+			if name == "" {
+				name = fmt.Sprintf("n%d", ov)
+			}
+		}
+		id := red.G.AddNode(name)
+		nd := red.G.Node(id)
+		nd.Instrs = append([]ir.Instr(nil), origNd.Instrs...)
+		nd.Kind = origNd.Kind
+		nd.Cond = origNd.Cond
+		nd.Ret = origNd.Ret
+		red.Rep[c] = id
+		red.OrigNode = append(red.OrigNode, ov)
+	}
+	red.G.Entry = red.Rep[class[g.Entry]]
+	red.G.Exit = red.Rep[class[g.Exit]]
+	for c := range red.Members {
+		leader := red.Members[c][0]
+		from := red.Rep[c]
+		for _, heid := range g.Node(leader).Out {
+			he := g.Edge(heid)
+			toClass := class[he.To]
+			// Congruence: every member's successor in this slot must be
+			// in toClass.
+			for _, m := range red.Members[c][1:] {
+				me := g.Edge(g.Node(m).Out[he.Slot])
+				if class[me.To] != toClass {
+					return nil, fmt.Errorf("reduce: partition is not a congruence at class %d slot %d", c, he.Slot)
+				}
+			}
+			reid := red.G.AddEdge(from, red.Rep[toClass])
+			red.OrigEdge = append(red.OrigEdge, h.OrigEdge[heid])
+			if h.Recording[heid] {
+				red.Recording[reid] = true
+			}
+		}
+	}
+	if err := red.G.Validate(numVars); err != nil {
+		return nil, fmt.Errorf("reduce: produced invalid graph: %w", err)
+	}
+	return red, nil
+}
+
+// refine computes the coarsest refinement of the initial partition that is
+// a congruence with respect to successor slots: for every class and every
+// slot, all members' successors lie in one class. It is Hopcroft's
+// partition-refinement algorithm ([Gri73]); splitters are (class, slot)
+// pairs and the smaller half of every split is re-queued.
+func refine(g *cfg.Graph, class []int, numClasses int) ([]int, int) {
+	members := make([][]cfg.NodeID, numClasses)
+	for i := range class {
+		members[class[i]] = append(members[class[i]], cfg.NodeID(i))
+	}
+	const maxSlots = 2
+	type splitter struct {
+		class, slot int
+	}
+	queue := make([]splitter, 0, numClasses*maxSlots)
+	queued := map[splitter]bool{}
+	push := func(c, s int) {
+		sp := splitter{c, s}
+		if !queued[sp] {
+			queued[sp] = true
+			queue = append(queue, sp)
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		for s := 0; s < maxSlots; s++ {
+			push(c, s)
+		}
+	}
+
+	inX := make([]bool, len(class))
+	for len(queue) > 0 {
+		sp := queue[0]
+		queue = queue[1:]
+		queued[sp] = false
+
+		// X = slot-sp.slot preimage of sp.class.
+		var X []cfg.NodeID
+		for _, m := range members[sp.class] {
+			for _, eid := range g.Node(m).In {
+				e := g.Edge(eid)
+				if e.Slot == sp.slot && !inX[e.From] {
+					inX[e.From] = true
+					X = append(X, e.From)
+				}
+			}
+		}
+		if len(X) == 0 {
+			continue
+		}
+		// Classes partially covered by X split.
+		affected := map[int][]cfg.NodeID{}
+		for _, n := range X {
+			affected[class[n]] = append(affected[class[n]], n)
+		}
+		for c, hit := range affected {
+			if len(hit) == len(members[c]) {
+				continue // fully inside X: no split
+			}
+			// Split class c into hit and rest.
+			rest := make([]cfg.NodeID, 0, len(members[c])-len(hit))
+			for _, n := range members[c] {
+				if !inX[n] {
+					rest = append(rest, n)
+				}
+			}
+			newID := numClasses
+			numClasses++
+			// The smaller half becomes the new class and is re-queued
+			// for every slot; the larger keeps the old id. If the old
+			// class is still queued for some slot, both halves must be
+			// queued — pushing the new id unconditionally and keeping
+			// the old id's entries achieves that.
+			small, large := hit, rest
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			members[c] = large
+			members = append(members, small)
+			for _, n := range small {
+				class[n] = newID
+			}
+			for s := 0; s < maxSlots; s++ {
+				push(newID, s)
+				push(c, s)
+			}
+		}
+		for _, n := range X {
+			inX[n] = false
+		}
+	}
+
+	// Renumber classes densely in order of first member for determinism.
+	renum := make([]int, numClasses)
+	for i := range renum {
+		renum[i] = -1
+	}
+	next := 0
+	out := make([]int, len(class))
+	for i := range class {
+		if renum[class[i]] == -1 {
+			renum[class[i]] = next
+			next++
+		}
+		out[i] = renum[class[i]]
+	}
+	return out, next
+}
+
+// Growth returns the relative node-count increase of the rHPG over the
+// original graph (Figure 11's "after minimization" series).
+func (r *Reduced) Growth() float64 {
+	o := r.H.Fn.G.NumNodes()
+	return float64(r.G.NumNodes()-o) / float64(o)
+}
+
+// Func wraps the rHPG in a cfg.Func sharing the original register table.
+func (r *Reduced) Func() *cfg.Func {
+	return &cfg.Func{
+		Name:     r.H.Fn.Name,
+		Params:   r.H.Fn.Params,
+		VarNames: r.H.Fn.VarNames,
+		G:        r.G,
+	}
+}
+
+// Overlay implementation, so profiles translate onto the rHPG.
+
+// OverlayGraph returns the reduced graph.
+func (r *Reduced) OverlayGraph() *cfg.Graph { return r.G }
+
+// OverlayStart returns the rHPG node where paths starting at original
+// vertex v begin: the class of (v, q•).
+func (r *Reduced) OverlayStart(v cfg.NodeID) (cfg.NodeID, bool) {
+	hn, ok := r.H.StartNode(v)
+	if !ok {
+		return cfg.NoNode, false
+	}
+	return r.Rep[r.Class[hn]], true
+}
+
+// OverlayRecording returns the rHPG recording edges.
+func (r *Reduced) OverlayRecording() map[cfg.EdgeID]bool { return r.Recording }
+
+// OverlayOrigEdge maps an rHPG edge to its original edge.
+func (r *Reduced) OverlayOrigEdge(e cfg.EdgeID) cfg.EdgeID { return r.OrigEdge[e] }

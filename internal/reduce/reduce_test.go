@@ -1,0 +1,330 @@
+package reduce_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/interp"
+	"pathflow/internal/paperex"
+	"pathflow/internal/profile"
+	. "pathflow/internal/reduce"
+	"pathflow/internal/trace"
+)
+
+// buildReduced runs the full §5 pipeline on the paper's example with the
+// given CR.
+func buildReduced(t *testing.T, cr float64) (*cfg.Func, *trace.HPG, *constprop.Result, *Reduced, *bl.Profile) {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	ps := paperex.Paths(edges)
+	a, err := automaton.New(f.G, paperex.Recording(edges), ps[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := trace.Build(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := constprop.Analyze(h.G, f.NumVars(), true)
+	tp, err := profile.Translate(pr, f.G, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(h, sol, tp, Options{CR: cr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, h, sol, red, tp
+}
+
+func hpgByName(h *trace.HPG) map[string]cfg.NodeID {
+	m := map[string]cfg.NodeID{}
+	for _, nd := range h.G.Nodes {
+		m[nd.Name] = nd.ID
+	}
+	return m
+}
+
+func TestWeightsMatchPaper(t *testing.T) {
+	_, h, _, red, _ := buildReduced(t, 0.6)
+	names := hpgByName(h)
+	// Paper §5: "H12 weighs 30, H13 weighs 100, H14 weighs 140, H15
+	// weighs 60, and I17 weighs 70. All the other vertices have weight 0."
+	want := map[string]int64{"H12": 30, "H13": 100, "H14": 140, "H15": 60, "I17": 70}
+	var total int64
+	for name, w := range want {
+		if got := red.Weights[names[name]]; got != w {
+			t.Errorf("weight[%s] = %d, want %d", name, got, w)
+		}
+		total += w
+	}
+	var sum int64
+	for _, w := range red.Weights {
+		sum += w
+	}
+	if sum != total {
+		t.Errorf("total weight = %d, want %d (all other vertices 0)", sum, total)
+	}
+}
+
+func TestHotSelectionAtCR06(t *testing.T) {
+	_, h, _, red, _ := buildReduced(t, 0.6)
+	names := hpgByName(h)
+	// CR = 0.6 of 400 = 240 = weight(H14) + weight(H13): exactly the
+	// paper's "suppose CR is chosen such that H13 and H14 are the only
+	// hot vertices".
+	wantHot := map[cfg.NodeID]bool{names["H13"]: true, names["H14"]: true}
+	if len(red.Hot) != 2 {
+		t.Fatalf("hot vertices = %d, want 2", len(red.Hot))
+	}
+	for _, n := range red.Hot {
+		if !wantHot[n] {
+			t.Errorf("unexpected hot vertex %s", h.G.Node(n).Name)
+		}
+	}
+}
+
+// classOfNames returns the partition as a sorted list of sorted name
+// lists, for comparison against the paper's sets.
+func partitionNames(h *trace.HPG, red *Reduced) []string {
+	var classes []string
+	for _, members := range red.Members {
+		var names []string
+		for _, n := range members {
+			names = append(names, h.G.Node(n).Name)
+		}
+		sort.Strings(names)
+		classes = append(classes, strings.Join(names, ","))
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+func TestReductionReproducesFigure8Partition(t *testing.T) {
+	_, h, _, red, _ := buildReduced(t, 0.6)
+	got := partitionNames(h, red)
+	want := []string{
+		"A0", "B0", "B1", "C3", "Cε", "D2", "D4",
+		"E5", "E6", "E7,Eε", "F10", "F11,F8,Fε",
+		"G9", "Gε", "H12,H15,Hε", "H13", "H14",
+		"I16,I17,Iε", "entryε", "exit0",
+	}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("classes = %d, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("class %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if red.G.NumNodes() != 20 {
+		t.Errorf("rHPG nodes = %d, want 20", red.G.NumNodes())
+	}
+}
+
+func TestReducedGraphConstants(t *testing.T) {
+	f, _, _, red, _ := buildReduced(t, 0.6)
+	sol := constprop.Analyze(red.G, f.NumVars(), true)
+	byName := map[string]cfg.NodeID{}
+	for _, nd := range red.G.Nodes {
+		byName[nd.Name] = nd.ID
+	}
+	xAt := func(node string) constprop.Value {
+		vals := sol.InstrValues(byName[node])
+		for i, in := range red.G.Node(byName[node]).Instrs {
+			if in.Dst == paperex.VarX {
+				return vals[i]
+			}
+		}
+		t.Fatalf("no x instruction in %s", node)
+		return constprop.Value{}
+	}
+	// Figure 8: a+b is 6 at H14 and 4 at H13; the merged H loses x.
+	if got := xAt("H14"); got != constprop.ConstOf(6) {
+		t.Errorf("x at H14 = %v, want 6", got)
+	}
+	if got := xAt("H13"); got != constprop.ConstOf(4) {
+		t.Errorf("x at H13 = %v, want 4", got)
+	}
+	if got := xAt("H"); got.IsConst() {
+		t.Errorf("x at merged H = %v, want non-constant", got)
+	}
+}
+
+func TestReducedRecordingEdges(t *testing.T) {
+	f, _, _, red, _ := buildReduced(t, 0.6)
+	_, _, edges := paperex.Build()
+	R := paperex.Recording(edges)
+	// Recording edges: entry→A0 (1), H*→B0 from {H,H13,H14} classes (3),
+	// I→exit (1): 5 in total.
+	if got := len(red.Recording); got != 5 {
+		t.Errorf("rHPG recording edges = %d, want 5", got)
+	}
+	for re := range red.Recording {
+		if !R[red.OrigEdge[re]] {
+			t.Errorf("rHPG recording edge %d projects to non-recording edge", re)
+		}
+	}
+	_ = f
+}
+
+func TestReducedProfileTranslation(t *testing.T) {
+	f, _, _, red, _ := buildReduced(t, 0.6)
+	_, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	rp, err := profile.Translate(pr, f.G, red)
+	if err != nil {
+		t.Fatalf("Translate onto rHPG: %v", err)
+	}
+	if err := rp.Validate(red.G); err != nil {
+		t.Fatal(err)
+	}
+	if rp.TotalCount() != pr.TotalCount() {
+		t.Errorf("count = %d, want %d", rp.TotalCount(), pr.TotalCount())
+	}
+	if got, want := rp.DynInstrs(red.G), pr.DynInstrs(f.G); got != want {
+		t.Errorf("dyn instrs = %d, want %d", got, want)
+	}
+	// Frequencies at the preserved hot vertices are unchanged.
+	freq := profile.NodeFrequencies(rp, red.G)
+	byName := map[string]cfg.NodeID{}
+	for _, nd := range red.G.Nodes {
+		byName[nd.Name] = nd.ID
+	}
+	if got := freq[byName["H14"]]; got != 70 {
+		t.Errorf("freq[H14] = %d, want 70", got)
+	}
+	if got := freq[byName["H13"]]; got != 100 {
+		t.Errorf("freq[H13] = %d, want 100", got)
+	}
+	// The merged H absorbs the remaining H traffic (30 + 30).
+	if got := freq[byName["H"]]; got != 60 {
+		t.Errorf("freq[H] = %d, want 60", got)
+	}
+}
+
+func TestReducedExecutionEquivalence(t *testing.T) {
+	f, _, _, red, _ := buildReduced(t, 0.6)
+	for kind := 1; kind <= 3; kind++ {
+		in := paperex.RunInputs(kind)
+		p1 := cfg.NewProgram()
+		p1.Add(f)
+		r1, err := interp.Run(p1, interp.Options{Input: &interp.SliceInput{Values: in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := cfg.NewProgram()
+		p2.Add(red.Func())
+		r2, err := interp.Run(p2, interp.Options{Input: &interp.SliceInput{Values: in}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Ret != r2.Ret || r1.DynInstrs != r2.DynInstrs {
+			t.Errorf("kind %d: original ret=%d di=%d, reduced ret=%d di=%d",
+				kind, r1.Ret, r1.DynInstrs, r2.Ret, r2.DynInstrs)
+		}
+	}
+}
+
+func TestReduceCR1KeepsAllConstants(t *testing.T) {
+	// With CR = 1 every weighted vertex is hot, so all five constant
+	// sites survive reduction.
+	f, h, _, red, _ := buildReduced(t, 1.0)
+	if len(red.Hot) != 5 {
+		t.Fatalf("hot vertices at CR=1: %d, want 5", len(red.Hot))
+	}
+	sol := constprop.Analyze(red.G, f.NumVars(), true)
+	rp := profileOnReduced(t, red)
+	freq := profile.NodeFrequencies(rp, red.G)
+	var weighted int64
+	for _, nd := range red.G.Nodes {
+		vals := sol.InstrValues(nd.ID)
+		local := constprop.LocalValues(red.G, nd.ID, f.NumVars())
+		for i := range nd.Instrs {
+			if vals[i].IsConst() && !local[i].IsConst() {
+				weighted += freq[nd.ID]
+			}
+		}
+	}
+	// 140 + 100 + 70 + 60 + 30 = 400 dynamic non-local constants.
+	if weighted != 400 {
+		t.Errorf("dynamic non-local constants after CR=1 reduction = %d, want 400", weighted)
+	}
+	_ = h
+}
+
+func profileOnReduced(t *testing.T, red *Reduced) *bl.Profile {
+	t.Helper()
+	f, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	rp, err := profile.Translate(pr, f.G, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	// The greedy partition, Hopcroft refinement and quotient
+	// construction involve maps internally; the result must still be
+	// identical across runs.
+	_, h1, _, red1, _ := buildReduced(t, 0.6)
+	_, h2, _, red2, _ := buildReduced(t, 0.6)
+	p1 := partitionNames(h1, red1)
+	p2 := partitionNames(h2, red2)
+	if len(p1) != len(p2) {
+		t.Fatalf("partition sizes differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("partitions differ at %d: %q vs %q", i, p1[i], p2[i])
+		}
+	}
+	if red1.G.String() != red2.G.String() {
+		t.Error("reduced graphs differ across runs")
+	}
+}
+
+func TestReducedGraphIsCongruence(t *testing.T) {
+	// Every member of a class must agree, per successor slot, on the
+	// class of its successor — the property that makes the quotient
+	// well-defined (§5 step 3).
+	_, h, _, red, _ := buildReduced(t, 0.6)
+	for c, members := range red.Members {
+		for _, m := range members {
+			for _, eid := range h.G.Node(m).Out {
+				e := h.G.Edge(eid)
+				leader := members[0]
+				le := h.G.Edge(h.G.Node(leader).Out[e.Slot])
+				if red.Class[e.To] != red.Class[le.To] {
+					t.Fatalf("class %d not a congruence at slot %d", c, e.Slot)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceCR0CollapsesToOriginalSize(t *testing.T) {
+	// With CR = 0 nothing is hot, so every duplicate merges back; the
+	// reduced graph can be at most one node per (original vertex, per
+	// congruence-forced split). For the example everything re-merges
+	// except the B duplicates forced apart by nothing — with no hot
+	// vertices the congruence is satisfiable with one class per vertex.
+	f, _, _, red, _ := buildReduced(t, 0)
+	if len(red.Hot) != 0 {
+		t.Fatalf("hot vertices at CR=0: %d, want 0", len(red.Hot))
+	}
+	if got, want := red.G.NumNodes(), f.G.NumNodes(); got != want {
+		t.Errorf("rHPG nodes at CR=0 = %d, want %d (original size)", got, want)
+	}
+	if red.Growth() != 0 {
+		t.Errorf("growth = %v, want 0", red.Growth())
+	}
+}

@@ -1,0 +1,535 @@
+// Package signs implements sign analysis — a second, independent client
+// of the data-flow framework, demonstrating the paper's closing claim
+// that path qualification "is applicable to other data-flow problems, as
+// well" (§8). Facts are subsets of {negative, zero, positive} per
+// register; qualified sign analysis runs unchanged on a hot path graph,
+// where hot-path signs no longer merge with cold-path signs.
+//
+// The analysis is branch-aware in the Wegman-Zadek style and additionally
+// refines the branched-on register: on the taken leg the condition is
+// known non-zero, on the fall-through leg it is exactly zero.
+package signs
+
+import (
+	"strings"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/ir"
+)
+
+// Sign is a subset of {N, Z, P}. The empty set is ⊤ (no evidence); the
+// full set is ⊥ (any sign).
+type Sign uint8
+
+// The three sign bits.
+const (
+	N Sign = 1 << iota // negative
+	Z                  // zero
+	P                  // positive
+
+	Top    Sign = 0
+	Bottom Sign = N | Z | P
+)
+
+// SignOf returns the singleton sign of a concrete value.
+func SignOf(v ir.Value) Sign {
+	switch {
+	case v < 0:
+		return N
+	case v == 0:
+		return Z
+	default:
+		return P
+	}
+}
+
+// Has reports whether s admits sign bit b.
+func (s Sign) Has(b Sign) bool { return s&b != 0 }
+
+// Meet is set union (with ⊤ = ∅ as identity).
+func (s Sign) Meet(o Sign) Sign { return s | o }
+
+// Definite reports whether the sign is a single known bit.
+func (s Sign) Definite() bool { return s == N || s == Z || s == P }
+
+// String renders the set, e.g. "{-,0}" or "⊤".
+func (s Sign) String() string {
+	if s == Top {
+		return "⊤"
+	}
+	var parts []string
+	if s.Has(N) {
+		parts = append(parts, "-")
+	}
+	if s.Has(Z) {
+		parts = append(parts, "0")
+	}
+	if s.Has(P) {
+		parts = append(parts, "+")
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// combine folds a per-singleton-pair table over two sign sets.
+func combine(a, b Sign, f func(x, y Sign) Sign) Sign {
+	if a == Top || b == Top {
+		return Top
+	}
+	var out Sign
+	for _, x := range [...]Sign{N, Z, P} {
+		if !a.Has(x) {
+			continue
+		}
+		for _, y := range [...]Sign{N, Z, P} {
+			if b.Has(y) {
+				out |= f(x, y)
+			}
+		}
+	}
+	return out
+}
+
+// addSigns is the sign table of addition on singletons.
+func addSigns(x, y Sign) Sign {
+	switch {
+	case x == Z:
+		return y
+	case y == Z:
+		return x
+	case x == y:
+		return x // P+P = P, N+N = N (overflow notwithstanding; see below)
+	default:
+		return Bottom // P+N can be anything
+	}
+}
+
+// mulSigns is the sign table of multiplication on singletons.
+func mulSigns(x, y Sign) Sign {
+	switch {
+	case x == Z || y == Z:
+		return Z
+	case x == y:
+		return P
+	default:
+		return N
+	}
+}
+
+// divSigns is the sign table of the IR's division (b == 0 yields 0, and
+// magnitudes can round to zero: 1/2 == 0).
+func divSigns(x, y Sign) Sign {
+	switch {
+	case y == Z:
+		return Z // defined division by zero
+	case x == Z:
+		return Z
+	case x == y:
+		return Z | P // may round to zero
+	default:
+		return Z | N
+	}
+}
+
+// modSigns: the remainder has the dividend's sign or is zero.
+func modSigns(x, y Sign) Sign {
+	if y == Z || x == Z {
+		return Z
+	}
+	return x | Z
+}
+
+// cmpSigns decides a comparison on singleton signs where the order
+// N < Z < P settles it; same-sign operands (other than Z,Z) can compare
+// either way. Comparison results are 0 or 1, i.e. Z or P.
+func cmpSigns(op ir.Op, x, y Sign) Sign {
+	var lt, eq, gt bool
+	switch {
+	case x == Z && y == Z:
+		eq = true
+	case x == y:
+		lt, eq, gt = true, true, true
+	case signRank(x) < signRank(y):
+		lt = true
+	default:
+		gt = true
+	}
+	var truth, falsth bool
+	check := func(possible, holds bool) {
+		if !possible {
+			return
+		}
+		if holds {
+			truth = true
+		} else {
+			falsth = true
+		}
+	}
+	pred := func(l, e, g bool) {
+		check(lt, l)
+		check(eq, e)
+		check(gt, g)
+	}
+	switch op {
+	case ir.Lt:
+		pred(true, false, false)
+	case ir.Le:
+		pred(true, true, false)
+	case ir.Gt:
+		pred(false, false, true)
+	case ir.Ge:
+		pred(false, true, true)
+	case ir.Eq:
+		pred(false, true, false)
+	case ir.Ne:
+		pred(true, false, true)
+	}
+	var out Sign
+	if truth {
+		out |= P
+	}
+	if falsth {
+		out |= Z
+	}
+	return out
+}
+
+func signRank(s Sign) int {
+	switch s {
+	case N:
+		return 0
+	case Z:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// EvalBin computes the sign of a binary operation.
+//
+// Note on overflow: the abstract tables treat P+P as P etc.; two's
+// complement overflow can violate this for values near ±2^63. The
+// language front end and benchmarks stay far from those magnitudes, and
+// the soundness property tests sample accordingly. This matches the
+// paper-era convention of ignoring overflow in abstract interpretation
+// of signs.
+func EvalBin(op ir.Op, a, b Sign) Sign {
+	switch op {
+	case ir.Add:
+		return combine(a, b, addSigns)
+	case ir.Sub:
+		return combine(a, b, func(x, y Sign) Sign { return addSigns(x, negSign(y)) })
+	case ir.Mul:
+		return combine(a, b, mulSigns)
+	case ir.Div:
+		return combine(a, b, divSigns)
+	case ir.Mod:
+		return combine(a, b, modSigns)
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		return combine(a, b, func(x, y Sign) Sign { return cmpSigns(op, x, y) })
+	case ir.And:
+		return combine(a, b, func(x, y Sign) Sign {
+			if x != N && y != N {
+				// Both operands non-negative: result non-negative.
+				return Z | P
+			}
+			if x == N && y == N {
+				return N // sign bits both set
+			}
+			return Z | P // mixed: the non-negative operand masks the sign bit
+		})
+	case ir.Or:
+		return combine(a, b, func(x, y Sign) Sign {
+			if x == N || y == N {
+				return N // a set sign bit survives or
+			}
+			if x == Z && y == Z {
+				return Z
+			}
+			return P
+		})
+	case ir.Xor:
+		return combine(a, b, func(x, y Sign) Sign {
+			if (x == N) != (y == N) {
+				return N
+			}
+			if x == Z && y == Z {
+				return Z
+			}
+			return Z | P
+		})
+	case ir.Shl:
+		// Left shifts can move bits into the sign position.
+		if a == Top || b == Top {
+			return Top
+		}
+		if a == Z {
+			return Z
+		}
+		return Bottom
+	case ir.Shr:
+		return combine(a, b, func(x, y Sign) Sign {
+			switch x {
+			case Z:
+				return Z
+			case P:
+				return Z | P
+			default:
+				return N // arithmetic shift keeps the sign bit
+			}
+		})
+	}
+	return Bottom
+}
+
+// EvalUn computes the sign of a unary operation.
+func EvalUn(op ir.Op, a Sign) Sign {
+	switch op {
+	case ir.Copy:
+		return a
+	case ir.Neg:
+		return negSign(a)
+	case ir.Not:
+		if a == Top {
+			return Top
+		}
+		if a == Z {
+			return P // !0 == 1
+		}
+		if !a.Has(Z) {
+			return Z // definitely non-zero: !x == 0
+		}
+		return Z | P
+	}
+	return Bottom
+}
+
+func negSign(a Sign) Sign {
+	var out Sign
+	if a.Has(N) {
+		out |= P
+	}
+	if a.Has(Z) {
+		out |= Z
+	}
+	if a.Has(P) {
+		out |= N
+	}
+	return out
+}
+
+// Env maps registers to sign sets; a dataflow.Fact.
+type Env []Sign
+
+// NewEnv returns an environment with every register set to s.
+func NewEnv(numVars int, s Sign) Env {
+	e := make(Env, numVars)
+	for i := range e {
+		e[i] = s
+	}
+	return e
+}
+
+// Clone copies the environment.
+func (e Env) Clone() Env { return append(Env(nil), e...) }
+
+// Meet combines pointwise.
+func (e Env) Meet(o Env) Env {
+	out := make(Env, len(e))
+	for i := range e {
+		out[i] = e[i].Meet(o[i])
+	}
+	return out
+}
+
+// Equal compares pointwise.
+func (e Env) Equal(o Env) bool {
+	for i := range e {
+		if e[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalInstr computes the sign an instruction's destination takes.
+func EvalInstr(in *ir.Instr, env Env) Sign {
+	switch {
+	case in.Op == ir.Const:
+		return SignOf(in.K)
+	case in.Op.Opaque() || in.Op == ir.Print || in.Op == ir.Nop:
+		return Bottom
+	case in.Op.IsUnary():
+		return EvalUn(in.Op, env[in.A])
+	case in.Op.IsBinary():
+		return EvalBin(in.Op, env[in.A], env[in.B])
+	}
+	return Bottom
+}
+
+// TransferBlock symbolically executes node n, optionally reporting each
+// instruction's sign.
+func TransferBlock(g *cfg.Graph, n cfg.NodeID, in Env, vals bool) (Env, []Sign) {
+	env := in.Clone()
+	nd := g.Node(n)
+	var out []Sign
+	if vals {
+		out = make([]Sign, len(nd.Instrs))
+	}
+	for i := range nd.Instrs {
+		s := EvalInstr(&nd.Instrs[i], env)
+		if vals {
+			out[i] = s
+		}
+		if nd.Instrs[i].HasDst() {
+			env[nd.Instrs[i].Dst] = s
+		}
+	}
+	return env, out
+}
+
+// Problem is the sign-analysis data-flow problem.
+type Problem struct {
+	NumVars int
+	// Conditional enables branch pruning and condition refinement.
+	Conditional bool
+}
+
+var _ dataflow.Problem = (*Problem)(nil)
+
+// Entry returns the all-⊥ environment.
+func (p *Problem) Entry() dataflow.Fact { return NewEnv(p.NumVars, Bottom) }
+
+// Meet combines two facts.
+func (p *Problem) Meet(a, b dataflow.Fact) dataflow.Fact { return a.(Env).Meet(b.(Env)) }
+
+// Equal compares two facts.
+func (p *Problem) Equal(a, b dataflow.Fact) bool { return a.(Env).Equal(b.(Env)) }
+
+// Transfer executes the block and distributes to out-edges, refining the
+// branch condition — and everything the block's copy chain proves equal
+// to it — on each leg.
+func (p *Problem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []dataflow.Fact) {
+	env, _ := TransferBlock(g, n, in.(Env), false)
+	nd := g.Node(n)
+	switch nd.Kind {
+	case cfg.TermJump, cfg.TermReturn:
+		out[0] = env
+	case cfg.TermBranch:
+		if !p.Conditional {
+			out[0], out[1] = env, env.Clone()
+			return
+		}
+		c := env[nd.Cond]
+		if c == Top {
+			return // no evidence yet
+		}
+		aliases := condAliases(nd, p.NumVars)
+		refine := func(e Env, s Sign) {
+			for _, v := range aliases {
+				e[v] &= s
+			}
+		}
+		if c.Has(N) || c.Has(P) {
+			taken := env.Clone()
+			refine(taken, N|P) // the condition was non-zero
+			out[0] = taken
+		}
+		if c.Has(Z) {
+			fall := env.Clone()
+			refine(fall, Z)
+			out[1] = fall
+		}
+	case cfg.TermHalt:
+	}
+}
+
+// condAliases returns the registers that provably hold the same value as
+// the branch condition at the end of the block: the condition itself plus
+// everything connected to it by the block's copy chain (the front end
+// lowers `if (x)` to a copy into a temporary, so refining only the
+// temporary would be useless).
+func condAliases(nd *cfg.Node, numVars int) []ir.Var {
+	// Value-numbering restricted to copies: each write makes its
+	// destination a fresh token unless it copies another register.
+	tokens := make([]int32, numVars)
+	for i := range tokens {
+		tokens[i] = int32(i)
+	}
+	next := int32(numVars)
+	for i := range nd.Instrs {
+		in := &nd.Instrs[i]
+		if !in.HasDst() {
+			continue
+		}
+		if in.Op == ir.Copy {
+			tokens[in.Dst] = tokens[in.A]
+		} else {
+			tokens[in.Dst] = next
+			next++
+		}
+	}
+	var out []ir.Var
+	want := tokens[nd.Cond]
+	for v := range tokens {
+		if tokens[v] == want {
+			out = append(out, ir.Var(v))
+		}
+	}
+	return out
+}
+
+// Result is a solved sign analysis.
+type Result struct {
+	G   *cfg.Graph
+	Sol *dataflow.Solution
+	n   int
+}
+
+// Analyze runs sign analysis over g.
+func Analyze(g *cfg.Graph, numVars int, conditional bool) *Result {
+	p := &Problem{NumVars: numVars, Conditional: conditional}
+	return &Result{G: g, Sol: dataflow.Solve(g, p), n: numVars}
+}
+
+// EnvAt returns the environment at n's entry (all-⊤ when unreached).
+func (r *Result) EnvAt(n cfg.NodeID) Env {
+	if !r.Sol.Reached[n] {
+		return NewEnv(r.n, Top)
+	}
+	return r.Sol.In[n].(Env)
+}
+
+// Reached reports analysis reachability.
+func (r *Result) Reached(n cfg.NodeID) bool { return r.Sol.Reached[n] }
+
+// InstrSigns returns each instruction's result sign at node n.
+func (r *Result) InstrSigns(n cfg.NodeID) []Sign {
+	_, vals := TransferBlock(r.G, n, r.EnvAt(n), true)
+	return vals
+}
+
+// DefiniteCount returns how many pure, destination-producing instructions
+// of g have a definite (single) sign under the solution — the metric the
+// qualified-vs-baseline comparison uses.
+func DefiniteCount(g *cfg.Graph, r *Result, freq []int64) (static int, dyn int64) {
+	for _, nd := range g.Nodes {
+		if !r.Reached(nd.ID) || len(nd.Instrs) == 0 {
+			continue
+		}
+		vals := r.InstrSigns(nd.ID)
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			if !in.Op.IsPure() || !in.HasDst() {
+				continue
+			}
+			if vals[i].Definite() {
+				static++
+				if freq != nil {
+					dyn += freq[nd.ID]
+				}
+			}
+		}
+	}
+	return static, dyn
+}

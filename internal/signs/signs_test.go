@@ -1,0 +1,360 @@
+package signs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/profile"
+	. "pathflow/internal/signs"
+	"pathflow/internal/trace"
+)
+
+func TestSignOf(t *testing.T) {
+	if SignOf(-3) != N || SignOf(0) != Z || SignOf(7) != P {
+		t.Fatal("SignOf broken")
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Top.String() != "⊤" || Bottom.String() != "{-,0,+}" || (N|Z).String() != "{-,0}" {
+		t.Errorf("String: %s %s %s", Top, Bottom, N|Z)
+	}
+}
+
+func TestMeetLattice(t *testing.T) {
+	all := []Sign{Top, N, Z, P, N | Z, N | P, Z | P, Bottom}
+	for _, a := range all {
+		if a.Meet(Top) != a || Top.Meet(a) != a {
+			t.Errorf("⊤ is not the meet identity for %v", a)
+		}
+		if a.Meet(a) != a {
+			t.Errorf("meet not idempotent for %v", a)
+		}
+		for _, b := range all {
+			if a.Meet(b) != b.Meet(a) {
+				t.Errorf("meet not commutative: %v %v", a, b)
+			}
+			// The meet is an upper bound in set order.
+			if a.Meet(b)&a != a {
+				t.Errorf("meet not a superset: %v %v", a, b)
+			}
+		}
+	}
+}
+
+// TestEvalBinSound samples concrete values and checks the abstract result
+// admits the concrete sign, for every binary opcode, via testing/quick.
+func TestEvalBinSound(t *testing.T) {
+	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.Eq, ir.Ne,
+		ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr}
+	f := func(a, b int32, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		x, y := ir.Value(a), ir.Value(b)
+		concrete := SignOf(ir.EvalBin(op, x, y))
+		abstract := EvalBin(op, SignOf(x), SignOf(y))
+		return abstract.Has(concrete)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalBinSoundOnSets: the abstract op over sets admits every result
+// of concrete values drawn from those sets.
+func TestEvalBinSoundOnSets(t *testing.T) {
+	reps := map[Sign][]ir.Value{
+		N: {-1, -7, -1024},
+		Z: {0},
+		P: {1, 9, 4096},
+	}
+	signSets := []Sign{N, Z, P, N | Z, N | P, Z | P, Bottom}
+	ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.And, ir.Or, ir.Xor, ir.Shr}
+	for _, op := range ops {
+		for _, sa := range signSets {
+			for _, sb := range signSets {
+				abs := EvalBin(op, sa, sb)
+				for _, bitA := range []Sign{N, Z, P} {
+					if !sa.Has(bitA) {
+						continue
+					}
+					for _, bitB := range []Sign{N, Z, P} {
+						if !sb.Has(bitB) {
+							continue
+						}
+						for _, va := range reps[bitA] {
+							for _, vb := range reps[bitB] {
+								got := SignOf(ir.EvalBin(op, va, vb))
+								if !abs.Has(got) {
+									t.Fatalf("%v: %v(%v) op %v(%v): concrete %v not in abstract %v",
+										op, sa, va, sb, vb, got, abs)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalUnSound(t *testing.T) {
+	for _, op := range []ir.Op{ir.Copy, ir.Neg, ir.Not} {
+		for _, v := range []ir.Value{-9, -1, 0, 1, 42} {
+			abs := EvalUn(op, SignOf(v))
+			got := SignOf(ir.EvalUn(op, v))
+			if !abs.Has(got) {
+				t.Errorf("%v(%d): concrete %v not in abstract %v", op, v, got, abs)
+			}
+		}
+	}
+}
+
+func analyzeSrc(t *testing.T, src string) (*cfg.Func, *Result) {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Main()
+	return f, Analyze(f.G, f.NumVars(), true)
+}
+
+func signAtExit(t *testing.T, f *cfg.Func, r *Result, name string) Sign {
+	t.Helper()
+	for i, n := range f.VarNames {
+		if n == name {
+			return r.EnvAt(f.G.Exit)[i]
+		}
+	}
+	t.Fatalf("no var %s", name)
+	return Top
+}
+
+func TestAnalyzeBasicSigns(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	a = 3;
+	b = -2;
+	c = a * a;
+	d = a * b;
+	e = input();
+	g = e * e;
+	h = a % 2;
+	print(c + d + g + h);
+}`)
+	cases := map[string]Sign{
+		"a": P,
+		"b": N,
+		"c": P,
+		"d": N,
+		"e": Bottom,
+		// e*e is non-negative in reality, but a non-relational domain
+		// treats the operands as independent: any sign.
+		"g": Bottom,
+		"h": Z | P, // positive mod positive
+	}
+	for name, want := range cases {
+		if got := signAtExit(t, f, r, name); got != want {
+			t.Errorf("sign(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestBranchRefinement(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	x = input() % 8;   // {-,0,+} ... refined below
+	y = 0;
+	if (x) {
+		y = 1;         // here x is non-zero
+	} else {
+		y = 2;         // here x is exactly zero
+	}
+	print(y + x);
+}`)
+	// Find the then/else blocks via the constants they assign.
+	var thenEnv, elseEnv Env
+	for _, nd := range f.G.Nodes {
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			if in.Op == ir.Const && in.K == 1 {
+				thenEnv = r.EnvAt(nd.ID)
+			}
+			if in.Op == ir.Const && in.K == 2 {
+				elseEnv = r.EnvAt(nd.ID)
+			}
+		}
+	}
+	if thenEnv == nil || elseEnv == nil {
+		t.Fatal("could not locate branch legs")
+	}
+	var xVar ir.Var = -1
+	for i, n := range f.VarNames {
+		if n == "x" {
+			xVar = ir.Var(i)
+		}
+	}
+	if thenEnv[xVar].Has(Z) {
+		t.Errorf("x on taken leg = %v, must exclude zero", thenEnv[xVar])
+	}
+	if elseEnv[xVar] != Z {
+		t.Errorf("x on fall-through leg = %v, want exactly zero", elseEnv[xVar])
+	}
+}
+
+func TestConstantBranchPruning(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	c = 5;
+	if (c > 0) { x = 1; } else { x = -1; }
+	print(x);
+}`)
+	if got := signAtExit(t, f, r, "x"); got != P {
+		t.Errorf("x = %v, want + (dead branch pruned)", got)
+	}
+}
+
+// TestQualifiedSignsBeatBaseline: signs merge away on the original graph
+// but stay definite on the hot path graph — the paper's §8 claim that
+// the technique generalizes beyond constant propagation.
+func TestQualifiedSignsBeatBaseline(t *testing.T) {
+	src := `
+func main() {
+	n = arg(0);
+	i = 0;
+	acc = 0;
+	while (i < n) {
+		m = input() % 10;
+		if (m < 9) {
+			delta = 3;          // hot: positive
+		} else {
+			delta = input();    // cold: any sign
+		}
+		step = delta * 2;       // sign lost at the merge ...
+		acc = acc + step;
+		i = i + 1;
+	}
+	print(acc);
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Main()
+	pp, _, err := bl.ProfileProgram(prog, interp.Options{
+		Args:  []ir.Value{100},
+		Input: &interp.SliceInput{Values: stream(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := pp.Funcs["main"]
+	hot := profile.SelectHot(pr, fn.G, 0.97)
+	a, err := automaton.New(fn.G, pr.R, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := trace.Build(fn, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := Analyze(fn.G, fn.NumVars(), true)
+	qual := Analyze(h.G, fn.NumVars(), true)
+
+	baseFreq := profile.NodeFrequencies(pr, fn.G)
+	tp, err := profile.Translate(pr, fn.G, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qualFreq := profile.NodeFrequencies(tp, h.G)
+
+	_, baseDyn := DefiniteCount(fn.G, base, baseFreq)
+	_, qualDyn := DefiniteCount(h.G, qual, qualFreq)
+	if qualDyn <= baseDyn {
+		t.Errorf("qualified definite-sign dyn = %d, baseline = %d; want improvement", qualDyn, baseDyn)
+	}
+}
+
+func stream(seed uint64) []ir.Value {
+	vals := make([]ir.Value, 1024)
+	x := seed*2654435761 + 1
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = ir.Value(x & 0x7fffffff)
+	}
+	return vals
+}
+
+// TestSignAnalysisSoundOnExecution validates every definite-sign claim
+// against live registers, mirroring the constant-propagation soundness
+// test.
+func TestSignAnalysisSoundOnExecution(t *testing.T) {
+	src := `
+func main() {
+	i = 0;
+	pos = 1;
+	neg = -1;
+	acc = 0;
+	while (i < 60) {
+		v = input() % 7;
+		if (v) { acc = acc + pos; } else { acc = acc + neg; }
+		pos = pos * 2 % 1000 + 1;
+		neg = 0 - pos;
+		i = i + 1;
+	}
+	print(acc);
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Main()
+	sol := Analyze(fn.G, fn.NumVars(), true)
+	var violation string
+	_, err = interp.Run(prog, interp.Options{
+		Input: &interp.SliceInput{Values: stream(9)},
+		OnBlockEnv: func(f *cfg.Func, n cfg.NodeID, regs []ir.Value) {
+			if violation != "" {
+				return
+			}
+			env := sol.EnvAt(n)
+			for v := range env {
+				if env[v] != Top && !env[v].Has(SignOf(regs[v])) {
+					violation = f.VarName(ir.Var(v)) + " at node " + f.G.Node(n).Name
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violation != "" {
+		t.Fatalf("unsound sign claim for %s", violation)
+	}
+}
+
+func TestDefiniteCount(t *testing.T) {
+	f, r := analyzeSrc(t, `
+func main() {
+	a = 3;
+	b = a * 2;
+	c = input();
+	d = c * c;
+	print(b + d);
+}`)
+	static, _ := DefiniteCount(f.G, r, nil)
+	// a(const), b's components... at least the constants and b are
+	// definite; d = c*c is {0,+}, not definite.
+	if static < 3 {
+		t.Errorf("definite static = %d, want >= 3", static)
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace implements Holley-Rosen data-flow tracing as extended by
+// Ammons & Larus (PLDI 1998), Figure 4: given a control-flow graph G and a
+// qualification automaton A, it constructs the hot path graph (HPG)
+// GA whose vertices are the reachable pairs (v, q) of CFG vertex and
+// automaton state, and whose edges mirror G's edges filtered through A's
+// transitions. Recording edges of G are marked again in the HPG, so the
+// original path profile remains interpretable (paper §4.2, Lemmas 1-2).
+//
+// Hot paths end in distinct automaton states, so their vertices are
+// duplicated away from the cold paths and a data-flow analysis run on the
+// HPG cannot merge hot-path facts with cold-path facts.
+package trace
+
+import (
+	"fmt"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/cfg"
+	"pathflow/internal/ir"
+)
+
+// HPG is a traced hot path graph.
+type HPG struct {
+	// Fn is the original function.
+	Fn *cfg.Func
+	// Auto is the qualification automaton used for tracing.
+	Auto *automaton.Automaton
+	// G is the traced graph. Its node and edge IDs are its own; use
+	// OrigNode/State/OrigEdge to map back.
+	G *cfg.Graph
+	// OrigNode[n] is the original vertex of HPG node n.
+	OrigNode []cfg.NodeID
+	// State[n] is the automaton state of HPG node n.
+	State []automaton.State
+	// OrigEdge[e] is the original edge that HPG edge e duplicates; it is
+	// also the edge's automaton-alphabet label.
+	OrigEdge []cfg.EdgeID
+	// Recording is the recording-edge set of the HPG: an HPG edge is
+	// recording iff its original edge is.
+	Recording map[cfg.EdgeID]bool
+
+	pairs map[pairKey]cfg.NodeID
+}
+
+type pairKey struct {
+	v cfg.NodeID
+	q automaton.State
+}
+
+// Build traces fn's graph against automaton a, whose recording-edge set
+// must be the one fn was profiled with.
+func Build(fn *cfg.Func, a *automaton.Automaton) (*HPG, error) {
+	g := fn.G
+	h := &HPG{
+		Fn:        fn,
+		Auto:      a,
+		G:         &cfg.Graph{Name: g.Name + "#hpg"},
+		Recording: map[cfg.EdgeID]bool{},
+		pairs:     map[pairKey]cfg.NodeID{},
+	}
+
+	entry := h.addPair(g, g.Entry, a.Start())
+	h.G.Entry = entry
+	worklist := []cfg.NodeID{entry}
+	for len(worklist) > 0 {
+		hn := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		v, q := h.OrigNode[hn], h.State[hn]
+		for _, eid := range g.Node(v).Out {
+			e := g.Edge(eid)
+			q2 := a.Step(q, eid)
+			key := pairKey{e.To, q2}
+			hn2, ok := h.pairs[key]
+			if !ok {
+				hn2 = h.addPair(g, e.To, q2)
+				worklist = append(worklist, hn2)
+			}
+			he := h.G.AddEdge(hn, hn2)
+			h.OrigEdge = append(h.OrigEdge, eid)
+			if len(h.OrigEdge) != int(he)+1 {
+				return nil, fmt.Errorf("trace: edge bookkeeping out of sync")
+			}
+			if a.R[eid] {
+				h.Recording[he] = true
+			}
+		}
+	}
+
+	// The exit pair is (exit, q•): edges into exit are recording, and
+	// every recording edge drives the automaton to q•. If the original
+	// exit is unreachable the pair is created detached so the graph
+	// still has a well-formed exit.
+	exitKey := pairKey{g.Exit, automaton.StateDot}
+	exitNode, ok := h.pairs[exitKey]
+	if !ok {
+		exitNode = h.addPair(g, g.Exit, automaton.StateDot)
+	}
+	h.G.Exit = exitNode
+
+	if err := h.G.Validate(fn.NumVars()); err != nil {
+		return nil, fmt.Errorf("trace: produced invalid HPG: %w", err)
+	}
+	return h, nil
+}
+
+// addPair materializes the HPG node for (v, q), copying v's instructions
+// and terminator.
+func (h *HPG) addPair(g *cfg.Graph, v cfg.NodeID, q automaton.State) cfg.NodeID {
+	orig := g.Node(v)
+	name := orig.Name
+	if name == "" {
+		name = fmt.Sprintf("n%d", v)
+	}
+	id := h.G.AddNode(name + h.Auto.Name(q))
+	nd := h.G.Node(id)
+	nd.Instrs = append([]ir.Instr(nil), orig.Instrs...)
+	nd.Kind = orig.Kind
+	nd.Cond = orig.Cond
+	nd.Ret = orig.Ret
+	h.OrigNode = append(h.OrigNode, v)
+	h.State = append(h.State, q)
+	h.pairs[pairKey{v, q}] = id
+	return id
+}
+
+// NodeFor returns the HPG node representing (v, q), if it was reached.
+func (h *HPG) NodeFor(v cfg.NodeID, q automaton.State) (cfg.NodeID, bool) {
+	n, ok := h.pairs[pairKey{v, q}]
+	return n, ok
+}
+
+// StartNode returns the HPG node (v, q•): the node where Ball-Larus paths
+// beginning at original vertex v start in the HPG (Lemma 2).
+func (h *HPG) StartNode(v cfg.NodeID) (cfg.NodeID, bool) {
+	return h.NodeFor(v, automaton.StateDot)
+}
+
+// Duplicates returns how many HPG vertices represent each original vertex.
+func (h *HPG) Duplicates() map[cfg.NodeID]int {
+	d := map[cfg.NodeID]int{}
+	for _, v := range h.OrigNode {
+		d[v]++
+	}
+	return d
+}
+
+// Func wraps the HPG in a cfg.Func sharing the original's register table,
+// so the interpreter can execute the traced graph directly (used by the
+// differential soundness tests: the HPG must behave identically to the
+// original program).
+func (h *HPG) Func() *cfg.Func {
+	return &cfg.Func{
+		Name:     h.Fn.Name,
+		Params:   h.Fn.Params,
+		VarNames: h.Fn.VarNames,
+		G:        h.G,
+	}
+}
+
+// Growth returns the relative size increase of the HPG over the original
+// graph in nodes: (|HPG| - |G|) / |G| (the quantity of the paper's
+// Figure 11).
+func (h *HPG) Growth() float64 {
+	o := h.Fn.G.NumNodes()
+	return float64(h.G.NumNodes()-o) / float64(o)
+}
+
+// OverlayGraph, OverlayStart and OverlayRecording implement the overlay
+// interface used by profile translation (internal/profile).
+func (h *HPG) OverlayGraph() *cfg.Graph { return h.G }
+
+// OverlayStart returns the overlay node where paths starting at original
+// vertex v begin.
+func (h *HPG) OverlayStart(v cfg.NodeID) (cfg.NodeID, bool) { return h.StartNode(v) }
+
+// OverlayRecording returns the overlay's recording-edge set.
+func (h *HPG) OverlayRecording() map[cfg.EdgeID]bool { return h.Recording }
+
+// OverlayOrigEdge returns the original edge an overlay edge duplicates.
+func (h *HPG) OverlayOrigEdge(e cfg.EdgeID) cfg.EdgeID { return h.OrigEdge[e] }

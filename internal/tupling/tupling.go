@@ -1,0 +1,213 @@
+// Package tupling implements Holley and Rosen's *context tupling*, the
+// alternative to data-flow tracing that §4.3 of Ammons & Larus (PLDI
+// 1998) discusses: instead of expanding the graph with one vertex per
+// (CFG vertex, automaton state) pair, context tupling solves a *tupled*
+// problem over the original graph whose facts are vectors of lattice
+// values indexed by automaton state —
+//
+//	"data-flow tracing tracks the state of A in the control-flow
+//	 graph, while context tupling tracks the state of A in the
+//	 lattice of values."
+//
+// The paper chose tracing because later passes can consume the traced
+// graph and because Holley and Rosen found tupling no faster. This
+// package exists to validate both claims machine-checkably: the tupled
+// solution must agree exactly with the traced solution at every (vertex,
+// state) pair (see the cross-check tests), and the benchmark harness
+// compares their costs.
+package tupling
+
+import (
+	"pathflow/internal/automaton"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow"
+)
+
+// Fact is the tupled lattice element: one constant-propagation
+// environment per automaton state. A nil slot means "no path reaching
+// here drives the automaton to that state" (the ⊤ of the tuple slot).
+type Fact []constprop.Env
+
+// Clone copies the fact (environments are copied lazily by the
+// per-state operations, which never mutate shared slices).
+func (f Fact) Clone() Fact { return append(Fact(nil), f...) }
+
+// Problem is the tupled constant-propagation problem over the original
+// graph.
+type Problem struct {
+	Auto    *automaton.Automaton
+	NumVars int
+	// Conditional enables Wegman-Zadek branch pruning per tuple slot.
+	Conditional bool
+}
+
+var _ dataflow.Problem = (*Problem)(nil)
+
+// Entry places the all-⊥ environment in the automaton's start state.
+func (p *Problem) Entry() dataflow.Fact {
+	f := make(Fact, p.Auto.NumStates())
+	f[p.Auto.Start()] = constprop.NewEnv(p.NumVars, constprop.Bottom)
+	return f
+}
+
+// Meet combines two tuples slot-wise.
+func (p *Problem) Meet(a, b dataflow.Fact) dataflow.Fact {
+	x, y := a.(Fact), b.(Fact)
+	out := make(Fact, len(x))
+	for q := range x {
+		switch {
+		case x[q] == nil:
+			out[q] = y[q]
+		case y[q] == nil:
+			out[q] = x[q]
+		default:
+			out[q] = x[q].Meet(y[q])
+		}
+	}
+	return out
+}
+
+// Equal compares two tuples slot-wise.
+func (p *Problem) Equal(a, b dataflow.Fact) bool {
+	x, y := a.(Fact), b.(Fact)
+	for q := range x {
+		switch {
+		case x[q] == nil && y[q] == nil:
+		case x[q] == nil || y[q] == nil:
+			return false
+		case !x[q].Equal(y[q]):
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer symbolically executes the block once per populated tuple slot
+// and routes each slot's result to the out-edge facts under the
+// automaton's transition on that edge. Branch pruning applies per slot:
+// one qualified context may know the branch direction while another does
+// not — which is exactly the precision tracing gets from duplication.
+func (p *Problem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []dataflow.Fact) {
+	f := in.(Fact)
+	nd := g.Node(n)
+	ensure := func(slot int) Fact {
+		if out[slot] == nil {
+			out[slot] = make(Fact, len(f))
+		}
+		return out[slot].(Fact)
+	}
+	meetInto := func(slot int, q2 automaton.State, env constprop.Env) {
+		o := ensure(slot)
+		if o[q2] == nil {
+			o[q2] = env
+		} else {
+			o[q2] = o[q2].Meet(env)
+		}
+	}
+	for q := range f {
+		if f[q] == nil {
+			continue
+		}
+		env, _ := constprop.TransferBlock(g, n, f[q], false)
+		switch nd.Kind {
+		case cfg.TermJump, cfg.TermReturn:
+			eid := nd.Out[0]
+			meetInto(0, p.Auto.Step(automaton.State(q), eid), env)
+		case cfg.TermBranch:
+			takeSlot := func(slot int) {
+				eid := nd.Out[slot]
+				e := env
+				if slot == 1 {
+					e = env.Clone()
+				}
+				meetInto(slot, p.Auto.Step(automaton.State(q), eid), e)
+			}
+			if !p.Conditional {
+				takeSlot(0)
+				takeSlot(1)
+				continue
+			}
+			switch c := env[nd.Cond]; c.Kind {
+			case constprop.Top:
+				// optimistic: wait for evidence
+			case constprop.Const:
+				if c.K != 0 {
+					takeSlot(0)
+				} else {
+					takeSlot(1)
+				}
+			case constprop.Bottom:
+				takeSlot(0)
+				takeSlot(1)
+			}
+		case cfg.TermHalt:
+		}
+	}
+}
+
+// Result is a solved tupled problem.
+type Result struct {
+	G    *cfg.Graph
+	Auto *automaton.Automaton
+	Sol  *dataflow.Solution
+	n    int
+}
+
+// Analyze runs tupled constant propagation over fn's graph.
+func Analyze(g *cfg.Graph, numVars int, a *automaton.Automaton, conditional bool) *Result {
+	p := &Problem{Auto: a, NumVars: numVars, Conditional: conditional}
+	return &Result{G: g, Auto: a, Sol: dataflow.Solve(g, p), n: numVars}
+}
+
+// EnvAt returns the environment holding at vertex v given that the
+// automaton is in state q, or ok=false if no executable path drives the
+// automaton to q at v — precisely the qualified solution of Holley-Rosen
+// Theorem 4.2 that tracing represents as the HPG node (v, q).
+func (r *Result) EnvAt(v cfg.NodeID, q automaton.State) (constprop.Env, bool) {
+	if !r.Sol.Reached[v] {
+		return nil, false
+	}
+	f := r.Sol.In[v].(Fact)
+	if f[q] == nil {
+		return nil, false
+	}
+	return f[q], true
+}
+
+// MergedEnvAt returns the meet over all states at v — by Theorem 1 of
+// the paper (Holley-Rosen Theorem 4.2), this is a good solution of the
+// unqualified problem and must agree with plain analysis or better.
+func (r *Result) MergedEnvAt(v cfg.NodeID) (constprop.Env, bool) {
+	if !r.Sol.Reached[v] {
+		return nil, false
+	}
+	f := r.Sol.In[v].(Fact)
+	var out constprop.Env
+	for q := range f {
+		if f[q] == nil {
+			continue
+		}
+		if out == nil {
+			out = f[q]
+		} else {
+			out = out.Meet(f[q])
+		}
+	}
+	return out, out != nil
+}
+
+// States returns the automaton states populated at v.
+func (r *Result) States(v cfg.NodeID) []automaton.State {
+	if !r.Sol.Reached[v] {
+		return nil
+	}
+	f := r.Sol.In[v].(Fact)
+	var out []automaton.State
+	for q := range f {
+		if f[q] != nil {
+			out = append(out, automaton.State(q))
+		}
+	}
+	return out
+}
