@@ -9,6 +9,7 @@
 package pathflow
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,11 +22,14 @@ import (
 	"pathflow/internal/classify"
 	"pathflow/internal/constprop"
 	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/profile"
 	"pathflow/internal/trace"
 	"pathflow/internal/tupling"
 )
+
+var benchCtx = context.Background()
 
 var (
 	suiteOnce sync.Once
@@ -35,7 +39,7 @@ var (
 
 func suite(b *testing.B) []*bench.Instance {
 	b.Helper()
-	suiteOnce.Do(func() { suiteIns, suiteErr = bench.LoadAll() })
+	suiteOnce.Do(func() { suiteIns, suiteErr = bench.LoadAll(benchCtx, nil) })
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
 	}
@@ -49,7 +53,7 @@ func BenchmarkTable1(b *testing.B) {
 	var rows []bench.Table1Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Table1(ins)
+		rows, err = bench.Table1(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +76,7 @@ func BenchmarkTable2(b *testing.B) {
 	var rows []bench.Table2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Table2(ins)
+		rows, err = bench.Table2(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +100,7 @@ func BenchmarkFig7(b *testing.B) {
 	var rows []bench.Fig7Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Fig7(ins)
+		rows, err = bench.Fig7(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +126,7 @@ func BenchmarkFig9(b *testing.B) {
 	var pts []bench.Fig9Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.Fig9(ins, bench.CoverageLevels, 0.95)
+		pts, err = bench.Fig9(benchCtx, ins, bench.CoverageLevels, 0.95)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +149,7 @@ func BenchmarkFig10(b *testing.B) {
 	var rows []bench.Fig10Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Fig10(ins)
+		rows, err = bench.Fig10(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +170,7 @@ func BenchmarkFig11(b *testing.B) {
 	var pts []bench.Fig11Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.Fig11(ins, bench.CoverageLevels, 0.95)
+		pts, err = bench.Fig11(benchCtx, ins, bench.CoverageLevels, 0.95)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +192,7 @@ func BenchmarkFig12(b *testing.B) {
 	var pts []bench.Fig12Point
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.Fig12(ins, bench.CoverageLevels, 0.95)
+		pts, err = bench.Fig12(benchCtx, ins, bench.CoverageLevels, 0.95)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +214,7 @@ func BenchmarkAblationCR(b *testing.B) {
 	var pts []bench.CRPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.CRSweep(ins, []float64{0, 0.5, 0.9, 0.95, 1.0})
+		pts, err = bench.CRSweep(benchCtx, ins, []float64{0, 0.5, 0.9, 0.95, 1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +231,7 @@ func BenchmarkAblationBranches(b *testing.B) {
 	var rows []bench.BranchRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Branches(ins)
+		rows, err = bench.Branches(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +248,7 @@ func BenchmarkAblationSigns(b *testing.B) {
 	var rows []bench.SignsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.Signs(ins)
+		rows, err = bench.Signs(benchCtx, ins)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,4 +381,47 @@ func BenchmarkAnalysisOnly(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineSweep measures the engine's parameter-sweep cost under
+// three configurations: the legacy-equivalent serial engine, bounded
+// parallel scheduling across functions, and parallel scheduling plus the
+// cross-run artifact cache (each iteration starts a cold cache, so the
+// reported win is intra-sweep reuse only). The sweep is the harness's
+// workload shape: every CA level at CR=0.95 (Figures 9/11/12), a CR
+// sweep at CA=0.97 (the reduction ablation), and the recommended point
+// once per ablation (Branches/Signs/Ranges/Propagation/EdgeSelection/CR
+// all start from CA=0.97, CR=0.95).
+//
+// Compare with benchstat:
+//
+//	go test -run - -bench EngineSweep -count 10 | tee new.txt
+//	benchstat old.txt new.txt
+func BenchmarkEngineSweep(b *testing.B) {
+	ins := suite(b)
+	var opts []engine.Options
+	for _, ca := range bench.CoverageLevels {
+		opts = append(opts, engine.Options{CA: ca, CR: 0.95})
+	}
+	for cr := 0.0; cr <= 1.0; cr += 0.1 {
+		opts = append(opts, engine.Options{CA: 0.97, CR: cr})
+	}
+	// The ablation suite re-analyzes the recommended point once per
+	// ablation; repeats are where a cache shines brightest.
+	for i := 0; i < 6; i++ {
+		opts = append(opts, engine.DefaultOptions())
+	}
+	run := func(b *testing.B, cfg engine.Config) {
+		for b.Loop() {
+			eng := engine.New(cfg)
+			for _, in := range ins {
+				if _, err := eng.SweepProgram(benchCtx, in.Prog, in.Train, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, engine.Config{Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, engine.Config{Workers: 0}) })
+	b.Run("cached", func(b *testing.B) { run(b, engine.Config{Workers: 0, Cache: true}) })
 }

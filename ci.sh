@@ -1,0 +1,37 @@
+#!/bin/sh
+# ci.sh — the tier-1 verification gate for pathflow.
+#
+# Runs, in order:
+#   1. go build ./...       every package compiles
+#   2. gofmt -l             no unformatted files
+#   3. go vet ./...         static checks
+#   4. go test ./...        the full test suite (incl. the golden gate
+#                           internal/bench/testdata/metrics.golden.json)
+#   5. go test -race        the concurrency-bearing packages under the
+#                           race detector (engine scheduler + cache,
+#                           the core compat shim, the bench harness memo)
+#
+# Exit status is nonzero on the first failure. See README.md ("Verifying").
+set -e
+
+echo "== build"
+go build ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== vet"
+go vet ./...
+
+echo "== test"
+go test ./...
+
+echo "== race"
+go test -race ./internal/engine/ ./internal/core/ ./internal/bench/
+
+echo "ci.sh: all gates passed"

@@ -1,59 +1,84 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"time"
 
 	"pathflow/internal/bench"
 	"pathflow/internal/classify"
+	"pathflow/internal/engine"
 )
 
 // cmdExp regenerates the paper's tables and figures over the benchmark
-// suite.
+// suite. The experiments run on a shared engine: functions are analyzed
+// in parallel on -workers workers and every artifact a sweep point can
+// reuse comes from the cross-run cache (disable with -nocache to measure
+// cold costs). Ctrl-C cancels the sweep promptly.
 func cmdExp(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: pathflow exp <table1|table2|fig7|fig9|fig10|fig11|fig12|all>")
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
+	nocache := fs.Bool("nocache", false, "disable the cross-run artifact cache")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	ins, err := bench.LoadAll()
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>")
+	}
+	what := fs.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := engine.New(engine.Config{Workers: *workers, Cache: !*nocache})
+	ins, err := bench.LoadAll(ctx, eng)
 	if err != nil {
 		return err
 	}
-	switch args[0] {
+	switch what {
 	case "table1":
-		return expTable1(ins)
+		return expTable1(ctx, ins)
 	case "table2":
-		return expTable2(ins)
+		return expTable2(ctx, ins)
 	case "fig7":
-		return expFig7(ins)
+		return expFig7(ctx, ins)
 	case "fig9":
-		return expFig9(ins)
+		return expFig9(ctx, ins)
 	case "fig10":
-		return expFig10(ins)
+		return expFig10(ctx, ins)
 	case "fig11":
-		return expFig11(ins)
+		return expFig11(ctx, ins)
 	case "fig12":
-		return expFig12(ins)
+		return expFig12(ctx, ins)
 	case "ablation":
-		return expAblation(ins)
+		return expAblation(ctx, ins)
 	case "all":
-		for _, f := range []func([]*bench.Instance) error{
+		for _, f := range []func(context.Context, []*bench.Instance) error{
 			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation,
 		} {
-			if err := f(ins); err != nil {
+			if err := f(ctx, ins); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
+		st := eng.CacheStats()
+		if st.Hits+st.Misses > 0 {
+			fmt.Printf("artifact cache: %d hits, %d misses, %d entries\n",
+				st.Hits, st.Misses, st.Entries)
+		}
 		return nil
 	}
-	return fmt.Errorf("unknown experiment %q", args[0])
+	return fmt.Errorf("unknown experiment %q", what)
 }
 
-func expAblation(ins []*bench.Instance) error {
+func expAblation(ctx context.Context, ins []*bench.Instance) error {
 	fmt.Println("Ablation A: reduction cutoff CR at CA=0.97")
 	fmt.Println("(constants preserved relative to CR=1, and reduced graph size)")
 	crs := []float64{0, 0.5, 0.9, 0.95, 1.0}
-	pts, err := bench.CRSweep(ins, crs)
+	pts, err := bench.CRSweep(ctx, ins, crs)
 	if err != nil {
 		return err
 	}
@@ -84,7 +109,7 @@ func expAblation(ins []*bench.Instance) error {
 	}
 
 	fmt.Println("\nAblation B: branches with constant conditions (§7, Mueller-Whalley)")
-	brs, err := bench.Branches(ins)
+	brs, err := bench.Branches(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -94,7 +119,7 @@ func expAblation(ins []*bench.Instance) error {
 	}
 
 	fmt.Println("\nAblation C: qualified sign analysis (§8: other data-flow problems)")
-	srs, err := bench.Signs(ins)
+	srs, err := bench.Signs(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -104,7 +129,7 @@ func expAblation(ins []*bench.Instance) error {
 	}
 
 	fmt.Println("\nAblation C2: qualified value-range analysis (widening lattice)")
-	rrs, err := bench.Ranges(ins)
+	rrs, err := bench.Ranges(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -114,7 +139,7 @@ func expAblation(ins []*bench.Instance) error {
 	}
 
 	fmt.Println("\nAblation D: Wegman-Zadek conditional vs plain iterative propagation on the rHPG")
-	prs, err := bench.Propagation(ins)
+	prs, err := bench.Propagation(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -124,7 +149,7 @@ func expAblation(ins []*bench.Instance) error {
 	}
 
 	fmt.Println("\nAblation E: hot paths from true path profiles vs edge-profile estimation")
-	ers, err := bench.EdgeSelection(ins)
+	ers, err := bench.EdgeSelection(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -136,8 +161,8 @@ func expAblation(ins []*bench.Instance) error {
 	return nil
 }
 
-func expTable1(ins []*bench.Instance) error {
-	rows, err := bench.Table1(ins)
+func expTable1(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Table1(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -154,8 +179,8 @@ func expTable1(ins []*bench.Instance) error {
 	return nil
 }
 
-func expTable2(ins []*bench.Instance) error {
-	rows, err := bench.Table2(ins)
+func expTable2(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Table2(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -171,8 +196,8 @@ func expTable2(ins []*bench.Instance) error {
 	return nil
 }
 
-func expFig7(ins []*bench.Instance) error {
-	rows, err := bench.Fig7(ins)
+func expFig7(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Fig7(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -195,8 +220,8 @@ func expFig7(ins []*bench.Instance) error {
 	return nil
 }
 
-func expFig9(ins []*bench.Instance) error {
-	pts, err := bench.Fig9(ins, bench.CoverageLevels, 0.95)
+func expFig9(ctx context.Context, ins []*bench.Instance) error {
+	pts, err := bench.Fig9(ctx, ins, bench.CoverageLevels, 0.95)
 	if err != nil {
 		return err
 	}
@@ -230,8 +255,8 @@ func expFig9(ins []*bench.Instance) error {
 	return nil
 }
 
-func expFig10(ins []*bench.Instance) error {
-	rows, err := bench.Fig10(ins)
+func expFig10(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Fig10(ctx, ins)
 	if err != nil {
 		return err
 	}
@@ -252,8 +277,8 @@ func expFig10(ins []*bench.Instance) error {
 	return nil
 }
 
-func expFig11(ins []*bench.Instance) error {
-	pts, err := bench.Fig11(ins, bench.CoverageLevels, 0.95)
+func expFig11(ctx context.Context, ins []*bench.Instance) error {
+	pts, err := bench.Fig11(ctx, ins, bench.CoverageLevels, 0.95)
 	if err != nil {
 		return err
 	}
@@ -287,8 +312,8 @@ func expFig11(ins []*bench.Instance) error {
 	return nil
 }
 
-func expFig12(ins []*bench.Instance) error {
-	pts, err := bench.Fig12(ins, bench.CoverageLevels, 0.95)
+func expFig12(ctx context.Context, ins []*bench.Instance) error {
+	pts, err := bench.Fig12(ctx, ins, bench.CoverageLevels, 0.95)
 	if err != nil {
 		return err
 	}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -25,7 +28,7 @@ import (
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
@@ -61,6 +64,15 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathflow:", err)
+		var opt *engine.InvalidOptionsError
+		if errors.As(err, &opt) {
+			fmt.Fprintf(os.Stderr, "pathflow: pass -%s a fraction between 0 and 1 (e.g. -%s %.2f)\n",
+				strings.ToLower(opt.Field), strings.ToLower(opt.Field), 0.95)
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pathflow: interrupted")
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -242,13 +254,21 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	ca := fs.Float64("ca", 0.97, "hot-path coverage CA")
 	cr := fs.Float64("cr", 0.95, "reduction benefit cutoff CR")
+	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
 	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
 	tg, err := parseTarget(fs, args)
 	if err != nil {
 		return err
 	}
-	var res *core.ProgramResult
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := engine.New(engine.Config{Workers: *workers, Cache: true})
+	o := engine.Options{CA: *ca, CR: *cr}
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	var res *engine.ProgramResult
 	if *profFile != "" {
 		f, err := os.Open(*profFile)
 		if err != nil {
@@ -259,12 +279,12 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err = core.AnalyzeProgram(tg.prog, train, core.Options{CA: *ca, CR: *cr})
+		res, err = eng.AnalyzeProgram(ctx, tg.prog, train, o)
 		if err != nil {
 			return err
 		}
 	} else {
-		res, _, err = core.ProfileAndAnalyze(tg.prog, tg.opts, core.Options{CA: *ca, CR: *cr})
+		res, _, err = eng.ProfileAndAnalyze(ctx, tg.prog, tg.opts, o)
 		if err != nil {
 			return err
 		}
@@ -297,7 +317,7 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
-func printConsts(fr *core.FuncResult) {
+func printConsts(fr *engine.FuncResult) {
 	g := fr.Red.G
 	sol := fr.RedSol
 	numVars := fr.Fn.NumVars()
@@ -316,7 +336,7 @@ func printConsts(fr *core.FuncResult) {
 	}
 }
 
-func renderInstr(fr *core.FuncResult, in *ir.Instr) string {
+func renderInstr(fr *engine.FuncResult, in *ir.Instr) string {
 	s := in.String()
 	if i := strings.Index(s, " ="); i > 0 {
 		return fr.Fn.VarName(in.Dst) + s[i:]

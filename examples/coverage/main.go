@@ -7,15 +7,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"pathflow/internal/bench"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 )
 
 func main() {
+	ctx := context.Background()
 	name := "m88ksim"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
@@ -24,12 +26,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	in, err := bench.Load(b)
+	// nil engine = the default: NumCPU workers plus the artifact cache,
+	// so each sweep point below recomputes only what its CA changes.
+	in, err := bench.Load(b, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	base, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+	base, err := in.Analyze(ctx, engine.Options{CA: 0, CR: 0.95})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +47,7 @@ func main() {
 	fmt.Printf("%8s %12s %12s %10s %10s %10s\n",
 		"CA", "const dyn", "nonlocal", "increase", "HPG", "rHPG")
 	for _, ca := range bench.CoverageLevels {
-		res, err := in.Analyze(core.Options{CA: ca, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: ca, CR: 0.95})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,12 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"pathflow/internal/bench"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/machine"
 )
 
@@ -26,16 +27,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	in, err := bench.Load(b)
+	in, err := bench.Load(b, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+	res, err := in.Analyze(context.Background(), engine.Options{CA: 0.97, CR: 0.95})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	baseProg, baseFolds := core.BaselineProgram(in.Prog)
+	baseProg, baseFolds := engine.BaselineProgram(in.Prog)
 	optProg, optFolds := res.OptimizedProgram()
 
 	cm := machine.DefaultCostModel()

@@ -6,11 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"pathflow/internal/constprop"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
@@ -54,10 +55,14 @@ func main() {
 		Input: &interp.SliceInput{Values: trainingStream()},
 	}
 
-	// One call profiles the program and runs the whole pipeline:
+	// One call profiles the program and runs the whole staged pipeline:
 	// hot-path selection at CA, Aho-Corasick automaton, Holley-Rosen
 	// tracing, Wegman-Zadek on the hot path graph, and reduction at CR.
-	res, _, err := core.ProfileAndAnalyze(prog, train, core.Options{CA: 0.97, CR: 0.95})
+	// (internal/core offers the same call without the context for legacy
+	// callers; the engine adds cancellation, parallelism and caching.)
+	eng := engine.New(engine.Config{Cache: true})
+	res, _, err := eng.ProfileAndAnalyze(context.Background(), prog, train,
+		engine.Options{CA: 0.97, CR: 0.95})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
+
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/classify"
 	"pathflow/internal/constprop"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/intervals"
 	"pathflow/internal/profile"
 	"pathflow/internal/signs"
@@ -28,11 +30,14 @@ type CRPoint struct {
 	Preserved float64
 }
 
-// CRSweep sweeps the reduction cutoff at fixed CA = 0.97.
-func CRSweep(instances []*Instance, crs []float64) ([]CRPoint, error) {
+// CRSweep sweeps the reduction cutoff at fixed CA = 0.97. With the
+// artifact cache enabled this is the engine's best case: every CR point
+// reuses the HPG, its solution and the translated profile, recomputing
+// only reduction.
+func CRSweep(ctx context.Context, instances []*Instance, crs []float64) ([]CRPoint, error) {
 	var pts []CRPoint
 	for _, in := range instances {
-		full, err := in.Analyze(core.Options{CA: 0.97, CR: 1.0})
+		full, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 1.0})
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +46,7 @@ func CRSweep(instances []*Instance, crs []float64) ([]CRPoint, error) {
 			return nil, err
 		}
 		for _, cr := range crs {
-			res, err := in.Analyze(core.Options{CA: 0.97, CR: cr})
+			res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: cr})
 			if err != nil {
 				return nil, err
 			}
@@ -71,10 +76,10 @@ type BranchRow struct {
 }
 
 // Branches measures constant-condition branches at CA = 0.97.
-func Branches(instances []*Instance) ([]BranchRow, error) {
+func Branches(ctx context.Context, instances []*Instance) ([]BranchRow, error) {
 	var rows []BranchRow
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -113,10 +118,10 @@ type SignsRow struct {
 }
 
 // Signs measures definite-sign instructions at CA = 0.97.
-func Signs(instances []*Instance) ([]SignsRow, error) {
+func Signs(ctx context.Context, instances []*Instance) ([]SignsRow, error) {
 	var rows []SignsRow
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -157,10 +162,10 @@ type RangesRow struct {
 }
 
 // Ranges measures bounded-range instructions at CA = 0.97.
-func Ranges(instances []*Instance) ([]RangesRow, error) {
+func Ranges(ctx context.Context, instances []*Instance) ([]RangesRow, error) {
 	var rows []RangesRow
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -204,11 +209,11 @@ type EdgeSelRow struct {
 }
 
 // EdgeSelection runs the selection-strategy comparison.
-func EdgeSelection(instances []*Instance) ([]EdgeSelRow, error) {
-	o := core.Options{CA: 0.97, CR: 0.95}
+func EdgeSelection(ctx context.Context, instances []*Instance) ([]EdgeSelRow, error) {
+	o := engine.Options{CA: 0.97, CR: 0.95}
 	var rows []EdgeSelRow
 	for _, in := range instances {
-		pathRes, err := in.Analyze(o)
+		pathRes, err := in.Analyze(ctx, o)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +242,7 @@ func EdgeSelection(instances []*Instance) ([]EdgeSelRow, error) {
 					row.EdgeReal++
 				}
 			}
-			efr, err := core.AnalyzeFuncHot(fn, train, edgeHot, o)
+			efr, err := in.Eng.AnalyzeFuncHot(ctx, fn, train, edgeHot, o)
 			if err != nil {
 				return nil, err
 			}
@@ -252,7 +257,7 @@ func EdgeSelection(instances []*Instance) ([]EdgeSelRow, error) {
 	return rows, nil
 }
 
-func nonlocalConstDyn(fr *core.FuncResult, fn *cfg.Func, refProf *bl.Profile) (int64, error) {
+func nonlocalConstDyn(fr *engine.FuncResult, fn *cfg.Func, refProf *bl.Profile) (int64, error) {
 	ep, err := fr.TranslateEval(refProf)
 	if err != nil {
 		return 0, err
@@ -273,10 +278,10 @@ type PropRow struct {
 }
 
 // Propagation runs the comparison at CA = 0.97.
-func Propagation(instances []*Instance) ([]PropRow, error) {
+func Propagation(ctx context.Context, instances []*Instance) ([]PropRow, error) {
 	var rows []PropRow
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"pathflow/internal/bl"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 )
+
+var testCtx = context.Background()
 
 // loadSuite loads all benchmarks once per test binary.
 var suite []*Instance
@@ -13,7 +16,7 @@ var suite []*Instance
 func loadSuite(t *testing.T) []*Instance {
 	t.Helper()
 	if suite == nil {
-		s, err := LoadAll()
+		s, err := LoadAll(testCtx, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +92,7 @@ func TestGetUnknown(t *testing.T) {
 // runner-up has 2k).
 func TestGoIsThePathOutlier(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Table1(ins)
+	rows, err := Table1(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +123,7 @@ func TestGoIsThePathOutlier(t *testing.T) {
 // monotone in coverage and mostly attained by CA = 0.97.
 func TestFig9Shape(t *testing.T) {
 	ins := loadSuite(t)
-	pts, err := Fig9(ins, CoverageLevels, 0.95)
+	pts, err := Fig9(testCtx, ins, CoverageLevels, 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +174,7 @@ func TestFig9Shape(t *testing.T) {
 // the HPG.
 func TestFig11Shape(t *testing.T) {
 	ins := loadSuite(t)
-	pts, err := Fig11(ins, []float64{0.97}, 0.95)
+	pts, err := Fig11(testCtx, ins, []float64{0.97}, 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +210,7 @@ func TestFig11Shape(t *testing.T) {
 // TestFig11Monotone: more coverage can only add duplicates to the HPG.
 func TestFig11Monotone(t *testing.T) {
 	ins := loadSuite(t)
-	pts, err := Fig11(ins, CoverageLevels, 0.95)
+	pts, err := Fig11(testCtx, ins, CoverageLevels, 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +227,7 @@ func TestFig11Monotone(t *testing.T) {
 // is by far the most expensive (the paper's sixfold increase at 0.97).
 func TestFig12Shape(t *testing.T) {
 	ins := loadSuite(t)
-	pts, err := Fig12(ins, []float64{0, 0.97}, 0.95)
+	pts, err := Fig12(testCtx, ins, []float64{0, 0.97}, 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +259,7 @@ func TestFig12Shape(t *testing.T) {
 // thousands — here, proportionally more).
 func TestFig7Concentration(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Fig7(ins)
+	rows, err := Fig7(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +299,7 @@ func TestFig7Concentration(t *testing.T) {
 // the paper's Figure 10(a).
 func TestFig10Shape(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Fig10(ins)
+	rows, err := Fig10(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +329,7 @@ func TestFig10Shape(t *testing.T) {
 // result).
 func TestTable2Shape(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Table2(ins)
+	rows, err := Table2(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +364,7 @@ func TestTable2Shape(t *testing.T) {
 // constants, CR = 0 destroys most of them, and size grows with CR.
 func TestCRSweepShape(t *testing.T) {
 	ins := loadSuite(t)
-	pts, err := CRSweep(ins, []float64{0, 0.95, 1.0})
+	pts, err := CRSweep(testCtx, ins, []float64{0, 0.95, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +394,7 @@ func TestCRSweepShape(t *testing.T) {
 // TestBranchesAblation: qualification can only add decided branches.
 func TestBranchesAblation(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Branches(ins)
+	rows, err := Branches(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +417,7 @@ func TestBranchesAblation(t *testing.T) {
 // baseline for every benchmark (the §8 generalization claim).
 func TestSignsAblation(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Signs(ins)
+	rows, err := Signs(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +436,7 @@ func TestSignsAblation(t *testing.T) {
 // paths that rarely execute.
 func TestEdgeSelectionAblation(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := EdgeSelection(ins)
+	rows, err := EdgeSelection(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +467,7 @@ func TestEdgeSelectionAblation(t *testing.T) {
 // sub-percent regression is possible (and observed on compress).
 func TestRangesAblation(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Ranges(ins)
+	rows, err := Ranges(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +490,7 @@ func TestRangesAblation(t *testing.T) {
 // constants than plain iterative propagation.
 func TestPropagationAblation(t *testing.T) {
 	ins := loadSuite(t)
-	rows, err := Propagation(ins)
+	rows, err := Propagation(testCtx, ins)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +506,7 @@ func TestPropagationAblation(t *testing.T) {
 func TestReductionPreservesCR(t *testing.T) {
 	ins := loadSuite(t)
 	for _, in := range ins {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(testCtx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -513,7 +516,7 @@ func TestReductionPreservesCR(t *testing.T) {
 		}
 		// Compare against an unreduced evaluation: CR = 1 keeps every
 		// beneficial vertex.
-		full, err := in.Analyze(core.Options{CA: 0.97, CR: 1.0})
+		full, err := in.Analyze(testCtx, engine.Options{CA: 0.97, CR: 1.0})
 		if err != nil {
 			t.Fatal(err)
 		}

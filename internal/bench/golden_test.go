@@ -8,7 +8,7 @@ import (
 	"reflect"
 	"testing"
 
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -36,7 +36,7 @@ func computeGolden(t *testing.T) map[string]goldenMetrics {
 	t.Helper()
 	out := map[string]goldenMetrics{}
 	for _, in := range loadSuite(t) {
-		base, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+		base, err := in.Analyze(testCtx, engine.Options{CA: 0, CR: 0.95})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func computeGolden(t *testing.T) map[string]goldenMetrics {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(testCtx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			t.Fatal(err)
 		}

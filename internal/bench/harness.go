@@ -1,14 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"sync"
 	"time"
 
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/classify"
-	"pathflow/internal/core"
+	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/machine"
 	"pathflow/internal/profile"
@@ -19,10 +20,20 @@ import (
 // forth"), plus the endpoints.
 var CoverageLevels = []float64{0, 0.75, 0.875, 0.9375, 0.97, 1.0}
 
-// Instance is one benchmark with its profiles collected, plus a cache of
-// analyses per coverage level.
+// DefaultEngine returns the engine configuration the harness uses unless
+// the caller supplies one: all cores, artifact cache on. The experiment
+// sweeps are exactly the workload the cache is built for — every figure
+// revisits the same functions at different CA/CR points.
+func DefaultEngine() *engine.Engine {
+	return engine.New(engine.Config{Workers: 0, Cache: true})
+}
+
+// Instance is one benchmark with its profiles collected, plus a memo of
+// analyses per parameter point.
 type Instance struct {
-	B    *Benchmark
+	B   *Benchmark
+	Eng *engine.Engine
+
 	Prog *cfg.Program
 	// Train and Ref are the path profiles of the train and ref runs.
 	Train, Ref *bl.ProgramProfile
@@ -33,11 +44,16 @@ type Instance struct {
 	CompileTime time.Duration
 	TrainTime   time.Duration
 
-	analyses map[string]*core.ProgramResult
+	mu       sync.Mutex
+	analyses map[string]*engine.ProgramResult
 }
 
-// Load compiles and profiles a benchmark.
-func Load(b *Benchmark) (*Instance, error) {
+// Load compiles and profiles a benchmark and attaches eng (nil means
+// DefaultEngine) for its analyses.
+func Load(b *Benchmark, eng *engine.Engine) (*Instance, error) {
+	if eng == nil {
+		eng = DefaultEngine()
+	}
 	t0 := time.Now()
 	prog, err := b.Program()
 	if err != nil {
@@ -57,25 +73,30 @@ func Load(b *Benchmark) (*Instance, error) {
 		return nil, fmt.Errorf("bench %s ref: %w", b.Name, err)
 	}
 	return &Instance{
-		B: b, Prog: prog,
+		B: b, Eng: eng, Prog: prog,
 		Train: train, Ref: ref,
 		TrainRes: tres, RefRes: rres,
 		CompileTime: compileTime, TrainTime: trainTime,
-		analyses: map[string]*core.ProgramResult{},
+		analyses: map[string]*engine.ProgramResult{},
 	}, nil
 }
 
-// Analyze runs (or returns the cached) pipeline at the given options.
-func (in *Instance) Analyze(o core.Options) (*core.ProgramResult, error) {
+// Analyze runs (or returns the memoized) pipeline at the given options.
+func (in *Instance) Analyze(ctx context.Context, o engine.Options) (*engine.ProgramResult, error) {
 	key := fmt.Sprintf("%.6f/%.6f", o.CA, o.CR)
+	in.mu.Lock()
 	if r, ok := in.analyses[key]; ok {
+		in.mu.Unlock()
 		return r, nil
 	}
-	r, err := core.AnalyzeProgram(in.Prog, in.Train, o)
+	in.mu.Unlock()
+	r, err := in.Eng.AnalyzeProgram(ctx, in.Prog, in.Train, o)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", in.B.Name, err)
 	}
+	in.mu.Lock()
 	in.analyses[key] = r
+	in.mu.Unlock()
 	return r, nil
 }
 
@@ -91,7 +112,7 @@ type EvalMetrics struct {
 }
 
 // Evaluate weighs an analysis with the ref profile.
-func (in *Instance) Evaluate(res *core.ProgramResult) (*EvalMetrics, error) {
+func (in *Instance) Evaluate(res *engine.ProgramResult) (*EvalMetrics, error) {
 	m := &EvalMetrics{}
 	for _, name := range in.Prog.Order {
 		fr := res.Funcs[name]
@@ -133,10 +154,10 @@ type Table1Row struct {
 }
 
 // Table1 regenerates the paper's Table 1 over the suite.
-func Table1(instances []*Instance) ([]Table1Row, error) {
+func Table1(ctx context.Context, instances []*Instance) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -174,10 +195,10 @@ type Fig9Point struct {
 }
 
 // Fig9 sweeps coverage and reports constant increases.
-func Fig9(instances []*Instance, cas []float64, cr float64) ([]Fig9Point, error) {
+func Fig9(ctx context.Context, instances []*Instance, cas []float64, cr float64) ([]Fig9Point, error) {
 	var pts []Fig9Point
 	for _, in := range instances {
-		base, err := in.Analyze(core.Options{CA: 0, CR: cr})
+		base, err := in.Analyze(ctx, engine.Options{CA: 0, CR: cr})
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +207,7 @@ func Fig9(instances []*Instance, cas []float64, cr float64) ([]Fig9Point, error)
 			return nil, err
 		}
 		for _, ca := range cas {
-			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			res, err := in.Analyze(ctx, engine.Options{CA: ca, CR: cr})
 			if err != nil {
 				return nil, err
 			}
@@ -219,10 +240,10 @@ type Fig7Row struct {
 
 // Fig7 computes, at full coverage, the distribution of dynamic non-local
 // constant executions over (HPG) basic blocks.
-func Fig7(instances []*Instance) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, instances []*Instance) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 1.0, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 1.0, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -254,10 +275,10 @@ type Fig10Row struct {
 }
 
 // Fig10 classifies every instruction at full coverage.
-func Fig10(instances []*Instance) ([]Fig10Row, error) {
+func Fig10(ctx context.Context, instances []*Instance) ([]Fig10Row, error) {
 	var rows []Fig10Row
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 1.0, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 1.0, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
@@ -300,11 +321,11 @@ type Fig11Point struct {
 }
 
 // Fig11 sweeps coverage and reports growth before and after reduction.
-func Fig11(instances []*Instance, cas []float64, cr float64) ([]Fig11Point, error) {
+func Fig11(ctx context.Context, instances []*Instance, cas []float64, cr float64) ([]Fig11Point, error) {
 	var pts []Fig11Point
 	for _, in := range instances {
 		for _, ca := range cas {
-			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			res, err := in.Analyze(ctx, engine.Options{CA: ca, CR: cr})
 			if err != nil {
 				return nil, err
 			}
@@ -339,17 +360,17 @@ type Fig12Point struct {
 }
 
 // Fig12 sweeps coverage and reports analysis-cost growth.
-func Fig12(instances []*Instance, cas []float64, cr float64) ([]Fig12Point, error) {
+func Fig12(ctx context.Context, instances []*Instance, cas []float64, cr float64) ([]Fig12Point, error) {
 	var pts []Fig12Point
 	for _, in := range instances {
-		base, err := in.Analyze(core.Options{CA: 0, CR: cr})
+		base, err := in.Analyze(ctx, engine.Options{CA: 0, CR: cr})
 		if err != nil {
 			return nil, err
 		}
 		bst := base.Stats()
 		baseIters := solverIterations(base)
 		for _, ca := range cas {
-			res, err := in.Analyze(core.Options{CA: ca, CR: cr})
+			res, err := in.Analyze(ctx, engine.Options{CA: ca, CR: cr})
 			if err != nil {
 				return nil, err
 			}
@@ -367,7 +388,7 @@ func Fig12(instances []*Instance, cas []float64, cr float64) ([]Fig12Point, erro
 	return pts, nil
 }
 
-func solverIterations(res *core.ProgramResult) int64 {
+func solverIterations(res *engine.ProgramResult) int64 {
 	var n int64
 	for _, fr := range res.Funcs {
 		n += int64(fr.OrigSol.Sol.Iterations)
@@ -401,16 +422,16 @@ type Table2Row struct {
 }
 
 // Table2 regenerates the running-time experiment at CA = 0.97, CR = 0.95.
-func Table2(instances []*Instance) ([]Table2Row, error) {
+func Table2(ctx context.Context, instances []*Instance) ([]Table2Row, error) {
 	cm := machine.DefaultCostModel()
 	cc := machine.DefaultICache()
 	var rows []Table2Row
 	for _, in := range instances {
-		res, err := in.Analyze(core.Options{CA: 0.97, CR: 0.95})
+		res, err := in.Analyze(ctx, engine.Options{CA: 0.97, CR: 0.95})
 		if err != nil {
 			return nil, err
 		}
-		baseProg, baseFolded := core.BaselineProgram(in.Prog)
+		baseProg, baseFolded := engine.BaselineProgram(in.Prog)
 		optProg, optFolded := res.OptimizedProgram()
 
 		baseOpts := in.B.RefOptions()
@@ -452,16 +473,15 @@ func Table2(instances []*Instance) ([]Table2Row, error) {
 	return rows, nil
 }
 
-// LoadAll loads the whole suite.
-func LoadAll() ([]*Instance, error) {
-	var out []*Instance
-	for _, b := range All() {
-		in, err := Load(b)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, in)
+// LoadAll loads the whole suite, profiling independent benchmarks in
+// parallel on eng's worker pool (nil means DefaultEngine). All instances
+// share the one engine, so artifact reuse spans the whole suite.
+func LoadAll(ctx context.Context, eng *engine.Engine) ([]*Instance, error) {
+	if eng == nil {
+		eng = DefaultEngine()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].B.Name < out[j].B.Name })
-	return out, nil
+	benchmarks := All() // already sorted by name
+	return engine.Map(ctx, eng.Workers(), benchmarks, func(_ context.Context, b *Benchmark) (*Instance, error) {
+		return Load(b, eng)
+	})
 }

@@ -1,148 +1,57 @@
-// Package core assembles the full pipeline of Ammons & Larus (PLDI 1998):
+// Package core is the legacy one-call entry point to the full pipeline
+// of Ammons & Larus (PLDI 1998):
 //
 //	path profile → hot-path selection (CA) → qualification automaton →
 //	data-flow tracing (HPG) → qualified constant propagation →
 //	reduction (CR) → reduced HPG + translated profile.
 //
-// Analyze is the one-call public entry point; FuncResult exposes every
-// intermediate artifact so examples, experiments and downstream passes
-// can inspect each stage, exactly as the paper envisions subsequent
-// compiler passes consuming the traced graph and its profile.
+// The pipeline itself now lives in internal/engine as a staged engine
+// with explicit Stage artifacts, context cancellation, bounded parallel
+// scheduling and a cross-run artifact cache. This package re-exports the
+// engine's types and keeps the original context-free, serial API as thin
+// compatibility wrappers so existing callers, tests and examples work
+// unchanged. New code that sweeps parameters or analyzes many functions
+// should construct an engine.Engine directly.
 package core
 
 import (
-	"fmt"
-	"time"
+	"context"
 
-	"pathflow/internal/automaton"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
-	"pathflow/internal/constprop"
+	"pathflow/internal/engine"
 	"pathflow/internal/interp"
-	"pathflow/internal/opt"
-	"pathflow/internal/profile"
-	"pathflow/internal/reduce"
-	"pathflow/internal/trace"
 )
 
-// Options configures the pipeline.
-type Options struct {
-	// CA is the hot-path coverage: the minimal set of paths covering
-	// this fraction of the training run's dynamic instructions is
-	// isolated. CA = 0 disables qualification entirely (the paper's
-	// Wegman-Zadek baseline).
-	CA float64
-	// CR is the reduction benefit cutoff: reduction preserves at least
-	// this fraction of the dynamic non-local constants the qualified
-	// analysis discovered.
-	CR float64
-}
+// Re-exported engine types: core.Options and friends are the same types
+// as their engine counterparts, so the two APIs interoperate freely.
+type (
+	// Options configures the pipeline (CA = hot-path coverage, CR =
+	// reduction benefit cutoff).
+	Options = engine.Options
+	// Times records wall-clock durations of the pipeline stages.
+	Times = engine.Times
+	// FuncResult holds every artifact the pipeline produces for one
+	// function.
+	FuncResult = engine.FuncResult
+	// ProgramResult is the pipeline result for a whole program.
+	ProgramResult = engine.ProgramResult
+	// Stats aggregates program-level size and timing numbers.
+	Stats = engine.Stats
+)
 
 // DefaultOptions returns the configuration the paper recommends after its
 // sweeps: CA = 0.97, CR = 0.95.
-func DefaultOptions() Options { return Options{CA: 0.97, CR: 0.95} }
+func DefaultOptions() Options { return engine.DefaultOptions() }
 
-// Times records wall-clock durations of the pipeline stages.
-type Times struct {
-	Baseline  time.Duration // Wegman-Zadek on the original graph
-	Automaton time.Duration
-	Trace     time.Duration
-	Analysis  time.Duration // qualified analysis on the HPG
-	Reduce    time.Duration
-	Total     time.Duration
-}
-
-// Qualified returns the extra time qualification added on top of the
-// baseline analysis (the paper's Figure 12 numerator).
-func (t Times) Qualified() time.Duration {
-	return t.Automaton + t.Trace + t.Analysis + t.Reduce
-}
-
-// FuncResult holds every artifact the pipeline produces for one function.
-type FuncResult struct {
-	Fn    *cfg.Func
-	Opt   Options
-	Train *bl.Profile
-
-	// OrigSol is Wegman-Zadek on the original graph: the CA = 0
-	// baseline and the "Iterative" reference for classification.
-	OrigSol *constprop.Result
-
-	// Qualified artifacts; nil when CA = 0 or the function was never
-	// executed in training.
-	Hot     []bl.Path
-	Auto    *automaton.Automaton
-	HPG     *trace.HPG
-	HPGSol  *constprop.Result
-	HPGProf *bl.Profile // training profile translated onto the HPG
-	Red     *reduce.Reduced
-	RedSol  *constprop.Result
-
-	Times Times
-}
-
-// Qualified reports whether path qualification ran for this function.
-func (r *FuncResult) Qualified() bool { return r.Red != nil }
-
-// FinalGraph returns the graph later passes consume: the reduced HPG, or
-// the original graph when qualification did not run.
-func (r *FuncResult) FinalGraph() *cfg.Graph {
-	if r.Qualified() {
-		return r.Red.G
-	}
-	return r.Fn.G
-}
-
-// FinalSol returns the constant-propagation solution on FinalGraph.
-func (r *FuncResult) FinalSol() *constprop.Result {
-	if r.Qualified() {
-		return r.RedSol
-	}
-	return r.OrigSol
-}
-
-// FinalOverlay returns the reduced graph as a profile overlay, or nil
-// when qualification did not run.
-func (r *FuncResult) FinalOverlay() profile.Overlay {
-	if r.Qualified() {
-		return r.Red
-	}
-	return nil
-}
-
-// FinalFunc wraps FinalGraph in a cfg.Func.
-func (r *FuncResult) FinalFunc() *cfg.Func {
-	if r.Qualified() {
-		return r.Red.Func()
-	}
-	return r.Fn
-}
-
-// FinalOrigNode maps a FinalGraph node to its original vertex.
-func (r *FuncResult) FinalOrigNode(n cfg.NodeID) cfg.NodeID {
-	if r.Qualified() {
-		return r.Red.OrigNode[n]
-	}
-	return n
-}
-
-// TranslateEval re-expresses an evaluation profile of the original graph
-// on FinalGraph (identity when qualification did not run).
-func (r *FuncResult) TranslateEval(eval *bl.Profile) (*bl.Profile, error) {
-	if !r.Qualified() {
-		return eval, nil
-	}
-	return profile.Translate(eval, r.Fn.G, r.Red)
-}
+// compat is the engine configuration equivalent to the historical
+// pipeline: serial, uncached, never cancelled.
+var compat = engine.Serial()
 
 // AnalyzeFunc runs the pipeline on one function. train may be nil for a
 // function the training run never executed; qualification is skipped.
 func AnalyzeFunc(fn *cfg.Func, train *bl.Profile, o Options) (*FuncResult, error) {
-	var hot []bl.Path
-	if train != nil && o.CA > 0 {
-		hot = profile.SelectHot(train, fn.G, o.CA)
-	}
-	return AnalyzeFuncHot(fn, train, hot, o)
+	return compat.AnalyzeFunc(context.Background(), fn, train, o)
 }
 
 // AnalyzeFuncHot runs the pipeline with an explicitly chosen hot-path
@@ -150,153 +59,22 @@ func AnalyzeFunc(fn *cfg.Func, train *bl.Profile, o Options) (*FuncResult, error
 // compare selection strategies (e.g. edge-profile estimation against true
 // path profiles).
 func AnalyzeFuncHot(fn *cfg.Func, train *bl.Profile, hot []bl.Path, o Options) (*FuncResult, error) {
-	res := &FuncResult{Fn: fn, Opt: o, Train: train}
-	start := time.Now()
-
-	t0 := time.Now()
-	res.OrigSol = constprop.Analyze(fn.G, fn.NumVars(), true)
-	res.Times.Baseline = time.Since(t0)
-
-	res.Hot = hot
-	if len(res.Hot) == 0 || train == nil {
-		res.Hot = nil
-		res.Times.Total = time.Since(start)
-		return res, nil
-	}
-
-	t0 = time.Now()
-	a, err := automaton.New(fn.G, train.R, res.Hot)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", fn.Name, err)
-	}
-	res.Auto = a
-	res.Times.Automaton = time.Since(t0)
-
-	t0 = time.Now()
-	h, err := trace.Build(fn, a)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", fn.Name, err)
-	}
-	res.HPG = h
-	res.Times.Trace = time.Since(t0)
-
-	t0 = time.Now()
-	res.HPGSol = constprop.Analyze(h.G, fn.NumVars(), true)
-	res.Times.Analysis = time.Since(t0)
-
-	t0 = time.Now()
-	res.HPGProf, err = profile.Translate(train, fn.G, h)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", fn.Name, err)
-	}
-	res.Red, err = reduce.Reduce(h, res.HPGSol, res.HPGProf, reduce.Options{CR: o.CR})
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", fn.Name, err)
-	}
-	res.RedSol = constprop.Analyze(res.Red.G, fn.NumVars(), true)
-	res.Times.Reduce = time.Since(t0)
-
-	res.Times.Total = time.Since(start)
-	return res, nil
-}
-
-// ProgramResult is the pipeline result for a whole program.
-type ProgramResult struct {
-	Prog  *cfg.Program
-	Opt   Options
-	Funcs map[string]*FuncResult
+	return compat.AnalyzeFuncHot(context.Background(), fn, train, hot, o)
 }
 
 // AnalyzeProgram runs the pipeline on every function of prog using the
 // given training profile.
 func AnalyzeProgram(prog *cfg.Program, train *bl.ProgramProfile, o Options) (*ProgramResult, error) {
-	out := &ProgramResult{Prog: prog, Opt: o, Funcs: map[string]*FuncResult{}}
-	for _, name := range prog.Order {
-		var tp *bl.Profile
-		if train != nil {
-			tp = train.Funcs[name]
-		}
-		fr, err := AnalyzeFunc(prog.Funcs[name], tp, o)
-		if err != nil {
-			return nil, err
-		}
-		out.Funcs[name] = fr
-	}
-	return out, nil
+	return compat.AnalyzeProgram(context.Background(), prog, train, o)
 }
 
 // ProfileAndAnalyze profiles prog on the training input, then analyzes it.
 func ProfileAndAnalyze(prog *cfg.Program, trainOpts interp.Options, o Options) (*ProgramResult, *bl.ProgramProfile, error) {
-	train, _, err := bl.ProfileProgram(prog, trainOpts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: training run failed: %w", err)
-	}
-	res, err := AnalyzeProgram(prog, train, o)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res, train, nil
-}
-
-// OptimizedProgram folds the discovered constants into each function's
-// final graph and assembles a runnable program.
-func (pr *ProgramResult) OptimizedProgram() (*cfg.Program, int) {
-	out := cfg.NewProgram()
-	folded := 0
-	for _, name := range pr.Prog.Order {
-		fr := pr.Funcs[name]
-		g, n := opt.OptimizeGraph(fr.FinalGraph(), fr.Fn.NumVars())
-		folded += n
-		out.Add(&cfg.Func{
-			Name:     fr.Fn.Name,
-			Params:   fr.Fn.Params,
-			VarNames: fr.Fn.VarNames,
-			G:        g,
-		})
-	}
-	return out, folded
+	return compat.ProfileAndAnalyze(context.Background(), prog, trainOpts, o)
 }
 
 // BaselineProgram folds the Wegman-Zadek constants into clones of the
 // original functions: the paper's "Base" configuration for Table 2.
 func BaselineProgram(prog *cfg.Program) (*cfg.Program, int) {
-	out := cfg.NewProgram()
-	folded := 0
-	for _, name := range prog.Order {
-		f, n := opt.OptimizeFunc(prog.Funcs[name])
-		folded += n
-		out.Add(f)
-	}
-	return out, folded
-}
-
-// Stats aggregates program-level size and timing numbers.
-type Stats struct {
-	OrigNodes, HPGNodes, RedNodes int
-	HotPaths                      int
-	TrainPaths                    int
-	BaselineTime                  time.Duration
-	QualifiedTime                 time.Duration
-}
-
-// Stats summarizes the analysis.
-func (pr *ProgramResult) Stats() Stats {
-	var s Stats
-	for _, fr := range pr.Funcs {
-		s.OrigNodes += fr.Fn.G.NumNodes()
-		s.BaselineTime += fr.Times.Baseline
-		s.QualifiedTime += fr.Times.Qualified()
-		if fr.Train != nil {
-			s.TrainPaths += fr.Train.NumPaths()
-		}
-		s.HotPaths += len(fr.Hot)
-		if fr.Qualified() {
-			s.HPGNodes += fr.HPG.G.NumNodes()
-			s.RedNodes += fr.Red.G.NumNodes()
-		} else {
-			s.HPGNodes += fr.Fn.G.NumNodes()
-			s.RedNodes += fr.Fn.G.NumNodes()
-		}
-	}
-	return s
+	return engine.BaselineProgram(prog)
 }

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// The cache kinds: each names the artifact bundle a key identifies.
+const (
+	kindBaseline  = "baseline"  // OrigSol; keyed by function only
+	kindSelect    = "select"    // hot-path set; keyed by (function, profile, CA)
+	kindQualified = "qualified" // automaton + HPG + HPG solution + translated profile
+	kindReduced   = "reduced"   // reduced HPG + its solution
+)
+
+// cacheKey identifies one artifact bundle. Artifacts are keyed by what
+// they actually depend on, so a parameter sweep reuses everything the
+// swept knob cannot influence:
+//
+//   - baseline:  (function)                       — shared by every CA/CR point
+//   - select:    (function, profile, CA)          — shared by every CR point
+//   - qualified: (function, profile, hot set)     — shared by every CR point,
+//     and by CA points that select the same hot paths
+//   - reduced:   (function, profile, hot set, CR)
+//
+// Downstream of selection, the hot set is fingerprinted rather than the
+// CA knob so that explicitly chosen hot sets (AnalyzeFuncHot, the
+// edge-selection ablation) share the same cache, and so that two CA
+// values selecting identical paths hit.
+type cacheKey struct {
+	kind string
+	fn   uint64
+	prof uint64
+	hot  uint64
+	knob uint64 // math.Float64bits of the swept knob (CR, or CA for select)
+}
+
+// cacheEntry is one materialized bundle plus the compute cost of the run
+// that produced it (so cache hits can still report meaningful stage
+// durations). ready is closed once val/cost/err are final, giving
+// single-flight semantics: concurrent requests for the same key block on
+// the first computation instead of duplicating it.
+type cacheEntry struct {
+	ready chan struct{}
+	val   any
+	cost  map[StageName]time.Duration
+	err   error
+}
+
+// CacheStats reports artifact-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Cache is the cross-run artifact cache. All methods are safe for
+// concurrent use by the scheduler's workers.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    int64
+	misses  int64
+
+	// Fingerprint memos, keyed by identity: functions and profiles are
+	// immutable once built, so hashing each at most once is sound.
+	fnFP   map[*cfg.Func]uint64
+	profFP map[*bl.Profile]uint64
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: map[cacheKey]*cacheEntry{},
+		fnFP:    map[*cfg.Func]uint64{},
+		profFP:  map[*bl.Profile]uint64{},
+	}
+}
+
+// Stats returns a snapshot of hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// do returns the cached bundle for key, computing it with compute on the
+// first request (single-flight: concurrent callers wait for the leader).
+// Failed computations are evicted so a later retry — for example after a
+// cancelled context — can succeed.
+func (c *Cache) do(key cacheKey, compute func() (any, map[StageName]time.Duration, error)) (any, map[StageName]time.Duration, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, nil, false, e.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e.val, e.cost, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.cost, e.err = compute()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		return nil, nil, false, e.err
+	}
+	return e.val, e.cost, false, nil
+}
+
+// --- Fingerprints --------------------------------------------------------
+
+// fnv1a64 accumulates a 64-bit FNV-1a hash.
+type fnv1a64 uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newFNV() fnv1a64 { return fnvOffset64 }
+
+func (h *fnv1a64) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime64
+		v >>= 8
+	}
+	*h = fnv1a64(x)
+}
+
+func (h *fnv1a64) i64(v int64) { h.u64(uint64(v)) }
+func (h *fnv1a64) int(v int)   { h.u64(uint64(int64(v))) }
+func (h *fnv1a64) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime64
+	}
+	*h = fnv1a64(x)
+	h.int(len(s))
+}
+
+// funcFP returns (computing at most once) the structural fingerprint of
+// fn: its name, registers, every instruction, terminator and edge.
+func (c *Cache) funcFP(fn *cfg.Func) uint64 {
+	c.mu.Lock()
+	if fp, ok := c.fnFP[fn]; ok {
+		c.mu.Unlock()
+		return fp
+	}
+	c.mu.Unlock()
+	fp := FingerprintFunc(fn)
+	c.mu.Lock()
+	c.fnFP[fn] = fp
+	c.mu.Unlock()
+	return fp
+}
+
+// profileFP returns (computing at most once) the fingerprint of a
+// training profile: its function name, recording edges, and every
+// (path, count) entry, order-independently.
+func (c *Cache) profileFP(pr *bl.Profile) uint64 {
+	if pr == nil {
+		return 0
+	}
+	c.mu.Lock()
+	if fp, ok := c.profFP[pr]; ok {
+		c.mu.Unlock()
+		return fp
+	}
+	c.mu.Unlock()
+	fp := FingerprintProfile(pr)
+	c.mu.Lock()
+	c.profFP[pr] = fp
+	c.mu.Unlock()
+	return fp
+}
+
+// FingerprintFunc hashes the full structure of a function: CFG shape,
+// instructions, terminators and register names. Two functions with the
+// same fingerprint produce identical pipeline artifacts.
+func FingerprintFunc(fn *cfg.Func) uint64 {
+	h := newFNV()
+	h.str(fn.Name)
+	h.int(len(fn.Params))
+	for _, p := range fn.Params {
+		h.i64(int64(p))
+	}
+	h.int(len(fn.VarNames))
+	for _, n := range fn.VarNames {
+		h.str(n)
+	}
+	g := fn.G
+	h.int(int(g.Entry))
+	h.int(int(g.Exit))
+	h.int(len(g.Nodes))
+	for _, nd := range g.Nodes {
+		h.int(int(nd.ID))
+		h.u64(uint64(nd.Kind))
+		h.i64(int64(nd.Cond))
+		h.i64(int64(nd.Ret))
+		h.int(len(nd.Instrs))
+		for i := range nd.Instrs {
+			in := &nd.Instrs[i]
+			h.u64(uint64(in.Op))
+			h.i64(int64(in.Dst))
+			h.i64(int64(in.A))
+			h.i64(int64(in.B))
+			h.i64(int64(in.K))
+			h.str(in.Callee)
+			h.int(len(in.Args))
+			for _, a := range in.Args {
+				h.i64(int64(a))
+			}
+		}
+	}
+	h.int(len(g.Edges))
+	for _, e := range g.Edges {
+		h.int(int(e.From))
+		h.int(int(e.To))
+		h.int(e.Slot)
+	}
+	return uint64(h)
+}
+
+// FingerprintProfile hashes a Ball-Larus profile: recording edges plus
+// every (path key, count) pair, independent of map iteration order.
+func FingerprintProfile(pr *bl.Profile) uint64 {
+	h := newFNV()
+	h.str(pr.FuncName)
+	redges := make([]int, 0, len(pr.R))
+	for e, on := range pr.R {
+		if on {
+			redges = append(redges, int(e))
+		}
+	}
+	sort.Ints(redges)
+	for _, e := range redges {
+		h.int(e)
+	}
+	keys := make([]string, 0, len(pr.Entries))
+	for k := range pr.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.int(len(keys))
+	for _, k := range keys {
+		h.str(k)
+		h.i64(pr.Entries[k].Count)
+	}
+	return uint64(h)
+}
+
+// FingerprintHot hashes an ordered hot-path set.
+func FingerprintHot(hot []bl.Path) uint64 {
+	h := newFNV()
+	h.int(len(hot))
+	for _, p := range hot {
+		h.str(p.Key())
+	}
+	return uint64(h)
+}
+
+func knobBits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,336 @@
+// Package engine is the staged pipeline engine behind pathflow's
+// qualification pipeline (Ammons & Larus, PLDI 1998):
+//
+//	select → automaton → trace → analyze → translate → reduce
+//
+// plus the CA = 0 baseline analysis. Each step is an explicit Stage with
+// typed input/output artifacts; the engine owns sequencing, context
+// cancellation, structured per-stage errors (StageError), per-stage
+// metrics (Metrics, generalizing the old ad-hoc Times struct), bounded
+// parallel scheduling across independent functions (Map), and a
+// cross-run artifact cache (Cache) keyed by what each artifact actually
+// depends on:
+//
+//	baseline   (fn)                    shared by every CA/CR point
+//	select     (fn, profile, CA)       shared by every CR point
+//	qualified  (fn, profile, hot set)  shared by every CR point
+//	reduced    (fn, profile, hot set, CR)
+//
+// so parameter sweeps — the harness's Figures 9/11/12 and the CR
+// ablation — recompute only the stages the swept knob can influence.
+//
+// The legacy one-call API lives on as thin wrappers in internal/core.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/interp"
+	"pathflow/internal/trace"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers bounds concurrent function analyses; <= 0 means
+	// runtime.NumCPU(). Results are deterministic for any worker count.
+	Workers int
+	// Cache enables the cross-run artifact cache. Sharing is safe
+	// because every cached artifact is immutable after construction.
+	Cache bool
+}
+
+// Engine runs the staged pipeline.
+type Engine struct {
+	workers int
+	cache   *Cache
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	e := &Engine{workers: cfg.Workers}
+	if cfg.Cache {
+		e.cache = NewCache()
+	}
+	return e
+}
+
+// Serial returns the engine configuration equivalent to the pre-engine
+// pipeline: one worker, no artifact cache.
+func Serial() *Engine { return New(Config{Workers: 1}) }
+
+// Workers returns the configured worker bound (0 = NumCPU).
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats reports artifact-cache counters (zero value when the cache
+// is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// AnalyzeFunc runs the pipeline on one function. train may be nil for a
+// function the training run never executed; qualification is skipped.
+func (e *Engine) AnalyzeFunc(ctx context.Context, fn *cfg.Func, train *bl.Profile, o Options) (*FuncResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return e.analyzeFunc(ctx, fn, train, o)
+}
+
+func (e *Engine) analyzeFunc(ctx context.Context, fn *cfg.Func, train *bl.Profile, o Options) (*FuncResult, error) {
+	m := NewMetrics()
+	var hot []bl.Path
+	if train != nil && o.CA > 0 {
+		var err error
+		hot, err = e.selectHot(ctx, fn, train, o.CA, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.analyzeFuncHot(ctx, fn, train, hot, o, m)
+}
+
+// AnalyzeFuncHot runs the pipeline with an explicitly chosen hot-path
+// set, bypassing the coverage-based selection — used by ablations that
+// compare selection strategies (e.g. edge-profile estimation against true
+// path profiles).
+func (e *Engine) AnalyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, o Options) (*FuncResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return e.analyzeFuncHot(ctx, fn, train, hot, o, NewMetrics())
+}
+
+func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, o Options, m *Metrics) (*FuncResult, error) {
+	res := &FuncResult{Fn: fn, Opt: o, Train: train, Metrics: m}
+	start := time.Now()
+
+	sol, err := e.baseline(ctx, fn, m)
+	if err != nil {
+		return nil, err
+	}
+	res.OrigSol = sol
+
+	res.Hot = hot
+	if len(hot) == 0 || train == nil {
+		res.Hot = nil
+		return finish(res, start), nil
+	}
+
+	q, err := e.qualified(ctx, fn, train, hot, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Auto, res.HPG, res.HPGSol, res.HPGProf = q.Auto, q.HPG, q.HPGSol, q.HPGProf
+
+	r, err := e.reduced(ctx, fn, train, hot, q, o.CR, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Red, res.RedSol = r.Red, r.RedSol
+	return finish(res, start), nil
+}
+
+func finish(res *FuncResult, start time.Time) *FuncResult {
+	res.Metrics.Wall = time.Since(start)
+	res.Times = res.Metrics.Times()
+	return res
+}
+
+// selectHot computes (or fetches) the hot-path set at coverage CA. A CR
+// sweep re-selects an identical set at every point; caching it matters
+// most for path-heavy functions (go's profile runs tens of thousands of
+// paths through the selection sort).
+func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile, ca float64, m *Metrics) ([]bl.Path, error) {
+	in := SelectIn{Fn: fn, Train: train, CA: ca}
+	if e.cache == nil {
+		return runStage(ctx, SelectStage, fn.Name, m, in)
+	}
+	key := cacheKey{
+		kind: kindSelect,
+		fn:   e.cache.funcFP(fn),
+		prof: e.cache.profileFP(train),
+		knob: knobBits(ca),
+	}
+	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		hot, err := runStage(ctx, SelectStage, fn.Name, mm, in)
+		return hot, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, hit)
+	return v.([]bl.Path), nil
+}
+
+// baseline computes (or fetches) the CA = 0 Wegman-Zadek solution.
+func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: fn.G, NumVars: fn.NumVars()}
+	if e.cache == nil {
+		return runStage(ctx, BaselineStage, fn.Name, m, in)
+	}
+	key := cacheKey{kind: kindBaseline, fn: e.cache.funcFP(fn)}
+	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		sol, err := runStage(ctx, BaselineStage, fn.Name, mm, in)
+		return sol, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, hit)
+	return v.(*constprop.Result), nil
+}
+
+// qualified computes (or fetches) the automaton, the HPG, its solution
+// and the translated training profile — everything that depends on the
+// hot set but not on CR.
+func (e *Engine) qualified(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, m *Metrics) (*qualifiedBundle, error) {
+	if e.cache == nil {
+		return e.runQualified(ctx, fn, train, hot, m)
+	}
+	key := cacheKey{
+		kind: kindQualified,
+		fn:   e.cache.funcFP(fn),
+		prof: e.cache.profileFP(train),
+		hot:  FingerprintHot(hot),
+	}
+	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		q, err := e.runQualified(ctx, fn, train, hot, mm)
+		return q, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, hit)
+	return v.(*qualifiedBundle), nil
+}
+
+// qualifiedBundle is the cached bundle of every CR-independent
+// qualified-pipeline artifact.
+type qualifiedBundle struct {
+	Auto    *automaton.Automaton
+	HPG     *trace.HPG
+	HPGSol  *constprop.Result
+	HPGProf *bl.Profile
+}
+
+func (e *Engine) runQualified(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, m *Metrics) (*qualifiedBundle, error) {
+	a, err := runStage(ctx, AutomatonStage, fn.Name, m, AutomatonIn{Fn: fn, R: train.R, Hot: hot})
+	if err != nil {
+		return nil, err
+	}
+	h, err := runStage(ctx, TraceStage, fn.Name, m, TraceIn{Fn: fn, Auto: a})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := runStage(ctx, AnalyzeStage, fn.Name, m, AnalyzeIn{G: h.G, NumVars: fn.NumVars()})
+	if err != nil {
+		return nil, err
+	}
+	hp, err := runStage(ctx, TranslateStage, fn.Name, m, TranslateIn{Prof: train, Orig: fn.G, Overlay: h})
+	if err != nil {
+		return nil, err
+	}
+	return &qualifiedBundle{Auto: a, HPG: h, HPGSol: sol, HPGProf: hp}, nil
+}
+
+// reduced computes (or fetches) the reduced HPG and its solution.
+func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, q *qualifiedBundle, cr float64, m *Metrics) (ReduceOut, error) {
+	in := ReduceIn{HPG: q.HPG, Sol: q.HPGSol, Prof: q.HPGProf, CR: cr, NumVars: fn.NumVars()}
+	if e.cache == nil {
+		return runStage(ctx, ReduceStage, fn.Name, m, in)
+	}
+	key := cacheKey{
+		kind: kindReduced,
+		fn:   e.cache.funcFP(fn),
+		prof: e.cache.profileFP(train),
+		hot:  FingerprintHot(hot),
+		knob: knobBits(cr),
+	}
+	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		r, err := runStage(ctx, ReduceStage, fn.Name, mm, in)
+		return r, costs(mm), err
+	})
+	if err != nil {
+		return ReduceOut{}, err
+	}
+	m.merge(cost, hit)
+	return v.(ReduceOut), nil
+}
+
+func costs(m *Metrics) map[StageName]time.Duration {
+	out := make(map[StageName]time.Duration, len(m.Stages))
+	for s, sm := range m.Stages {
+		out[s] = sm.Duration
+	}
+	return out
+}
+
+// AnalyzeProgram runs the pipeline on every function of prog using the
+// given training profile, analyzing independent functions in parallel on
+// the engine's worker pool. Results are deterministic and keyed by
+// function name.
+func (e *Engine) AnalyzeProgram(ctx context.Context, prog *cfg.Program, train *bl.ProgramProfile, o Options) (*ProgramResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	frs, err := Map(ctx, e.workers, prog.Order, func(ctx context.Context, name string) (*FuncResult, error) {
+		var tp *bl.Profile
+		if train != nil {
+			tp = train.Funcs[name]
+		}
+		return e.analyzeFunc(ctx, prog.Funcs[name], tp, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ProgramResult{Prog: prog, Opt: o, Funcs: make(map[string]*FuncResult, len(frs))}
+	for i, name := range prog.Order {
+		out.Funcs[name] = frs[i]
+	}
+	return out, nil
+}
+
+// SweepProgram analyzes prog at every parameter point. Points run in
+// order so that, with the cache enabled, each point reuses every
+// artifact the earlier points already materialized (a CR sweep reuses
+// the HPG and its solution; every point reuses the baseline).
+func (e *Engine) SweepProgram(ctx context.Context, prog *cfg.Program, train *bl.ProgramProfile, opts []Options) ([]*ProgramResult, error) {
+	out := make([]*ProgramResult, len(opts))
+	for i, o := range opts {
+		r, err := e.AnalyzeProgram(ctx, prog, train, o)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// ProfileAndAnalyze profiles prog on the training input, then analyzes it.
+func (e *Engine) ProfileAndAnalyze(ctx context.Context, prog *cfg.Program, trainOpts interp.Options, o Options) (*ProgramResult, *bl.ProgramProfile, error) {
+	if err := o.Validate(); err != nil {
+		return nil, nil, err
+	}
+	train, _, err := bl.ProfileProgram(prog, trainOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: training run failed: %w", err)
+	}
+	res, err := e.AnalyzeProgram(ctx, prog, train, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, train, nil
+}

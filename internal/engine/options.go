@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// CA is the hot-path coverage: the minimal set of paths covering
+	// this fraction of the training run's dynamic instructions is
+	// isolated. CA = 0 disables qualification entirely (the paper's
+	// Wegman-Zadek baseline).
+	CA float64
+	// CR is the reduction benefit cutoff: reduction preserves at least
+	// this fraction of the dynamic non-local constants the qualified
+	// analysis discovered.
+	CR float64
+}
+
+// DefaultOptions returns the configuration the paper recommends after its
+// sweeps: CA = 0.97, CR = 0.95.
+func DefaultOptions() Options { return Options{CA: 0.97, CR: 0.95} }
+
+// InvalidOptionsError reports an Options field outside its domain. Both
+// knobs are fractions: the paper sweeps CA and CR over [0, 1].
+type InvalidOptionsError struct {
+	Field string  // "CA" or "CR"
+	Value float64 // the offending value
+}
+
+func (e *InvalidOptionsError) Error() string {
+	if math.IsNaN(e.Value) {
+		return fmt.Sprintf("engine: invalid options: %s is NaN (want a fraction in [0, 1])", e.Field)
+	}
+	return fmt.Sprintf("engine: invalid options: %s = %g (want a fraction in [0, 1])", e.Field, e.Value)
+}
+
+// Validate checks that both knobs are real fractions in [0, 1]. It
+// returns a *InvalidOptionsError naming the first offending field.
+func (o Options) Validate() error {
+	if math.IsNaN(o.CA) || o.CA < 0 || o.CA > 1 {
+		return &InvalidOptionsError{Field: "CA", Value: o.CA}
+	}
+	if math.IsNaN(o.CR) || o.CR < 0 || o.CR > 1 {
+		return &InvalidOptionsError{Field: "CR", Value: o.CR}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"time"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/opt"
+	"pathflow/internal/profile"
+	"pathflow/internal/reduce"
+	"pathflow/internal/trace"
+)
+
+// FuncResult holds every artifact the pipeline produces for one function.
+type FuncResult struct {
+	Fn    *cfg.Func
+	Opt   Options
+	Train *bl.Profile
+
+	// OrigSol is Wegman-Zadek on the original graph: the CA = 0
+	// baseline and the "Iterative" reference for classification.
+	OrigSol *constprop.Result
+
+	// Qualified artifacts; nil when CA = 0 or the function was never
+	// executed in training.
+	Hot     []bl.Path
+	Auto    *automaton.Automaton
+	HPG     *trace.HPG
+	HPGSol  *constprop.Result
+	HPGProf *bl.Profile // training profile translated onto the HPG
+	Red     *reduce.Reduced
+	RedSol  *constprop.Result
+
+	// Times is the legacy per-stage timing projection; Metrics is the
+	// full per-stage record, including cache hits.
+	Times   Times
+	Metrics *Metrics
+}
+
+// Qualified reports whether path qualification ran for this function.
+func (r *FuncResult) Qualified() bool { return r.Red != nil }
+
+// FinalGraph returns the graph later passes consume: the reduced HPG, or
+// the original graph when qualification did not run.
+func (r *FuncResult) FinalGraph() *cfg.Graph {
+	if r.Qualified() {
+		return r.Red.G
+	}
+	return r.Fn.G
+}
+
+// FinalSol returns the constant-propagation solution on FinalGraph.
+func (r *FuncResult) FinalSol() *constprop.Result {
+	if r.Qualified() {
+		return r.RedSol
+	}
+	return r.OrigSol
+}
+
+// FinalOverlay returns the reduced graph as a profile overlay, or nil
+// when qualification did not run.
+func (r *FuncResult) FinalOverlay() profile.Overlay {
+	if r.Qualified() {
+		return r.Red
+	}
+	return nil
+}
+
+// FinalFunc wraps FinalGraph in a cfg.Func.
+func (r *FuncResult) FinalFunc() *cfg.Func {
+	if r.Qualified() {
+		return r.Red.Func()
+	}
+	return r.Fn
+}
+
+// FinalOrigNode maps a FinalGraph node to its original vertex.
+func (r *FuncResult) FinalOrigNode(n cfg.NodeID) cfg.NodeID {
+	if r.Qualified() {
+		return r.Red.OrigNode[n]
+	}
+	return n
+}
+
+// TranslateEval re-expresses an evaluation profile of the original graph
+// on FinalGraph (identity when qualification did not run).
+func (r *FuncResult) TranslateEval(eval *bl.Profile) (*bl.Profile, error) {
+	if !r.Qualified() {
+		return eval, nil
+	}
+	return profile.Translate(eval, r.Fn.G, r.Red)
+}
+
+// ProgramResult is the pipeline result for a whole program.
+type ProgramResult struct {
+	Prog  *cfg.Program
+	Opt   Options
+	Funcs map[string]*FuncResult
+}
+
+// OptimizedProgram folds the discovered constants into each function's
+// final graph and assembles a runnable program.
+func (pr *ProgramResult) OptimizedProgram() (*cfg.Program, int) {
+	out := cfg.NewProgram()
+	folded := 0
+	for _, name := range pr.Prog.Order {
+		fr := pr.Funcs[name]
+		g, n := opt.OptimizeGraph(fr.FinalGraph(), fr.Fn.NumVars())
+		folded += n
+		out.Add(&cfg.Func{
+			Name:     fr.Fn.Name,
+			Params:   fr.Fn.Params,
+			VarNames: fr.Fn.VarNames,
+			G:        g,
+		})
+	}
+	return out, folded
+}
+
+// BaselineProgram folds the Wegman-Zadek constants into clones of the
+// original functions: the paper's "Base" configuration for Table 2.
+func BaselineProgram(prog *cfg.Program) (*cfg.Program, int) {
+	out := cfg.NewProgram()
+	folded := 0
+	for _, name := range prog.Order {
+		f, n := opt.OptimizeFunc(prog.Funcs[name])
+		folded += n
+		out.Add(f)
+	}
+	return out, folded
+}
+
+// Stats aggregates program-level size and timing numbers.
+type Stats struct {
+	OrigNodes, HPGNodes, RedNodes int
+	HotPaths                      int
+	TrainPaths                    int
+	BaselineTime                  time.Duration
+	QualifiedTime                 time.Duration
+	// CacheHits counts pipeline stages served from the artifact cache.
+	CacheHits int
+}
+
+// Stats summarizes the analysis.
+func (pr *ProgramResult) Stats() Stats {
+	var s Stats
+	for _, fr := range pr.Funcs {
+		s.OrigNodes += fr.Fn.G.NumNodes()
+		s.BaselineTime += fr.Times.Baseline
+		s.QualifiedTime += fr.Times.Qualified()
+		if fr.Metrics != nil {
+			s.CacheHits += fr.Metrics.CacheHits()
+		}
+		if fr.Train != nil {
+			s.TrainPaths += fr.Train.NumPaths()
+		}
+		s.HotPaths += len(fr.Hot)
+		if fr.Qualified() {
+			s.HPGNodes += fr.HPG.G.NumNodes()
+			s.RedNodes += fr.Red.G.NumNodes()
+		} else {
+			s.HPGNodes += fr.Fn.G.NumNodes()
+			s.RedNodes += fr.Fn.G.NumNodes()
+		}
+	}
+	return s
+}

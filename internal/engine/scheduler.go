@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Map runs f over items with at most workers concurrent invocations and
+// returns the results in input order — parallel execution, deterministic
+// output. workers <= 0 means runtime.NumCPU().
+//
+// On failure Map cancels the context passed to in-flight invocations,
+// waits for all workers to drain, and returns the error of the
+// lowest-indexed item that failed for a reason of its own (an item that
+// failed only because a later-indexed failure cancelled it does not mask
+// the real error). Results are deterministic whenever f is.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(context.Context, T) (R, error)) ([]R, error) {
+	n := len(items)
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, it := range items {
+			r, err := f(ctx, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// No pre-emptive ctx check here: f is handed the context and
+				// is responsible for honoring it (engine stages check it on
+				// entry), which lets the failure carry stage provenance
+				// instead of a bare context error.
+				r, err := f(cctx, items[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		// A cancellation that Map itself induced (parent still alive) is
+		// collateral damage from some other item's failure; keep looking
+		// for the originating error.
+		if ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if fallback != nil {
+		return nil, fallback
+	}
+	return out, nil
+}

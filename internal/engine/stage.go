@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/profile"
+	"pathflow/internal/reduce"
+	"pathflow/internal/trace"
+)
+
+// StageName identifies one stage of the qualification pipeline.
+type StageName string
+
+// The pipeline stages, in execution order. Baseline is the CA = 0
+// Wegman-Zadek analysis of the original graph; the remaining stages are
+// the paper's select → automaton → trace → analyze → translate → reduce
+// chain. Reduce includes the re-analysis of the reduced graph (the paper
+// times them together, and the reduced solution is unusable without the
+// reduced graph).
+const (
+	StageBaseline  StageName = "baseline"
+	StageSelect    StageName = "select"
+	StageAutomaton StageName = "automaton"
+	StageTrace     StageName = "trace"
+	StageAnalyze   StageName = "analyze"
+	StageTranslate StageName = "translate"
+	StageReduce    StageName = "reduce"
+)
+
+// StageOrder lists every stage in execution order.
+var StageOrder = []StageName{
+	StageBaseline, StageSelect, StageAutomaton, StageTrace,
+	StageAnalyze, StageTranslate, StageReduce,
+}
+
+// StageError is the structured error every pipeline failure is wrapped
+// in: it names the owning stage and the function being analyzed, and
+// unwraps to the underlying cause (including context.Canceled when a
+// cancelled context stopped the stage).
+type StageError struct {
+	Stage StageName
+	Func  string
+	Err   error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("engine: %s: stage %s: %v", e.Func, e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage is one typed pipeline step: a pure function from its input
+// artifact to its output artifact. Stages never observe engine state;
+// the engine owns sequencing, cancellation, caching and metrics.
+type Stage[In, Out any] struct {
+	Name StageName
+	Run  func(In) (Out, error)
+}
+
+// runStage executes st under ctx, records its duration into m, and wraps
+// any failure (including cancellation observed before the stage starts)
+// in a *StageError naming the stage and function.
+func runStage[In, Out any](ctx context.Context, st Stage[In, Out], fname string, m *Metrics, in In) (Out, error) {
+	var zero Out
+	if err := ctx.Err(); err != nil {
+		return zero, &StageError{Stage: st.Name, Func: fname, Err: err}
+	}
+	t0 := time.Now()
+	out, err := st.Run(in)
+	m.add(st.Name, time.Since(t0), false)
+	if err != nil {
+		return zero, &StageError{Stage: st.Name, Func: fname, Err: err}
+	}
+	return out, nil
+}
+
+// --- Typed stage artifacts ----------------------------------------------
+
+// SelectIn feeds hot-path selection.
+type SelectIn struct {
+	Fn    *cfg.Func
+	Train *bl.Profile
+	CA    float64
+}
+
+// AutomatonIn feeds qualification-automaton construction.
+type AutomatonIn struct {
+	Fn  *cfg.Func
+	R   map[cfg.EdgeID]bool
+	Hot []bl.Path
+}
+
+// TraceIn feeds Holley-Rosen data-flow tracing.
+type TraceIn struct {
+	Fn   *cfg.Func
+	Auto *automaton.Automaton
+}
+
+// AnalyzeIn feeds Wegman-Zadek constant propagation (baseline and HPG).
+type AnalyzeIn struct {
+	G       *cfg.Graph
+	NumVars int
+}
+
+// TranslateIn feeds profile translation onto an overlay graph.
+type TranslateIn struct {
+	Prof    *bl.Profile
+	Orig    *cfg.Graph
+	Overlay profile.Overlay
+}
+
+// ReduceIn feeds reduction; NumVars is needed to re-analyze the quotient.
+type ReduceIn struct {
+	HPG     *trace.HPG
+	Sol     *constprop.Result
+	Prof    *bl.Profile
+	CR      float64
+	NumVars int
+}
+
+// ReduceOut is the reduction artifact: the quotient graph and its
+// re-analyzed solution.
+type ReduceOut struct {
+	Red    *reduce.Reduced
+	RedSol *constprop.Result
+}
+
+// --- The stages ----------------------------------------------------------
+
+// BaselineStage runs Wegman-Zadek on the original graph (the CA = 0
+// baseline, independent of every knob).
+var BaselineStage = Stage[AnalyzeIn, *constprop.Result]{
+	Name: StageBaseline,
+	Run: func(in AnalyzeIn) (*constprop.Result, error) {
+		return constprop.Analyze(in.G, in.NumVars, true), nil
+	},
+}
+
+// SelectStage picks the minimal hot-path set covering CA of the training
+// run's dynamic instructions.
+var SelectStage = Stage[SelectIn, []bl.Path]{
+	Name: StageSelect,
+	Run: func(in SelectIn) ([]bl.Path, error) {
+		return profile.SelectHot(in.Train, in.Fn.G, in.CA), nil
+	},
+}
+
+// AutomatonStage builds the Aho-Corasick qualification automaton over the
+// trimmed hot paths.
+var AutomatonStage = Stage[AutomatonIn, *automaton.Automaton]{
+	Name: StageAutomaton,
+	Run: func(in AutomatonIn) (*automaton.Automaton, error) {
+		return automaton.New(in.Fn.G, in.R, in.Hot)
+	},
+}
+
+// TraceStage applies Holley-Rosen data-flow tracing, producing the HPG.
+var TraceStage = Stage[TraceIn, *trace.HPG]{
+	Name: StageTrace,
+	Run: func(in TraceIn) (*trace.HPG, error) {
+		return trace.Build(in.Fn, in.Auto)
+	},
+}
+
+// AnalyzeStage runs Wegman-Zadek on the HPG.
+var AnalyzeStage = Stage[AnalyzeIn, *constprop.Result]{
+	Name: StageAnalyze,
+	Run: func(in AnalyzeIn) (*constprop.Result, error) {
+		return constprop.Analyze(in.G, in.NumVars, true), nil
+	},
+}
+
+// TranslateStage re-expresses the training profile on the HPG (Lemma 2).
+var TranslateStage = Stage[TranslateIn, *bl.Profile]{
+	Name: StageTranslate,
+	Run: func(in TranslateIn) (*bl.Profile, error) {
+		return profile.Translate(in.Prof, in.Orig, in.Overlay)
+	},
+}
+
+// ReduceStage minimizes the HPG at cutoff CR and re-analyzes the quotient.
+var ReduceStage = Stage[ReduceIn, ReduceOut]{
+	Name: StageReduce,
+	Run: func(in ReduceIn) (ReduceOut, error) {
+		red, err := reduce.Reduce(in.HPG, in.Sol, in.Prof, reduce.Options{CR: in.CR})
+		if err != nil {
+			return ReduceOut{}, err
+		}
+		return ReduceOut{Red: red, RedSol: constprop.Analyze(red.G, in.NumVars, true)}, nil
+	},
+}
+
+// --- Metrics -------------------------------------------------------------
+
+// StageMetrics aggregates one stage's cost within a single FuncResult.
+type StageMetrics struct {
+	// Duration is the compute cost of the stage. For cache hits this is
+	// the stored cost of the run that produced the artifact, so cost
+	// ratios (Figure 12) stay meaningful under caching.
+	Duration time.Duration
+	// Runs counts stage executions attributed to this result, including
+	// cache hits; CacheHits counts how many of them were served from the
+	// artifact cache.
+	Runs      int
+	CacheHits int
+}
+
+// Metrics generalizes the old ad-hoc Times struct: per-stage durations,
+// run/hit counts, and the actual wall-clock of the pipeline invocation.
+type Metrics struct {
+	Stages map[StageName]StageMetrics
+	// Wall is the observed wall-clock time of this pipeline invocation
+	// (cache hits make it smaller than the summed stage durations).
+	Wall time.Duration
+}
+
+// NewMetrics returns an empty metrics record.
+func NewMetrics() *Metrics { return &Metrics{Stages: map[StageName]StageMetrics{}} }
+
+func (m *Metrics) add(s StageName, d time.Duration, cached bool) {
+	sm := m.Stages[s]
+	sm.Duration += d
+	sm.Runs++
+	if cached {
+		sm.CacheHits++
+	}
+	m.Stages[s] = sm
+}
+
+// merge folds a recorded cost map into m, marking every entry as a cache
+// hit when cached is set.
+func (m *Metrics) merge(cost map[StageName]time.Duration, cached bool) {
+	for s, d := range cost {
+		m.add(s, d, cached)
+	}
+}
+
+// Duration returns the recorded compute cost of stage s.
+func (m *Metrics) Duration(s StageName) time.Duration { return m.Stages[s].Duration }
+
+// CacheHits returns the total number of stage executions served from the
+// artifact cache.
+func (m *Metrics) CacheHits() int {
+	n := 0
+	for _, sm := range m.Stages {
+		n += sm.CacheHits
+	}
+	return n
+}
+
+// Times projects the metrics onto the legacy Times struct: Baseline,
+// Automaton, Trace, Analysis (HPG), Reduce (translate + reduce +
+// quotient re-analysis), and Total as the sum of compute costs, exactly
+// the spans the pre-engine pipeline timed.
+func (m *Metrics) Times() Times {
+	t := Times{
+		Baseline:  m.Duration(StageBaseline),
+		Automaton: m.Duration(StageAutomaton),
+		Trace:     m.Duration(StageTrace),
+		Analysis:  m.Duration(StageAnalyze),
+		Reduce:    m.Duration(StageTranslate) + m.Duration(StageReduce),
+	}
+	t.Total = t.Baseline + t.Automaton + t.Trace + t.Analysis + t.Reduce
+	return t
+}
+
+// Times records wall-clock durations of the pipeline stages (the legacy
+// pre-engine shape, kept for the harness and CLI).
+type Times struct {
+	Baseline  time.Duration // Wegman-Zadek on the original graph
+	Automaton time.Duration
+	Trace     time.Duration
+	Analysis  time.Duration // qualified analysis on the HPG
+	Reduce    time.Duration
+	Total     time.Duration
+}
+
+// Qualified returns the extra time qualification added on top of the
+// baseline analysis (the paper's Figure 12 numerator).
+func (t Times) Qualified() time.Duration {
+	return t.Automaton + t.Trace + t.Analysis + t.Reduce
+}
