@@ -9,7 +9,11 @@
 #                           internal/bench/testdata/metrics.golden.json)
 #   5. go test -race        the concurrency-bearing packages under the
 #                           race detector (engine scheduler + cache,
-#                           the core compat shim, the bench harness memo)
+#                           the core compat shim, the bench harness memo,
+#                           the serving layer's job manager + streams)
+#   6. serve smoke          end-to-end: start `pathflow serve` on an
+#                           ephemeral port, run one analyze round-trip
+#                           over HTTP, check /healthz, SIGINT-drain it
 #
 # Exit status is nonzero on the first failure. See README.md ("Verifying").
 set -e
@@ -32,6 +36,51 @@ echo "== test"
 go test ./...
 
 echo "== race"
-go test -race ./internal/engine/ ./internal/core/ ./internal/bench/
+go test -race ./internal/engine/ ./internal/core/ ./internal/bench/ ./internal/serve/
+
+echo "== serve smoke"
+tmpdir=$(mktemp -d)
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+go build -o "$tmpdir/pathflow" ./cmd/pathflow
+"$tmpdir/pathflow" serve -addr 127.0.0.1:0 >"$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|.*listening on http://||p' "$tmpdir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: daemon never listened" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"' || {
+    echo "serve smoke: /healthz not ok" >&2; exit 1; }
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
+    -H 'Content-Type: application/json' \
+    -d '{"program": "compress"}' >"$tmpdir/job.json"
+grep -q '"state": "done"' "$tmpdir/job.json" || {
+    echo "serve smoke: analyze round-trip did not finish 'done'" >&2
+    cat "$tmpdir/job.json" >&2; exit 1; }
+grep -q '"qualified": true' "$tmpdir/job.json" || {
+    echo "serve smoke: analysis result lost qualification" >&2; exit 1; }
+# A repeated identical request must be served from the shared cache.
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
+    -H 'Content-Type: application/json' \
+    -d '{"program": "compress"}' | grep -q '"profile_cached": true' || {
+    echo "serve smoke: repeat request missed the shared cache" >&2; exit 1; }
+kill -INT "$serve_pid"
+wait "$serve_pid" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
+grep -q "drained, bye" "$tmpdir/serve.log" || {
+    echo "serve smoke: daemon did not drain cleanly" >&2
+    cat "$tmpdir/serve.log" >&2; exit 1; }
+serve_pid=""
 
 echo "ci.sh: all gates passed"

@@ -10,7 +10,9 @@
 //	pathflow run     <benchmark>|-src file [-ref] [-args a,b,...] [-seed n]
 //	pathflow profile <benchmark>|-src file [-ref] [-top n]
 //	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95]
-//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|all
+//	pathflow opt     <benchmark>|-src file [-ref]
+//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all
+//	pathflow serve   [-addr host:port] [-maxjobs n] [-workers n] [-timeout d]
 package main
 
 import (
@@ -55,6 +57,8 @@ func main() {
 		err = cmdOpt(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -64,10 +68,15 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathflow:", err)
+		// Typed errors carry their own remediation hints; the serving
+		// layer embeds the very same text in its JSON error bodies.
 		var opt *engine.InvalidOptionsError
 		if errors.As(err, &opt) {
-			fmt.Fprintf(os.Stderr, "pathflow: pass -%s a fraction between 0 and 1 (e.g. -%s %.2f)\n",
-				strings.ToLower(opt.Field), strings.ToLower(opt.Field), 0.95)
+			fmt.Fprintln(os.Stderr, "pathflow:", opt.Hint())
+		}
+		var ub *bench.UnknownBenchmarkError
+		if errors.As(err, &ub) {
+			fmt.Fprintln(os.Stderr, "pathflow:", ub.Hint())
 		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "pathflow: interrupted")
@@ -89,6 +98,9 @@ commands:
   opt     <bench>|-src f [...]   optimize and compare modeled run time
   exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>
                                  regenerate the paper's tables and figures
+  serve   [-addr host:port] [...] run the long-running analysis service
+                                 (shared artifact cache, job manager,
+                                 live per-stage metrics; see README)
 `)
 }
 

@@ -41,6 +41,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"pathflow/internal/cfg"
@@ -112,6 +113,24 @@ func (b *Benchmark) RefOptions() interp.Options {
 	}
 }
 
+// UnknownBenchmarkError reports a program name that is not in the
+// suite. Callers that surface errors to users (the CLI, the serving
+// layer's 404 bodies) share its Hint instead of re-deriving the list.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return fmt.Sprintf("bench: unknown benchmark %q", e.Name)
+}
+
+// Hint names the valid benchmarks.
+func (e *UnknownBenchmarkError) Hint() string {
+	names := make([]string, len(All()))
+	for i, b := range All() {
+		names[i] = b.Name
+	}
+	return "known benchmarks: " + strings.Join(names, ", ")
+}
+
 // Get returns a benchmark by name.
 func Get(name string) (*Benchmark, error) {
 	for _, b := range All() {
@@ -119,7 +138,7 @@ func Get(name string) (*Benchmark, error) {
 			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	return nil, &UnknownBenchmarkError{Name: name}
 }
 
 var all []*Benchmark

@@ -86,7 +86,7 @@ func (e *Engine) AnalyzeFunc(ctx context.Context, fn *cfg.Func, train *bl.Profil
 }
 
 func (e *Engine) analyzeFunc(ctx context.Context, fn *cfg.Func, train *bl.Profile, o Options) (*FuncResult, error) {
-	m := NewMetrics()
+	m := newMetrics(ctx, fn.Name)
 	var hot []bl.Path
 	if train != nil && o.CA > 0 {
 		var err error
@@ -106,7 +106,7 @@ func (e *Engine) AnalyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	return e.analyzeFuncHot(ctx, fn, train, hot, o, NewMetrics())
+	return e.analyzeFuncHot(ctx, fn, train, hot, o, newMetrics(ctx, fn.Name))
 }
 
 func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, o Options, m *Metrics) (*FuncResult, error) {

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// StageEvent describes one stage execution attributed to a pipeline
+// invocation: the function being analyzed, the owning stage, the compute
+// cost of the artifact, and whether it was served from the artifact
+// cache (in which case Duration is the stored cost of the run that
+// originally produced it).
+//
+// Events are emitted as artifacts land, so a long program analysis can
+// be observed live — the serving layer streams them to clients as
+// NDJSON/SSE. Observers run inline on the engine's worker goroutines:
+// they may be called concurrently and must be fast (or hand off to a
+// channel) to avoid stalling the pipeline.
+type StageEvent struct {
+	Func     string
+	Stage    StageName
+	Duration time.Duration
+	Cached   bool
+}
+
+// observerKey carries a stage observer through a context.
+type observerKey struct{}
+
+// WithStageObserver returns a context that delivers a StageEvent to f
+// for every stage execution (including cache hits) performed by engine
+// calls made under it. The observer is scoped to the request, not the
+// engine, so one shared Engine can serve many observed requests.
+func WithStageObserver(ctx context.Context, f func(StageEvent)) context.Context {
+	return context.WithValue(ctx, observerKey{}, f)
+}
+
+// stageObserver extracts the observer installed by WithStageObserver,
+// or nil.
+func stageObserver(ctx context.Context) func(StageEvent) {
+	f, _ := ctx.Value(observerKey{}).(func(StageEvent))
+	return f
+}
+
+// newMetrics returns a metrics record wired to the context's stage
+// observer (if any) for the named function. Every stage execution and
+// cache-hit merge funnels through Metrics.add, so attaching the
+// observer there captures both.
+func newMetrics(ctx context.Context, fname string) *Metrics {
+	m := NewMetrics()
+	if obs := stageObserver(ctx); obs != nil {
+		m.observe = func(s StageName, d time.Duration, cached bool) {
+			obs(StageEvent{Func: fname, Stage: s, Duration: d, Cached: cached})
+		}
+	}
+	return m
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Options configures the pipeline.
@@ -34,6 +35,15 @@ func (e *InvalidOptionsError) Error() string {
 		return fmt.Sprintf("engine: invalid options: %s is NaN (want a fraction in [0, 1])", e.Field)
 	}
 	return fmt.Sprintf("engine: invalid options: %s = %g (want a fraction in [0, 1])", e.Field, e.Value)
+}
+
+// Hint returns the remediation line shown to users when the error is
+// surfaced — the CLI prints it after the error, and the serving layer
+// embeds it in structured 400 bodies, so the wording lives in exactly
+// one place.
+func (e *InvalidOptionsError) Hint() string {
+	f := strings.ToLower(e.Field)
+	return fmt.Sprintf("pass -%s a fraction between 0 and 1 (e.g. -%s %.2f)", f, f, 0.95)
 }
 
 // Validate checks that both knobs are real fractions in [0, 1]. It

@@ -218,6 +218,13 @@ type Metrics struct {
 	// Wall is the observed wall-clock time of this pipeline invocation
 	// (cache hits make it smaller than the summed stage durations).
 	Wall time.Duration
+
+	// observe, when set (WithStageObserver), is invoked for every stage
+	// execution recorded into this record — direct runs and cache-hit
+	// merges alike. The cache's leader computes into a private Metrics
+	// with no observer and then merges, so each artifact is reported to
+	// each requester exactly once.
+	observe func(s StageName, d time.Duration, cached bool)
 }
 
 // NewMetrics returns an empty metrics record.
@@ -231,6 +238,9 @@ func (m *Metrics) add(s StageName, d time.Duration, cached bool) {
 		sm.CacheHits++
 	}
 	m.Stages[s] = sm
+	if m.observe != nil {
+		m.observe(s, d, cached)
+	}
 }
 
 // merge folds a recorded cost map into m, marking every entry as a cache

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pathflow/internal/engine"
+)
+
+// stageBuckets are the histogram upper bounds, in seconds. Pipeline
+// stages on the suite run from microseconds (baseline on a tiny cold
+// function) to seconds (trace/reduce on go at full coverage), so the
+// buckets are decades across that span.
+var stageBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: counts[i] counts observations ≤ stageBuckets[i]).
+type histogram struct {
+	counts [len8]uint64
+	sum    float64
+	total  uint64
+}
+
+// len8 keeps the array size in sync with stageBuckets.
+const len8 = 8
+
+func (h *histogram) observe(sec float64) {
+	for i, ub := range stageBuckets {
+		if sec <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += sec
+	h.total++
+}
+
+// serverMetrics aggregates service-level observability state: job
+// lifecycle counters, per-stage time histograms and per-stage cache-hit
+// counters. The engine's cumulative cache counters are read live at
+// render time, not mirrored here.
+type serverMetrics struct {
+	start time.Time
+
+	mu            sync.Mutex
+	requests      int64
+	jobsAccepted  int64
+	jobsInFlight  int64
+	jobsFinished  map[JobState]int64
+	stages        map[engine.StageName]*histogram
+	stageHits     map[engine.StageName]int64
+	profileRuns   int64
+	profileCached int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		start:        time.Now(),
+		jobsFinished: map[JobState]int64{},
+		stages:       map[engine.StageName]*histogram{},
+		stageHits:    map[engine.StageName]int64{},
+	}
+}
+
+func (sm *serverMetrics) request() {
+	sm.mu.Lock()
+	sm.requests++
+	sm.mu.Unlock()
+}
+
+func (sm *serverMetrics) jobAccepted() {
+	sm.mu.Lock()
+	sm.jobsAccepted++
+	sm.jobsInFlight++
+	sm.mu.Unlock()
+}
+
+func (sm *serverMetrics) jobFinished(state JobState) {
+	sm.mu.Lock()
+	sm.jobsInFlight--
+	sm.jobsFinished[state]++
+	sm.mu.Unlock()
+}
+
+// observeStage records one engine stage execution. Cache hits count
+// toward the hit counter but not the histogram — the histogram measures
+// compute actually performed by this process's engine, so hit-heavy
+// workloads show up as flat histograms and climbing hit counters.
+func (sm *serverMetrics) observeStage(ev engine.StageEvent) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if ev.Cached {
+		sm.stageHits[ev.Stage]++
+		return
+	}
+	h := sm.stages[ev.Stage]
+	if h == nil {
+		h = &histogram{}
+		sm.stages[ev.Stage] = h
+	}
+	h.observe(ev.Duration.Seconds())
+}
+
+func (sm *serverMetrics) observeProfile(d time.Duration, cached bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.profileRuns++
+	if cached {
+		sm.profileCached++
+	}
+}
+
+// snapshot returns the counters the health endpoint reports.
+func (sm *serverMetrics) snapshot() (inFlight int, accepted int64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return int(sm.jobsInFlight), sm.jobsAccepted
+}
+
+// render writes the Prometheus text exposition of every metric, plus the
+// engine's cumulative cache counters. Output order is deterministic.
+func (sm *serverMetrics) render(w io.Writer, cache engine.CacheStats) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pathflow_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "pathflow_uptime_seconds %g\n", time.Since(sm.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP pathflow_http_requests_total HTTP requests served.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_http_requests_total counter\n")
+	fmt.Fprintf(w, "pathflow_http_requests_total %d\n", sm.requests)
+
+	fmt.Fprintf(w, "# HELP pathflow_jobs_accepted_total Jobs admitted by the job manager.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_jobs_accepted_total counter\n")
+	fmt.Fprintf(w, "pathflow_jobs_accepted_total %d\n", sm.jobsAccepted)
+
+	fmt.Fprintf(w, "# HELP pathflow_jobs_in_flight Jobs queued or running.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_jobs_in_flight gauge\n")
+	fmt.Fprintf(w, "pathflow_jobs_in_flight %d\n", sm.jobsInFlight)
+
+	fmt.Fprintf(w, "# HELP pathflow_jobs_finished_total Jobs by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_jobs_finished_total counter\n")
+	states := make([]string, 0, len(sm.jobsFinished))
+	for s := range sm.jobsFinished {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "pathflow_jobs_finished_total{state=%q} %d\n", s, sm.jobsFinished[JobState(s)])
+	}
+
+	fmt.Fprintf(w, "# HELP pathflow_engine_cache_hits_total Artifact-cache hits (cumulative, shared engine).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pathflow_engine_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# HELP pathflow_engine_cache_misses_total Artifact-cache misses (cumulative, shared engine).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pathflow_engine_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP pathflow_engine_cache_entries Artifact-cache resident bundles.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_entries gauge\n")
+	fmt.Fprintf(w, "pathflow_engine_cache_entries %d\n", cache.Entries)
+
+	fmt.Fprintf(w, "# HELP pathflow_profile_runs_total Training-profile requests (cached and computed).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_profile_runs_total counter\n")
+	fmt.Fprintf(w, "pathflow_profile_runs_total %d\n", sm.profileRuns)
+	fmt.Fprintf(w, "# HELP pathflow_profile_cached_total Training-profile requests served from the memo.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_profile_cached_total counter\n")
+	fmt.Fprintf(w, "pathflow_profile_cached_total %d\n", sm.profileCached)
+
+	fmt.Fprintf(w, "# HELP pathflow_stage_cache_hits_total Stage executions served from the artifact cache.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_stage_cache_hits_total counter\n")
+	for _, s := range engine.StageOrder {
+		if n, ok := sm.stageHits[s]; ok {
+			fmt.Fprintf(w, "pathflow_stage_cache_hits_total{stage=%q} %d\n", string(s), n)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pathflow_stage_seconds Compute cost of executed pipeline stages.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_stage_seconds histogram\n")
+	for _, s := range engine.StageOrder {
+		h, ok := sm.stages[s]
+		if !ok {
+			continue
+		}
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "pathflow_stage_seconds_bucket{stage=%q,le=%q} %d\n", string(s), fmtBound(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "pathflow_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", string(s), h.total)
+		fmt.Fprintf(w, "pathflow_stage_seconds_sum{stage=%q} %g\n", string(s), h.sum)
+		fmt.Fprintf(w, "pathflow_stage_seconds_count{stage=%q} %d\n", string(s), h.total)
+	}
+}
+
+func fmtBound(ub float64) string { return fmt.Sprintf("%g", ub) }
