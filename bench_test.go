@@ -425,3 +425,72 @@ func BenchmarkEngineSweep(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { run(b, engine.Config{Workers: 0}) })
 	b.Run("cached", func(b *testing.B) { run(b, engine.Config{Workers: 0, Cache: true}) })
 }
+
+// BenchmarkEngineWarmStart measures the persistent tier's replay win on
+// the full-suite sweep (same workload as EngineSweep):
+//
+//   - cold: a fresh engine with an empty cache every iteration — every
+//     artifact is computed from scratch.
+//   - memwarm: one long-lived engine; after a priming sweep each
+//     iteration replays entirely from the in-memory tier. The upper
+//     bound for any warm start.
+//   - diskwarm: a CacheDir is populated once; each iteration then models
+//     a process restart by calling engine.Open on the directory with an
+//     empty memory tier, so every artifact is read and decoded from
+//     disk. The tentpole contract is diskwarm ≥ 2x faster than cold
+//     (recorded in BENCH_warm_start.json).
+//
+// Compare with benchstat:
+//
+//	go test -run - -bench EngineWarmStart -count 10 | tee new.txt
+//	benchstat old.txt new.txt
+func BenchmarkEngineWarmStart(b *testing.B) {
+	ins := suite(b)
+	var opts []engine.Options
+	for _, ca := range bench.CoverageLevels {
+		opts = append(opts, engine.Options{CA: ca, CR: 0.95})
+	}
+	for cr := 0.0; cr <= 1.0; cr += 0.1 {
+		opts = append(opts, engine.Options{CA: 0.97, CR: cr})
+	}
+	sweep := func(b *testing.B, eng *engine.Engine) {
+		b.Helper()
+		for _, in := range ins {
+			if _, err := eng.SweepProgram(benchCtx, in.Prog, in.Train, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for b.Loop() {
+			sweep(b, engine.New(engine.Config{Workers: 1}))
+		}
+	})
+	b.Run("memwarm", func(b *testing.B) {
+		eng := engine.New(engine.Config{Workers: 1, Cache: true})
+		sweep(b, eng) // prime outside the timed region (b.Loop resets)
+		for b.Loop() {
+			sweep(b, eng)
+		}
+	})
+	b.Run("diskwarm", func(b *testing.B) {
+		dir := b.TempDir()
+		prime, err := engine.Open(engine.Config{Workers: 1, CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep(b, prime) // populate the directory, untimed
+		for b.Loop() {
+			eng, err := engine.Open(engine.Config{Workers: 1, CacheDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweep(b, eng)
+			st := eng.CacheStats()
+			if st.Disk.Hits == 0 || st.Disk.Writes != 0 {
+				b.Fatalf("disk-warm iteration not served from disk: %+v", st.Disk)
+			}
+		}
+	})
+}

@@ -8,12 +8,17 @@
 #   4. go test ./...        the full test suite (incl. the golden gate
 #                           internal/bench/testdata/metrics.golden.json)
 #   5. go test -race        the concurrency-bearing packages under the
-#                           race detector (engine scheduler + cache,
-#                           the core compat shim, the bench harness memo,
+#                           race detector (engine scheduler + two-tier
+#                           cache, the persistent diskcache store, the
+#                           core compat shim, the bench harness memo,
 #                           the serving layer's job manager + streams)
-#   6. serve smoke          end-to-end: start `pathflow serve` on an
-#                           ephemeral port, run one analyze round-trip
-#                           over HTTP, check /healthz, SIGINT-drain it
+#   6. serve smoke          end-to-end: start `pathflow serve` with a
+#                           persistent -cachedir on an ephemeral port,
+#                           run one analyze round-trip over HTTP, check
+#                           /healthz, SIGINT-drain it — then restart the
+#                           daemon on the same -cachedir and assert the
+#                           repeat request warm-starts from disk
+#                           (pathflow_diskcache_hits_total in /metrics)
 #
 # Exit status is nonzero on the first failure. See README.md ("Verifying").
 set -e
@@ -36,7 +41,7 @@ echo "== test"
 go test ./...
 
 echo "== race"
-go test -race ./internal/engine/ ./internal/core/ ./internal/bench/ ./internal/serve/
+go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/
 
 echo "== serve smoke"
 tmpdir=$(mktemp -d)
@@ -46,21 +51,38 @@ cleanup() {
 }
 trap cleanup EXIT
 go build -o "$tmpdir/pathflow" ./cmd/pathflow
-"$tmpdir/pathflow" serve -addr 127.0.0.1:0 >"$tmpdir/serve.log" 2>&1 &
-serve_pid=$!
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's|.*listening on http://||p' "$tmpdir/serve.log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "serve smoke: daemon never listened" >&2
-    cat "$tmpdir/serve.log" >&2
-    exit 1
-fi
+
+# start_serve <logfile>: launch the daemon with the shared cache dir and
+# set $serve_pid/$addr once it is listening.
+start_serve() {
+    "$tmpdir/pathflow" serve -addr 127.0.0.1:0 -cachedir "$tmpdir/cache" >"$1" 2>&1 &
+    serve_pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's|.*listening on http://||p' "$1")
+        [ -n "$addr" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "serve smoke: daemon never listened" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+# stop_serve <logfile>: SIGINT-drain the daemon and check clean exit.
+stop_serve() {
+    kill -INT "$serve_pid"
+    wait "$serve_pid" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
+    grep -q "drained, bye" "$1" || {
+        echo "serve smoke: daemon did not drain cleanly" >&2
+        cat "$1" >&2; exit 1; }
+    serve_pid=""
+}
+
+start_serve "$tmpdir/serve.log"
 curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"' || {
     echo "serve smoke: /healthz not ok" >&2; exit 1; }
 curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
@@ -76,11 +98,27 @@ curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
     -H 'Content-Type: application/json' \
     -d '{"program": "compress"}' | grep -q '"profile_cached": true' || {
     echo "serve smoke: repeat request missed the shared cache" >&2; exit 1; }
-kill -INT "$serve_pid"
-wait "$serve_pid" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
-grep -q "drained, bye" "$tmpdir/serve.log" || {
-    echo "serve smoke: daemon did not drain cleanly" >&2
-    cat "$tmpdir/serve.log" >&2; exit 1; }
-serve_pid=""
+stop_serve "$tmpdir/serve.log"
+
+# Restart the daemon on the same -cachedir: the repeat request must
+# warm-start from the persistent tier, visible both in the job metrics
+# (stage_disk_hits) and the Prometheus disk-hit counter.
+start_serve "$tmpdir/serve2.log"
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
+    -H 'Content-Type: application/json' \
+    -d '{"program": "compress"}' >"$tmpdir/job2.json"
+grep -q '"state": "done"' "$tmpdir/job2.json" || {
+    echo "serve smoke: post-restart analyze did not finish 'done'" >&2
+    cat "$tmpdir/job2.json" >&2; exit 1; }
+grep -q '"stage_disk_hits"' "$tmpdir/job2.json" || {
+    echo "serve smoke: restarted daemon recomputed instead of reading the cache dir" >&2
+    cat "$tmpdir/job2.json" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.txt"
+hits=$(sed -n 's/^pathflow_diskcache_hits_total //p' "$tmpdir/metrics.txt")
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "serve smoke: pathflow_diskcache_hits_total is ${hits:-missing} after restart" >&2
+    exit 1
+fi
+stop_serve "$tmpdir/serve2.log"
 
 echo "ci.sh: all gates passed"

@@ -22,40 +22,42 @@ func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
 	nocache := fs.Bool("nocache", false, "disable the cross-run artifact cache")
+	verbose := fs.Bool("v", false, "print per-stage cache provenance (computed/memory/disk) after the run")
+	cflags := addCacheFlags(fs, "")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>")
+		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] [-cachedir dir] [-cachemax size] [-v] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>")
 	}
 	what := fs.Arg(0)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng := engine.New(engine.Config{Workers: *workers, Cache: !*nocache})
+	ecfg, err := cflags.engineConfig(*workers, !*nocache)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.Open(ecfg)
+	if err != nil {
+		return err
+	}
+	var prov provTracker
+	if *verbose {
+		ctx = prov.install(ctx)
+	}
 	ins, err := bench.LoadAll(ctx, eng)
 	if err != nil {
 		return err
 	}
-	switch what {
-	case "table1":
-		return expTable1(ctx, ins)
-	case "table2":
-		return expTable2(ctx, ins)
-	case "fig7":
-		return expFig7(ctx, ins)
-	case "fig9":
-		return expFig9(ctx, ins)
-	case "fig10":
-		return expFig10(ctx, ins)
-	case "fig11":
-		return expFig11(ctx, ins)
-	case "fig12":
-		return expFig12(ctx, ins)
-	case "ablation":
-		return expAblation(ctx, ins)
-	case "all":
+	exps := map[string]func(context.Context, []*bench.Instance) error{
+		"table1": expTable1, "table2": expTable2, "fig7": expFig7,
+		"fig9": expFig9, "fig10": expFig10, "fig11": expFig11,
+		"fig12": expFig12, "ablation": expAblation,
+	}
+	switch {
+	case what == "all":
 		for _, f := range []func(context.Context, []*bench.Instance) error{
 			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation,
 		} {
@@ -64,14 +66,21 @@ func cmdExp(args []string) error {
 			}
 			fmt.Println()
 		}
-		st := eng.CacheStats()
-		if st.Hits+st.Misses > 0 {
-			fmt.Printf("artifact cache: %d hits, %d misses, %d entries\n",
-				st.Hits, st.Misses, st.Entries)
+		printCacheStats(eng.CacheStats())
+	case exps[what] != nil:
+		if err := exps[what](ctx, ins); err != nil {
+			return err
 		}
-		return nil
+		if *verbose {
+			printCacheStats(eng.CacheStats())
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
 	}
-	return fmt.Errorf("unknown experiment %q", what)
+	if *verbose {
+		prov.print()
+	}
+	return nil
 }
 
 func expAblation(ctx context.Context, ins []*bench.Instance) error {

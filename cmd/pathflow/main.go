@@ -269,13 +269,21 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
 	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
+	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	eng := engine.New(engine.Config{Workers: *workers, Cache: true})
+	ecfg, err := cflags.engineConfig(*workers, true)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.Open(ecfg)
+	if err != nil {
+		return err
+	}
 	o := engine.Options{CA: *ca, CR: *cr}
 	if err := o.Validate(); err != nil {
 		return err

@@ -25,6 +25,7 @@ func cmdServe(args []string) error {
 	maxJobs := fs.Int("maxjobs", 2, "concurrently running jobs (further submissions queue)")
 	timeout := fs.Duration("timeout", 0, "default per-job deadline (0 = none; requests may set timeout_ms)")
 	nocache := fs.Bool("nocache", false, "disable the shared artifact cache")
+	cflags := addCacheFlags(fs, "512M")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,13 +36,27 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := serve.New(serve.Config{
+	maxBytes, err2 := parseSize(*cflags.max)
+	if err2 != nil {
+		return fmt.Errorf("-cachemax: %w", err2)
+	}
+	memBytes, err := parseSize(*cflags.mem)
+	if err != nil {
+		return fmt.Errorf("-cachemem: %w", err)
+	}
+	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		MaxJobs:        *maxJobs,
 		NoCache:        *nocache,
+		CacheDir:       *cflags.dir,
+		CacheMaxBytes:  maxBytes,
+		MemoryMaxBytes: memBytes,
 		DefaultTimeout: *timeout,
 	})
-	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+	if err != nil {
+		return err
+	}
+	err = srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Printf("pathflow serve: listening on http://%s\n", a)
 		fmt.Printf("pathflow serve: POST /v1/analyze, POST /v1/sweep, GET /v1/jobs, /healthz, /metrics\n")
 	})

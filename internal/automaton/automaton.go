@@ -177,6 +177,91 @@ func (a *Automaton) Name(q State) string {
 	return fmt.Sprintf("%d", q-1)
 }
 
+// --- Serialization support -----------------------------------------------
+
+// TransEdge is one retrieval-tree transition in a Snapshot.
+type TransEdge struct {
+	Edge cfg.EdgeID
+	To   State
+}
+
+// Snapshot is an exported, order-canonical view of an automaton's
+// retrieval tree, used by the persistent artifact cache to serialize
+// automata without widening the package's mutating surface. Trans lists
+// each state's trie transitions in increasing edge order; R is not part
+// of the snapshot because it is owned by the profile the automaton was
+// built against (the deserializer supplies it).
+type Snapshot struct {
+	Trans       [][]TransEdge
+	Accept      []bool
+	Depth       []int32
+	NumKeywords int
+}
+
+// Snapshot returns the canonical serializable view of the automaton.
+func (a *Automaton) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Trans:       make([][]TransEdge, len(a.trans)),
+		Accept:      append([]bool(nil), a.accept...),
+		Depth:       append([]int32(nil), a.depth...),
+		NumKeywords: a.numKeywords,
+	}
+	for q, m := range a.trans {
+		ts := make([]TransEdge, 0, len(m))
+		for e, to := range m {
+			ts = append(ts, TransEdge{Edge: e, To: to})
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Edge < ts[j].Edge })
+		s.Trans[q] = ts
+	}
+	return s
+}
+
+// FromSnapshot rebuilds an automaton from a snapshot plus the
+// recording-edge set R it was built against. Shape invariants are
+// validated so a corrupted snapshot yields an error, never a malformed
+// automaton: slice lengths must agree, the two distinguished states must
+// exist with their fixed depths, and every transition target must be in
+// range with a depth one greater than its source (trie property).
+func FromSnapshot(R map[cfg.EdgeID]bool, s *Snapshot) (*Automaton, error) {
+	n := len(s.Trans)
+	if n < 2 || len(s.Accept) != n || len(s.Depth) != n {
+		return nil, fmt.Errorf("automaton: snapshot shape mismatch (%d/%d/%d states)",
+			n, len(s.Accept), len(s.Depth))
+	}
+	if s.Depth[StateEpsilon] != 0 || s.Depth[StateDot] != 1 {
+		return nil, fmt.Errorf("automaton: snapshot distinguished-state depths %d/%d, want 0/1",
+			s.Depth[StateEpsilon], s.Depth[StateDot])
+	}
+	if s.NumKeywords < 0 || s.NumKeywords > n {
+		return nil, fmt.Errorf("automaton: snapshot keyword count %d out of range", s.NumKeywords)
+	}
+	a := &Automaton{
+		R:           R,
+		trans:       make([]map[cfg.EdgeID]State, n),
+		accept:      append([]bool(nil), s.Accept...),
+		depth:       append([]int32(nil), s.Depth...),
+		numKeywords: s.NumKeywords,
+	}
+	for q, ts := range s.Trans {
+		m := make(map[cfg.EdgeID]State, len(ts))
+		for _, t := range ts {
+			if t.To < 2 || int(t.To) >= n {
+				return nil, fmt.Errorf("automaton: snapshot transition target %d out of range", t.To)
+			}
+			if s.Depth[t.To] != s.Depth[q]+1 {
+				return nil, fmt.Errorf("automaton: snapshot transition %d->%d breaks the trie depth invariant", q, t.To)
+			}
+			if _, dup := m[t.Edge]; dup {
+				return nil, fmt.Errorf("automaton: snapshot duplicate transition on edge %d from state %d", t.Edge, q)
+			}
+			m[t.Edge] = t.To
+		}
+		a.trans[q] = m
+	}
+	return a, nil
+}
+
 // Dot renders the retrieval tree in Graphviz format; edges are labeled
 // with the original graph's node names when g is non-nil.
 func (a *Automaton) Dot(g *cfg.Graph) string {

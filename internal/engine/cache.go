@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"math"
 	"sort"
 	"sync"
@@ -8,6 +9,8 @@ import (
 
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/engine/diskcache"
 )
 
 // The cache kinds: each names the artifact bundle a key identifies.
@@ -40,6 +43,32 @@ type cacheKey struct {
 	knob uint64 // math.Float64bits of the swept knob (CR, or CA for select)
 }
 
+// Provenance says where a cached-stage artifact came from: computed
+// fresh, served from the in-memory tier, or decoded from the disk tier.
+type Provenance uint8
+
+// The provenance values, in increasing distance from the CPU.
+const (
+	SourceComputed Provenance = iota
+	SourceMemory
+	SourceDisk
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case SourceComputed:
+		return "computed"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	}
+	return "unknown"
+}
+
+// Cached reports whether the artifact was served from either cache tier.
+func (p Provenance) Cached() bool { return p != SourceComputed }
+
 // cacheEntry is one materialized bundle plus the compute cost of the run
 // that produced it (so cache hits can still report meaningful stage
 // durations). ready is closed once val/cost/err are final, giving
@@ -50,21 +79,50 @@ type cacheEntry struct {
 	val   any
 	cost  map[StageName]time.Duration
 	err   error
+
+	// LRU bookkeeping: set under the cache mutex once the entry is
+	// final. elem is nil while the leader is still computing (in-flight
+	// entries are never evicted — waiters hold the pointer anyway).
+	key  cacheKey
+	size int64
+	elem *list.Element
 }
 
-// CacheStats reports artifact-cache effectiveness.
+// CacheStats reports artifact-cache effectiveness across both tiers.
 type CacheStats struct {
+	// Hits and Misses count in-memory lookups (a disk hit is a memory
+	// miss that was then satisfied by the disk tier).
 	Hits, Misses int64
-	Entries      int
+	// Entries and Bytes describe in-memory residency; Bytes is the
+	// estimated footprint used by the memory bound.
+	Entries int
+	Bytes   int64
+	// MemEvictions counts bundles dropped by the in-memory byte bound.
+	MemEvictions int64
+	// DiskEnabled reports whether a persistent tier is attached; Disk
+	// holds its counters when it is.
+	DiskEnabled bool
+	Disk        diskcache.Stats
 }
 
-// Cache is the cross-run artifact cache. All methods are safe for
-// concurrent use by the scheduler's workers.
+// Cache is the cross-run artifact cache: an in-memory single-flight map,
+// optionally size-bounded, optionally backed by a persistent disk tier
+// (memory first, disk second; disk hits are decoded once and promoted).
+// All methods are safe for concurrent use by the scheduler's workers.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 	hits    int64
 	misses  int64
+
+	// In-memory LRU byte bound; maxBytes <= 0 means unbounded.
+	maxBytes  int64
+	bytes     int64
+	lru       *list.List // of *cacheEntry, front = least recently used
+	evictions int64
+
+	// disk is the persistent tier, or nil.
+	disk *diskcache.Store
 
 	// Fingerprint memos, keyed by identity: functions and profiles are
 	// immutable once built, so hashing each at most once is sound.
@@ -72,53 +130,206 @@ type Cache struct {
 	profFP map[*bl.Profile]uint64
 }
 
-// NewCache returns an empty artifact cache.
-func NewCache() *Cache {
+// NewCache returns an empty, unbounded, memory-only artifact cache.
+func NewCache() *Cache { return newCache(0, nil) }
+
+// newCache returns a cache with an in-memory byte bound (<= 0 means
+// unbounded) and an optional persistent tier.
+func newCache(maxBytes int64, disk *diskcache.Store) *Cache {
 	return &Cache{
-		entries: map[cacheKey]*cacheEntry{},
-		fnFP:    map[*cfg.Func]uint64{},
-		profFP:  map[*bl.Profile]uint64{},
+		entries:  map[cacheKey]*cacheEntry{},
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		disk:     disk,
+		fnFP:     map[*cfg.Func]uint64{},
+		profFP:   map[*bl.Profile]uint64{},
 	}
 }
 
-// Stats returns a snapshot of hit/miss counters.
+// Stats returns a snapshot of both tiers' counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	s := CacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Entries:      len(c.entries),
+		Bytes:        c.bytes,
+		MemEvictions: c.evictions,
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		s.DiskEnabled = true
+		s.Disk = disk.Stats()
+	}
+	return s
 }
 
-// do returns the cached bundle for key, computing it with compute on the
-// first request (single-flight: concurrent callers wait for the leader).
-// Failed computations are evicted so a later retry — for example after a
+// diskOps carries the persistent-tier plumbing for one cache key: where
+// to look, how to encode a computed bundle, and how to decode a stored
+// one back into live artifacts. The decode closure captures the live
+// objects (function graph, recording-edge set, HPG) the bundle must be
+// attached to, so revived artifacts point at the same structures a fresh
+// compute would.
+type diskOps struct {
+	key    diskcache.Key
+	encode func(val any, cost map[StageName]time.Duration) []byte
+	decode func(data []byte) (any, map[StageName]time.Duration, error)
+}
+
+// do returns the cached bundle for key: memory first, then disk (when
+// ops is non-nil), then compute. The first request is the leader;
+// concurrent callers wait for it, so a disk entry is decoded at most
+// once per process and a bundle computed at most once (single-flight).
+// Computed bundles are written through to disk; disk payloads that fail
+// to decode are rejected (deleted) and silently recomputed. Failed
+// computations are evicted so a later retry — for example after a
 // cancelled context — can succeed.
-func (c *Cache) do(key cacheKey, compute func() (any, map[StageName]time.Duration, error)) (any, map[StageName]time.Duration, bool, error) {
+func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageName]time.Duration, error)) (any, map[StageName]time.Duration, Provenance, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToBack(e.elem)
+		}
 		c.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
-			return nil, nil, false, e.err
+			return nil, nil, SourceComputed, e.err
 		}
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()
-		return e.val, e.cost, true, nil
+		return e.val, e.cost, SourceMemory, nil
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
+	e := &cacheEntry{ready: make(chan struct{}), key: key}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
-	e.val, e.cost, e.err = compute()
+	prov := SourceComputed
+	if c.disk != nil && ops != nil {
+		if data, ok := c.disk.Get(ops.key); ok {
+			t0 := time.Now()
+			val, cost, err := ops.decode(data)
+			if err == nil {
+				c.disk.Hit(time.Since(t0))
+				e.val, e.cost = val, cost
+				prov = SourceDisk
+			} else {
+				// Corrupt, truncated or version-skewed: a miss, never an
+				// error. The recompute below rewrites the entry.
+				c.disk.Reject(ops.key)
+			}
+		}
+	}
+	if prov == SourceComputed {
+		e.val, e.cost, e.err = compute()
+	}
 	close(e.ready)
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
-		return nil, nil, false, e.err
+		return nil, nil, SourceComputed, e.err
 	}
-	return e.val, e.cost, false, nil
+	if c.disk != nil && ops != nil && prov == SourceComputed {
+		c.disk.Put(ops.key, ops.encode(e.val, e.cost))
+	}
+
+	c.mu.Lock()
+	e.size = approxSize(e.val)
+	e.elem = c.lru.PushBack(e)
+	c.bytes += e.size
+	c.evictMemoryLocked()
+	c.mu.Unlock()
+	return e.val, e.cost, prov, nil
+}
+
+// evictMemoryLocked drops least-recently-used completed entries until
+// the in-memory byte bound is met. Dropped bundles remain on disk (when
+// a persistent tier is attached), so re-requests decode instead of
+// recomputing. Eviction is safe under waiters: they hold the entry
+// pointer directly.
+func (c *Cache) evictMemoryLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		e := c.lru.Front().Value.(*cacheEntry)
+		c.lru.Remove(e.elem)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// --- In-memory footprint estimation ---------------------------------------
+
+// approxSize estimates the resident bytes of a cached bundle — not
+// exact, but proportional, which is all the LRU bound needs.
+func approxSize(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case []bl.Path:
+		n := int64(48)
+		for _, p := range x {
+			n += 32 + int64(len(p.Edges))*8
+		}
+		return n
+	case *constprop.Result:
+		return sizeSolution(x)
+	case *qualifiedBundle:
+		n := sizeGraph(x.HPG.G) + sizeSolution(x.HPGSol) + sizeProfile(x.HPGProf)
+		n += int64(len(x.HPG.OrigNode))*8 + int64(len(x.HPG.State))*4 + int64(len(x.HPG.OrigEdge))*8
+		n += int64(len(x.HPG.Recording)) * 16
+		n += int64(x.Auto.NumStates()) * 64 // trie maps, accept/depth arrays
+		return n
+	case ReduceOut:
+		n := sizeGraph(x.Red.G) + sizeSolution(x.RedSol)
+		n += int64(len(x.Red.Class))*8 + int64(len(x.Red.Rep))*8 + int64(len(x.Red.OrigNode))*8
+		n += int64(len(x.Red.OrigEdge))*8 + int64(len(x.Red.Hot))*8 + int64(len(x.Red.Weights))*8
+		n += int64(len(x.Red.Recording)) * 16
+		for _, m := range x.Red.Members {
+			n += 24 + int64(len(m))*8
+		}
+		return n
+	}
+	return 256
+}
+
+func sizeGraph(g *cfg.Graph) int64 {
+	n := int64(96) + int64(len(g.Name))
+	for _, nd := range g.Nodes {
+		n += 120 + int64(len(nd.Name)) + int64(len(nd.Instrs))*64
+		n += int64(len(nd.Out)+len(nd.In)) * 8
+	}
+	n += int64(len(g.Edges)) * 48
+	return n
+}
+
+func sizeSolution(r *constprop.Result) int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(96) + int64(len(r.Sol.Reached)) + int64(len(r.Sol.EdgeExecutable))
+	for _, f := range r.Sol.In {
+		if env, ok := f.(constprop.Env); ok {
+			n += 16 + int64(len(env))*24
+		}
+	}
+	return n
+}
+
+func sizeProfile(p *bl.Profile) int64 {
+	if p == nil {
+		return 0
+	}
+	n := int64(96) + int64(len(p.FuncName)) + int64(len(p.R))*16
+	for k, e := range p.Entries {
+		n += 64 + int64(len(k)) + int64(len(e.Path.Edges))*8
+	}
+	return n
 }
 
 // --- Fingerprints --------------------------------------------------------

@@ -31,6 +31,7 @@ import (
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
+	"pathflow/internal/engine/diskcache"
 	"pathflow/internal/interp"
 	"pathflow/internal/trace"
 )
@@ -43,6 +44,20 @@ type Config struct {
 	// Cache enables the cross-run artifact cache. Sharing is safe
 	// because every cached artifact is immutable after construction.
 	Cache bool
+	// MemoryMaxBytes bounds the in-memory cache tier's estimated
+	// footprint; least-recently-used bundles are dropped over the
+	// budget. <= 0 means unbounded (the right default for one-shot
+	// `exp` runs; long-lived servers should set a ceiling).
+	MemoryMaxBytes int64
+	// CacheDir, when non-empty, attaches the persistent disk tier
+	// (implies Cache): artifacts are written through to CacheDir and
+	// warm starts decode them instead of recomputing. Requires Open —
+	// New ignores the disk-tier fields because it cannot report an
+	// open failure.
+	CacheDir string
+	// CacheMaxBytes bounds the disk tier; least-recently-used bundle
+	// files are deleted over the budget. <= 0 means unbounded.
+	CacheMaxBytes int64
 }
 
 // Engine runs the staged pipeline.
@@ -51,13 +66,35 @@ type Engine struct {
 	cache   *Cache
 }
 
-// New returns an engine with the given configuration.
+// New returns an engine with the given configuration. The disk-tier
+// fields (CacheDir, CacheMaxBytes) are ignored — opening a directory can
+// fail, so the persistent tier is only available through Open.
 func New(cfg Config) *Engine {
 	e := &Engine{workers: cfg.Workers}
 	if cfg.Cache {
-		e.cache = NewCache()
+		e.cache = newCache(cfg.MemoryMaxBytes, nil)
 	}
 	return e
+}
+
+// Open returns an engine with the full configuration, including the
+// persistent cache tier when CacheDir is set. A non-empty CacheDir
+// implies Cache: the disk tier requires the in-memory tier in front of
+// it (disk hits are decoded once and promoted under single-flight).
+func Open(cfg Config) (*Engine, error) {
+	e := &Engine{workers: cfg.Workers}
+	var disk *diskcache.Store
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = diskcache.Open(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Cache || disk != nil {
+		e.cache = newCache(cfg.MemoryMaxBytes, disk)
+	}
+	return e, nil
 }
 
 // Serial returns the engine configuration equivalent to the pre-engine
@@ -160,7 +197,18 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 		prof: e.cache.profileFP(train),
 		knob: knobBits(ca),
 	}
-	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+	ops := e.diskOps(key, diskcache.KindSelect,
+		func(v any, cost map[StageName]time.Duration) []byte {
+			return diskcache.EncodeSelect(costsToDisk(cost), v.([]bl.Path))
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			dc, hot, err := diskcache.DecodeSelect(data, fn.G)
+			if err != nil {
+				return nil, nil, err
+			}
+			return hot, costsFromDisk(dc), nil
+		})
+	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		hot, err := runStage(ctx, SelectStage, fn.Name, mm, in)
 		return hot, costs(mm), err
@@ -168,7 +216,7 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, hit)
+	m.merge(cost, src)
 	return v.([]bl.Path), nil
 }
 
@@ -179,7 +227,18 @@ func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*const
 		return runStage(ctx, BaselineStage, fn.Name, m, in)
 	}
 	key := cacheKey{kind: kindBaseline, fn: e.cache.funcFP(fn)}
-	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+	ops := e.diskOps(key, diskcache.KindBaseline,
+		func(v any, cost map[StageName]time.Duration) []byte {
+			return diskcache.EncodeBaseline(costsToDisk(cost), v.(*constprop.Result))
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			dc, sol, err := diskcache.DecodeBaseline(data, fn.G, fn.NumVars())
+			if err != nil {
+				return nil, nil, err
+			}
+			return sol, costsFromDisk(dc), nil
+		})
+	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		sol, err := runStage(ctx, BaselineStage, fn.Name, mm, in)
 		return sol, costs(mm), err
@@ -187,7 +246,7 @@ func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*const
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, hit)
+	m.merge(cost, src)
 	return v.(*constprop.Result), nil
 }
 
@@ -204,7 +263,19 @@ func (e *Engine) qualified(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 		prof: e.cache.profileFP(train),
 		hot:  FingerprintHot(hot),
 	}
-	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+	ops := e.diskOps(key, diskcache.KindQualified,
+		func(v any, cost map[StageName]time.Duration) []byte {
+			q := v.(*qualifiedBundle)
+			return diskcache.EncodeQualified(costsToDisk(cost), q.HPG, q.HPGSol, q.HPGProf)
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			dc, h, sol, hp, err := diskcache.DecodeQualified(data, fn, train.R)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &qualifiedBundle{Auto: h.Auto, HPG: h, HPGSol: sol, HPGProf: hp}, costsFromDisk(dc), nil
+		})
+	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		q, err := e.runQualified(ctx, fn, train, hot, mm)
 		return q, costs(mm), err
@@ -212,7 +283,7 @@ func (e *Engine) qualified(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, hit)
+	m.merge(cost, src)
 	return v.(*qualifiedBundle), nil
 }
 
@@ -258,7 +329,19 @@ func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, h
 		hot:  FingerprintHot(hot),
 		knob: knobBits(cr),
 	}
-	v, cost, hit, err := e.cache.do(key, func() (any, map[StageName]time.Duration, error) {
+	ops := e.diskOps(key, diskcache.KindReduced,
+		func(v any, cost map[StageName]time.Duration) []byte {
+			r := v.(ReduceOut)
+			return diskcache.EncodeReduced(costsToDisk(cost), r.Red, r.RedSol)
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			dc, red, sol, err := diskcache.DecodeReduced(data, q.HPG)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ReduceOut{Red: red, RedSol: sol}, costsFromDisk(dc), nil
+		})
+	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		r, err := runStage(ctx, ReduceStage, fn.Name, mm, in)
 		return r, costs(mm), err
@@ -266,7 +349,7 @@ func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, h
 	if err != nil {
 		return ReduceOut{}, err
 	}
-	m.merge(cost, hit)
+	m.merge(cost, src)
 	return v.(ReduceOut), nil
 }
 
@@ -274,6 +357,42 @@ func costs(m *Metrics) map[StageName]time.Duration {
 	out := make(map[StageName]time.Duration, len(m.Stages))
 	for s, sm := range m.Stages {
 		out[s] = sm.Duration
+	}
+	return out
+}
+
+// diskOps assembles the persistent-tier plumbing for one cache key, or
+// returns nil when no disk tier is attached. The disk key reuses the
+// in-memory key's fingerprints so the two tiers always agree on
+// identity.
+func (e *Engine) diskOps(key cacheKey, kind diskcache.Kind,
+	encode func(v any, cost map[StageName]time.Duration) []byte,
+	decode func(data []byte) (any, map[StageName]time.Duration, error)) *diskOps {
+	if e.cache == nil || e.cache.disk == nil {
+		return nil
+	}
+	return &diskOps{
+		key:    diskcache.Key{Kind: kind, Fn: key.fn, Prof: key.prof, Hot: key.hot, Knob: key.knob},
+		encode: encode,
+		decode: decode,
+	}
+}
+
+// costsToDisk and costsFromDisk translate stage-cost maps across the
+// engine/diskcache boundary (diskcache cannot import engine's StageName
+// without a cycle, so bundles carry plain strings).
+func costsToDisk(m map[StageName]time.Duration) diskcache.Costs {
+	out := make(diskcache.Costs, len(m))
+	for s, d := range m {
+		out[string(s)] = d
+	}
+	return out
+}
+
+func costsFromDisk(c diskcache.Costs) map[StageName]time.Duration {
+	out := make(map[StageName]time.Duration, len(c))
+	for s, d := range c {
+		out[StageName(s)] = d
 	}
 	return out
 }

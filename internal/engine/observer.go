@@ -20,7 +20,10 @@ type StageEvent struct {
 	Func     string
 	Stage    StageName
 	Duration time.Duration
-	Cached   bool
+	// Cached reports service from either cache tier; Source says which
+	// (computed, memory or disk).
+	Cached bool
+	Source Provenance
 }
 
 // observerKey carries a stage observer through a context.
@@ -48,8 +51,8 @@ func stageObserver(ctx context.Context) func(StageEvent) {
 func newMetrics(ctx context.Context, fname string) *Metrics {
 	m := NewMetrics()
 	if obs := stageObserver(ctx); obs != nil {
-		m.observe = func(s StageName, d time.Duration, cached bool) {
-			obs(StageEvent{Func: fname, Stage: s, Duration: d, Cached: cached})
+		m.observe = func(s StageName, d time.Duration, src Provenance) {
+			obs(StageEvent{Func: fname, Stage: s, Duration: d, Cached: src.Cached(), Source: src})
 		}
 	}
 	return m

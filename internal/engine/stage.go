@@ -73,7 +73,7 @@ func runStage[In, Out any](ctx context.Context, st Stage[In, Out], fname string,
 	}
 	t0 := time.Now()
 	out, err := st.Run(in)
-	m.add(st.Name, time.Since(t0), false)
+	m.add(st.Name, time.Since(t0), SourceComputed)
 	if err != nil {
 		return zero, &StageError{Stage: st.Name, Func: fname, Err: err}
 	}
@@ -205,11 +205,18 @@ type StageMetrics struct {
 	// ratios (Figure 12) stay meaningful under caching.
 	Duration time.Duration
 	// Runs counts stage executions attributed to this result, including
-	// cache hits; CacheHits counts how many of them were served from the
-	// artifact cache.
+	// cache hits; CacheHits counts how many of them were served from
+	// either cache tier, and DiskHits how many of those were decoded
+	// from the persistent tier (DiskHits ⊆ CacheHits). The provenance
+	// split is thus: computed = Runs − CacheHits, memory = CacheHits −
+	// DiskHits, disk = DiskHits.
 	Runs      int
 	CacheHits int
+	DiskHits  int
 }
+
+// Computed returns how many executions actually ran the stage.
+func (sm StageMetrics) Computed() int { return sm.Runs - sm.CacheHits }
 
 // Metrics generalizes the old ad-hoc Times struct: per-stage durations,
 // run/hit counts, and the actual wall-clock of the pipeline invocation.
@@ -224,30 +231,33 @@ type Metrics struct {
 	// merges alike. The cache's leader computes into a private Metrics
 	// with no observer and then merges, so each artifact is reported to
 	// each requester exactly once.
-	observe func(s StageName, d time.Duration, cached bool)
+	observe func(s StageName, d time.Duration, src Provenance)
 }
 
 // NewMetrics returns an empty metrics record.
 func NewMetrics() *Metrics { return &Metrics{Stages: map[StageName]StageMetrics{}} }
 
-func (m *Metrics) add(s StageName, d time.Duration, cached bool) {
+func (m *Metrics) add(s StageName, d time.Duration, src Provenance) {
 	sm := m.Stages[s]
 	sm.Duration += d
 	sm.Runs++
-	if cached {
+	if src.Cached() {
 		sm.CacheHits++
+	}
+	if src == SourceDisk {
+		sm.DiskHits++
 	}
 	m.Stages[s] = sm
 	if m.observe != nil {
-		m.observe(s, d, cached)
+		m.observe(s, d, src)
 	}
 }
 
-// merge folds a recorded cost map into m, marking every entry as a cache
-// hit when cached is set.
-func (m *Metrics) merge(cost map[StageName]time.Duration, cached bool) {
+// merge folds a recorded cost map into m, attributing every entry to the
+// given provenance.
+func (m *Metrics) merge(cost map[StageName]time.Duration, src Provenance) {
 	for s, d := range cost {
-		m.add(s, d, cached)
+		m.add(s, d, src)
 	}
 }
 
@@ -255,11 +265,21 @@ func (m *Metrics) merge(cost map[StageName]time.Duration, cached bool) {
 func (m *Metrics) Duration(s StageName) time.Duration { return m.Stages[s].Duration }
 
 // CacheHits returns the total number of stage executions served from the
-// artifact cache.
+// artifact cache (either tier).
 func (m *Metrics) CacheHits() int {
 	n := 0
 	for _, sm := range m.Stages {
 		n += sm.CacheHits
+	}
+	return n
+}
+
+// DiskHits returns the total number of stage executions decoded from the
+// persistent tier.
+func (m *Metrics) DiskHits() int {
+	n := 0
+	for _, sm := range m.Stages {
+		n += sm.DiskHits
 	}
 	return n
 }

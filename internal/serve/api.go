@@ -195,22 +195,57 @@ func collectConsts(fr *engine.FuncResult) []ConstFact {
 
 // --- Job metrics ----------------------------------------------------------
 
-// StageStat is one stage's aggregate cost within a job.
+// StageStat is one stage's aggregate cost within a job. DiskHits counts
+// the subset of CacheHits decoded from the persistent tier.
 type StageStat struct {
 	DurationMS float64 `json:"duration_ms"`
 	Runs       int     `json:"runs"`
 	CacheHits  int     `json:"cache_hits"`
+	DiskHits   int     `json:"disk_hits,omitempty"`
 }
 
-// CacheStatsJSON is the wire form of engine.CacheStats.
+// DiskStatsJSON is the wire form of the persistent tier's counters.
+type DiskStatsJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Rejects   int64 `json:"rejects"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// CacheStatsJSON is the wire form of engine.CacheStats: in-memory tier
+// counters plus, when a CacheDir is configured, the disk tier's.
 type CacheStatsJSON struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits         int64          `json:"hits"`
+	Misses       int64          `json:"misses"`
+	Entries      int            `json:"entries"`
+	Bytes        int64          `json:"bytes,omitempty"`
+	MemEvictions int64          `json:"mem_evictions,omitempty"`
+	Disk         *DiskStatsJSON `json:"disk,omitempty"`
 }
 
 func cacheJSON(s engine.CacheStats) CacheStatsJSON {
-	return CacheStatsJSON{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries}
+	out := CacheStatsJSON{
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		Entries:      s.Entries,
+		Bytes:        s.Bytes,
+		MemEvictions: s.MemEvictions,
+	}
+	if s.DiskEnabled {
+		out.Disk = &DiskStatsJSON{
+			Hits:      s.Disk.Hits,
+			Misses:    s.Disk.Misses,
+			Rejects:   s.Disk.Rejects,
+			Writes:    s.Disk.Writes,
+			Evictions: s.Disk.Evictions,
+			Entries:   s.Disk.Entries,
+			Bytes:     s.Disk.Bytes,
+		}
+	}
+	return out
 }
 
 // JobMetrics is everything nondeterministic about a job: wall-clock,
@@ -224,6 +259,7 @@ type JobMetrics struct {
 	Stages         map[string]StageStat `json:"stages"`
 	StageRuns      int                  `json:"stage_runs"`
 	StageCacheHits int                  `json:"stage_cache_hits"`
+	StageDiskHits  int                  `json:"stage_disk_hits,omitempty"`
 	EngineCache    CacheStatsJSON       `json:"engine_cache"`
 }
 
@@ -241,9 +277,11 @@ func (jm *JobMetrics) addProgram(res *engine.ProgramResult) {
 			st.DurationMS += durMS(sm.Duration)
 			st.Runs += sm.Runs
 			st.CacheHits += sm.CacheHits
+			st.DiskHits += sm.DiskHits
 			jm.Stages[string(s)] = st
 			jm.StageRuns += sm.Runs
 			jm.StageCacheHits += sm.CacheHits
+			jm.StageDiskHits += sm.DiskHits
 		}
 	}
 }

@@ -45,13 +45,15 @@ type Event struct {
 	// Sweep point index (0 for analyze jobs).
 	Point int `json:"point,omitempty"`
 
-	// With type=stage: which function/stage, its compute cost, and
-	// whether the artifact came from the shared cache. type=profile uses
-	// the same Duration/Cached fields for the training run.
+	// With type=stage: which function/stage, its compute cost, whether
+	// the artifact came from the shared cache, and its provenance
+	// ("computed", "memory" or "disk"). type=profile uses the same
+	// Duration/Cached fields for the training run.
 	Func       string  `json:"func,omitempty"`
 	Stage      string  `json:"stage,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	Cached     bool    `json:"cached,omitempty"`
+	Source     string  `json:"source,omitempty"`
 
 	Error string `json:"error,omitempty"` // with type=end, failed/canceled
 }

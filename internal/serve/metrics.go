@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pathflow/internal/engine"
+	"pathflow/internal/engine/diskcache"
 )
 
 // stageBuckets are the histogram upper bounds, in seconds. Pipeline
@@ -53,6 +54,7 @@ type serverMetrics struct {
 	jobsFinished  map[JobState]int64
 	stages        map[engine.StageName]*histogram
 	stageHits     map[engine.StageName]int64
+	stageDisk     map[engine.StageName]int64
 	profileRuns   int64
 	profileCached int64
 }
@@ -63,6 +65,7 @@ func newServerMetrics() *serverMetrics {
 		jobsFinished: map[JobState]int64{},
 		stages:       map[engine.StageName]*histogram{},
 		stageHits:    map[engine.StageName]int64{},
+		stageDisk:    map[engine.StageName]int64{},
 	}
 }
 
@@ -95,6 +98,9 @@ func (sm *serverMetrics) observeStage(ev engine.StageEvent) {
 	defer sm.mu.Unlock()
 	if ev.Cached {
 		sm.stageHits[ev.Stage]++
+		if ev.Source == engine.SourceDisk {
+			sm.stageDisk[ev.Stage]++
+		}
 		return
 	}
 	h := sm.stages[ev.Stage]
@@ -163,6 +169,45 @@ func (sm *serverMetrics) render(w io.Writer, cache engine.CacheStats) {
 	fmt.Fprintf(w, "# HELP pathflow_engine_cache_entries Artifact-cache resident bundles.\n")
 	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_entries gauge\n")
 	fmt.Fprintf(w, "pathflow_engine_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(w, "# HELP pathflow_engine_cache_bytes Estimated in-memory footprint of resident bundles.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_bytes gauge\n")
+	fmt.Fprintf(w, "pathflow_engine_cache_bytes %d\n", cache.Bytes)
+	fmt.Fprintf(w, "# HELP pathflow_engine_cache_evictions_total Bundles dropped by the in-memory byte bound.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "pathflow_engine_cache_evictions_total %d\n", cache.MemEvictions)
+
+	if cache.DiskEnabled {
+		d := cache.Disk
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_hits_total Persistent-tier lookups whose payload decoded into a usable artifact.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_hits_total counter\n")
+		fmt.Fprintf(w, "pathflow_diskcache_hits_total %d\n", d.Hits)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_misses_total Persistent-tier lookups that missed (absent, unreadable or rejected entries).\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_misses_total counter\n")
+		fmt.Fprintf(w, "pathflow_diskcache_misses_total %d\n", d.Misses)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_rejects_total Persistent-tier payloads rejected as corrupt or version-skewed (deleted, recomputed).\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_rejects_total counter\n")
+		fmt.Fprintf(w, "pathflow_diskcache_rejects_total %d\n", d.Rejects)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_writes_total Bundles persisted to the disk tier.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_writes_total counter\n")
+		fmt.Fprintf(w, "pathflow_diskcache_writes_total %d\n", d.Writes)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_evictions_total Bundle files deleted by the disk-tier byte bound.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_evictions_total counter\n")
+		fmt.Fprintf(w, "pathflow_diskcache_evictions_total %d\n", d.Evictions)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_entries Resident bundle files in the disk tier.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_entries gauge\n")
+		fmt.Fprintf(w, "pathflow_diskcache_entries %d\n", d.Entries)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_bytes Bytes resident in the disk tier.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_bytes gauge\n")
+		fmt.Fprintf(w, "pathflow_diskcache_bytes %d\n", d.Bytes)
+		fmt.Fprintf(w, "# HELP pathflow_diskcache_decode_seconds Time to decode disk-tier bundles into live artifacts.\n")
+		fmt.Fprintf(w, "# TYPE pathflow_diskcache_decode_seconds histogram\n")
+		for i, ub := range diskcache.DecodeBucketBounds {
+			fmt.Fprintf(w, "pathflow_diskcache_decode_seconds_bucket{le=%q} %d\n", fmtBound(ub), d.DecodeBuckets[i])
+		}
+		fmt.Fprintf(w, "pathflow_diskcache_decode_seconds_bucket{le=\"+Inf\"} %d\n", d.DecodeCount)
+		fmt.Fprintf(w, "pathflow_diskcache_decode_seconds_sum %g\n", d.DecodeSum)
+		fmt.Fprintf(w, "pathflow_diskcache_decode_seconds_count %d\n", d.DecodeCount)
+	}
 
 	fmt.Fprintf(w, "# HELP pathflow_profile_runs_total Training-profile requests (cached and computed).\n")
 	fmt.Fprintf(w, "# TYPE pathflow_profile_runs_total counter\n")
@@ -176,6 +221,14 @@ func (sm *serverMetrics) render(w io.Writer, cache engine.CacheStats) {
 	for _, s := range engine.StageOrder {
 		if n, ok := sm.stageHits[s]; ok {
 			fmt.Fprintf(w, "pathflow_stage_cache_hits_total{stage=%q} %d\n", string(s), n)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pathflow_stage_disk_hits_total Stage executions decoded from the persistent cache tier.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_stage_disk_hits_total counter\n")
+	for _, s := range engine.StageOrder {
+		if n, ok := sm.stageDisk[s]; ok {
+			fmt.Fprintf(w, "pathflow_stage_disk_hits_total{stage=%q} %d\n", string(s), n)
 		}
 	}
 

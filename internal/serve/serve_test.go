@@ -92,10 +92,20 @@ func decodeJob(t *testing.T, data []byte) JobJSON {
 	return j
 }
 
+// mustNew builds a server, failing the test on a cache-open error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // --- Round trip -----------------------------------------------------------
 
 func TestAnalyzeRoundTrip(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Shutdown()
@@ -165,7 +175,7 @@ func TestConcurrentRequestsByteIdenticalAndCacheShared(t *testing.T) {
 
 	// Reference server: one request, record how much unique work (cache
 	// misses) a solo run performs.
-	ref := New(Config{})
+	ref := mustNew(t, Config{})
 	tsRef := httptest.NewServer(ref.Handler())
 	resp, data := postJSON(t, tsRef.URL+"/v1/analyze?wait=1", body)
 	if resp.StatusCode != http.StatusOK {
@@ -180,7 +190,7 @@ func TestConcurrentRequestsByteIdenticalAndCacheShared(t *testing.T) {
 	}
 
 	// Test server: two overlapping identical requests.
-	srv := New(Config{MaxJobs: 4})
+	srv := mustNew(t, Config{MaxJobs: 4})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Shutdown()
@@ -286,7 +296,7 @@ func TestConcurrentRequestsByteIdenticalAndCacheShared(t *testing.T) {
 // --- Satellite: graceful shutdown ----------------------------------------
 
 func TestGracefulShutdownCancelsInFlight(t *testing.T) {
-	srv := New(Config{MaxJobs: 1})
+	srv := mustNew(t, Config{MaxJobs: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -377,7 +387,7 @@ func TestGracefulShutdownCancelsInFlight(t *testing.T) {
 }
 
 func TestServeDrainsOnContextCancel(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	listening := make(chan net.Addr, 1)
@@ -408,7 +418,7 @@ func TestServeDrainsOnContextCancel(t *testing.T) {
 // --- Satellite: structured error mapping ---------------------------------
 
 func TestErrorMapping(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Shutdown()
@@ -474,7 +484,7 @@ func TestErrorMapping(t *testing.T) {
 // --- Sweep + events stream ------------------------------------------------
 
 func TestSweepAndEventStream(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Shutdown()
@@ -587,7 +597,7 @@ func TestSweepAndEventStream(t *testing.T) {
 // TestLiveEventStream subscribes before the job runs and sees events
 // arrive while it is in flight (not just a post-hoc replay).
 func TestLiveEventStream(t *testing.T) {
-	srv := New(Config{MaxJobs: 1, Workers: 1})
+	srv := mustNew(t, Config{MaxJobs: 1, Workers: 1})
 	gate := make(chan struct{})
 	var once sync.Once
 	srv.hookStage = func(engine.StageEvent) {
@@ -657,7 +667,7 @@ func TestLiveEventStream(t *testing.T) {
 // --- Deadlines and cancellation ------------------------------------------
 
 func TestJobDeadline(t *testing.T) {
-	srv := New(Config{MaxJobs: 1, Workers: 1})
+	srv := mustNew(t, Config{MaxJobs: 1, Workers: 1})
 	srv.hookStage = func(engine.StageEvent) { time.Sleep(5 * time.Millisecond) }
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -687,7 +697,7 @@ func TestJobDeadline(t *testing.T) {
 }
 
 func TestCancelEndpoint(t *testing.T) {
-	srv := New(Config{MaxJobs: 1})
+	srv := mustNew(t, Config{MaxJobs: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -746,7 +756,7 @@ func TestCancelEndpoint(t *testing.T) {
 // --- Operational endpoints ------------------------------------------------
 
 func TestHealthzAndMetrics(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Shutdown()
@@ -811,5 +821,97 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if len(jobs) != 1 || jobs[0].Result != nil {
 		t.Errorf("job listing should summarize without results: %+v", jobs)
+	}
+}
+
+// --- Satellite: persistent cache across server restarts -------------------
+
+// TestRestartWarmStartsFromDisk models a daemon restart: a second server
+// on the same CacheDir must answer a repeat request from the persistent
+// tier, observable in job metrics, event provenance, /healthz, and
+// /metrics — with a byte-identical result.
+func TestRestartWarmStartsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	body := analyzeBody(t)
+
+	run := func(srv *Server) (JobJSON, string) {
+		t.Helper()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.jobs.Shutdown()
+		resp, data := postJSON(t, ts.URL+"/v1/analyze?wait=1", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: %d %s", resp.StatusCode, data)
+		}
+		job := decodeJob(t, data)
+		if job.State != JobDone {
+			t.Fatalf("job state = %q (%+v)", job.State, job.Error)
+		}
+		_, mdata := getBody(t, ts.URL+"/metrics")
+		return job, string(mdata)
+	}
+
+	// First process: computes everything, writes through to disk.
+	jobA, metricsA := run(mustNew(t, Config{CacheDir: dir}))
+	if !strings.Contains(metricsA, "pathflow_diskcache_writes_total") {
+		t.Fatalf("disk tier not exported in /metrics:\n%s", metricsA)
+	}
+	if jobA.Metrics.StageDiskHits != 0 {
+		t.Errorf("cold server claims disk hits: %+v", jobA.Metrics)
+	}
+
+	// Second process, same directory: the repeat request revives every
+	// stage from disk instead of recomputing.
+	srvB := mustNew(t, Config{CacheDir: dir})
+	jobB, metricsB := run(srvB)
+	if jobB.Metrics.StageDiskHits == 0 {
+		t.Fatalf("restarted server recomputed instead of reading disk: %+v", jobB.Metrics)
+	}
+	if jobB.Metrics.StageCacheHits != jobB.Metrics.StageRuns {
+		t.Errorf("restart not fully cached: %d/%d stages hit",
+			jobB.Metrics.StageCacheHits, jobB.Metrics.StageRuns)
+	}
+	st := srvB.Engine().CacheStats()
+	if !st.DiskEnabled || st.Disk.Hits == 0 {
+		t.Errorf("engine disk stats show no hits: %+v", st)
+	}
+	for _, want := range []string{
+		"pathflow_diskcache_hits_total",
+		"pathflow_diskcache_entries",
+		"pathflow_diskcache_decode_seconds_bucket",
+		`pathflow_stage_disk_hits_total{stage="analyze"}`,
+	} {
+		if !strings.Contains(metricsB, want) {
+			t.Errorf("restart /metrics missing %q", want)
+		}
+	}
+	if strings.Contains(metricsB, "pathflow_diskcache_hits_total 0\n") {
+		t.Error("restart /metrics reports zero disk hits")
+	}
+
+	// Stage events carry disk provenance.
+	job := srvB.jobs.Get(jobB.ID)
+	evs, _, _ := job.events.since(0)
+	sawDisk := false
+	for _, ev := range evs {
+		if ev.Type == "stage" && ev.Source == "disk" {
+			sawDisk = true
+		}
+	}
+	if !sawDisk {
+		t.Error("no stage event tagged with disk provenance")
+	}
+
+	// And the answers agree byte for byte.
+	a, err := json.Marshal(jobA.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(jobB.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("restarted server returned a different result:\n%s\n---\n%s", a, b)
 	}
 }

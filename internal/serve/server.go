@@ -33,6 +33,17 @@ type Config struct {
 	// NoCache disables the shared artifact cache (for A/B measurement;
 	// the whole point of the service is leaving it on).
 	NoCache bool
+	// CacheDir, when non-empty, attaches the engine's persistent cache
+	// tier: artifacts are written through to disk and survive restarts,
+	// so a restarted daemon answers repeat requests by decoding instead
+	// of recomputing.
+	CacheDir string
+	// CacheMaxBytes bounds the disk tier (<= 0 means unbounded).
+	CacheMaxBytes int64
+	// MemoryMaxBytes bounds the in-memory cache tier's estimated
+	// footprint, giving a long-lived server a hard memory ceiling
+	// (<= 0 means unbounded).
+	MemoryMaxBytes int64
 	// DefaultTimeout is the per-job deadline applied when a request
 	// does not set timeout_ms; 0 means no deadline.
 	DefaultTimeout time.Duration
@@ -71,11 +82,22 @@ type progEntry struct {
 	err       error
 }
 
-// New returns a server with a fresh engine.
-func New(cfg Config) *Server {
+// New returns a server with a fresh engine. It fails only when a
+// configured CacheDir cannot be opened.
+func New(cfg Config) (*Server, error) {
+	eng, err := engine.Open(engine.Config{
+		Workers:        cfg.Workers,
+		Cache:          !cfg.NoCache,
+		MemoryMaxBytes: cfg.MemoryMaxBytes,
+		CacheDir:       cfg.CacheDir,
+		CacheMaxBytes:  cfg.CacheMaxBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening cache dir: %w", err)
+	}
 	s := &Server{
 		cfg:      cfg,
-		eng:      engine.New(engine.Config{Workers: cfg.Workers, Cache: !cfg.NoCache}),
+		eng:      eng,
 		metrics:  newServerMetrics(),
 		programs: map[string]*progEntry{},
 	}
@@ -90,7 +112,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Engine exposes the shared engine (cumulative CacheStats and friends).
@@ -285,6 +307,7 @@ func (s *Server) observer(job *Job, point int) func(engine.StageEvent) {
 			Stage:      string(ev.Stage),
 			DurationMS: durMS(ev.Duration),
 			Cached:     ev.Cached,
+			Source:     ev.Source.String(),
 		})
 		if h := s.hookStage; h != nil {
 			h(ev)

@@ -123,6 +123,60 @@ func (h *HPG) addPair(g *cfg.Graph, v cfg.NodeID, q automaton.State) cfg.NodeID 
 	return id
 }
 
+// Assemble reconstructs an HPG from its parts — the traced graph and
+// the per-node/per-edge maps back to the original function — rebuilding
+// the derived state (the pair index and the recording-edge set) that
+// Build computes incrementally. It is used by the persistent artifact
+// cache to revive serialized HPGs; every structural invariant is
+// re-validated so a corrupted payload yields an error, never a
+// malformed graph.
+func Assemble(fn *cfg.Func, a *automaton.Automaton, g *cfg.Graph, origNode []cfg.NodeID, state []automaton.State, origEdge []cfg.EdgeID) (*HPG, error) {
+	if len(origNode) != g.NumNodes() || len(state) != g.NumNodes() {
+		return nil, fmt.Errorf("trace: assemble: %d nodes but %d/%d node maps",
+			g.NumNodes(), len(origNode), len(state))
+	}
+	if len(origEdge) != g.NumEdges() {
+		return nil, fmt.Errorf("trace: assemble: %d edges but %d edge maps",
+			g.NumEdges(), len(origEdge))
+	}
+	if err := g.Validate(fn.NumVars()); err != nil {
+		return nil, fmt.Errorf("trace: assemble: invalid HPG: %w", err)
+	}
+	h := &HPG{
+		Fn:        fn,
+		Auto:      a,
+		G:         g,
+		OrigNode:  origNode,
+		State:     state,
+		OrigEdge:  origEdge,
+		Recording: map[cfg.EdgeID]bool{},
+		pairs:     make(map[pairKey]cfg.NodeID, g.NumNodes()),
+	}
+	numStates := automaton.State(a.NumStates())
+	for n, v := range origNode {
+		if v < 0 || int(v) >= fn.G.NumNodes() {
+			return nil, fmt.Errorf("trace: assemble: node %d maps to original vertex %d out of range", n, v)
+		}
+		if state[n] < 0 || state[n] >= numStates {
+			return nil, fmt.Errorf("trace: assemble: node %d carries state %d out of range", n, state[n])
+		}
+		key := pairKey{v, state[n]}
+		if _, dup := h.pairs[key]; dup {
+			return nil, fmt.Errorf("trace: assemble: duplicate pair (%d, %d)", v, state[n])
+		}
+		h.pairs[key] = cfg.NodeID(n)
+	}
+	for e, oe := range origEdge {
+		if oe < 0 || int(oe) >= fn.G.NumEdges() {
+			return nil, fmt.Errorf("trace: assemble: edge %d maps to original edge %d out of range", e, oe)
+		}
+		if a.R[oe] {
+			h.Recording[cfg.EdgeID(e)] = true
+		}
+	}
+	return h, nil
+}
+
 // NodeFor returns the HPG node representing (v, q), if it was reached.
 func (h *HPG) NodeFor(v cfg.NodeID, q automaton.State) (cfg.NodeID, bool) {
 	n, ok := h.pairs[pairKey{v, q}]
