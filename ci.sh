@@ -11,8 +11,16 @@
 #                           race detector (engine scheduler + two-tier
 #                           cache, the persistent diskcache store, the
 #                           core compat shim, the bench harness memo,
-#                           the serving layer's job manager + streams)
-#   6. serve smoke          end-to-end: start `pathflow serve` with a
+#                           the serving layer's job manager + streams),
+#                           plus the new analysis clients and the
+#                           oracle, which the engine runs from pooled
+#                           workers (liveness, availexpr,
+#                           dataflow/oracle)
+#   6. check smoke          `pathflow check` over examples/hotpath.pf
+#                           and two benchmarks: the precision
+#                           differential oracle must report zero
+#                           violations (exit status is the gate)
+#   7. serve smoke          end-to-end: start `pathflow serve` with a
 #                           persistent -cachedir on an ephemeral port,
 #                           run one analyze round-trip over HTTP, check
 #                           /healthz, SIGINT-drain it — then restart the
@@ -41,9 +49,9 @@ echo "== test"
 go test ./...
 
 echo "== race"
-go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/
+go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
+    ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/
 
-echo "== serve smoke"
 tmpdir=$(mktemp -d)
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
@@ -51,6 +59,20 @@ cleanup() {
 }
 trap cleanup EXIT
 go build -o "$tmpdir/pathflow" ./cmd/pathflow
+
+echo "== check smoke"
+# The precision differential oracle must hold end-to-end: every
+# constprop/interval/liveness/availexpr fact on the HPG and the rHPG is
+# pointwise at least as precise as the CFG's. Non-zero exit on any
+# violation.
+"$tmpdir/pathflow" check -q -src examples/hotpath.pf -args 500 || {
+    echo "check smoke: oracle violation in examples/hotpath.pf" >&2; exit 1; }
+for b in compress m88ksim; do
+    "$tmpdir/pathflow" check -q "$b" || {
+        echo "check smoke: oracle violation in benchmark $b" >&2; exit 1; }
+done
+
+echo "== serve smoke"
 
 # start_serve <logfile>: launch the daemon with the shared cache dir and
 # set $serve_pid/$addr once it is listening.

@@ -28,7 +28,7 @@ func cmdExp(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] [-cachedir dir] [-cachemax size] [-v] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>")
+		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] [-cachedir dir] [-cachemax size] [-v] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all>")
 	}
 	what := fs.Arg(0)
 
@@ -54,12 +54,12 @@ func cmdExp(args []string) error {
 	exps := map[string]func(context.Context, []*bench.Instance) error{
 		"table1": expTable1, "table2": expTable2, "fig7": expFig7,
 		"fig9": expFig9, "fig10": expFig10, "fig11": expFig11,
-		"fig12": expFig12, "ablation": expAblation,
+		"fig12": expFig12, "ablation": expAblation, "clients": expClients,
 	}
 	switch {
 	case what == "all":
 		for _, f := range []func(context.Context, []*bench.Instance) error{
-			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation,
+			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation, expClients,
 		} {
 			if err := f(ctx, ins); err != nil {
 				return err
@@ -166,6 +166,27 @@ func expAblation(ctx context.Context, ins []*bench.Instance) error {
 	for _, r := range ers {
 		fmt.Printf("%-10s %14d %14d %5d/%-5d %10d/%d\n",
 			r.Name, r.PathDyn, r.EdgeDyn, r.PathHot, r.EdgeHot, r.EdgeReal, r.EdgeHot)
+	}
+	return nil
+}
+
+// expClients extends the Figure-7 methodology to the non-constant
+// clients: dynamically-weighted dead stores (backward liveness) and
+// redundant recomputations (forward available expressions), CFG vs the
+// reduced hot path graph.
+func expClients(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Clients(ctx, ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Client analyses on the rHPG: dead stores (backward liveness)")
+	fmt.Println("and redundant expressions (forward availability), weighted by")
+	fmt.Println("the ref profile (CA=0.97, CR=0.95)")
+	fmt.Printf("%-10s %25s %25s\n", "", "dead stores dyn", "redundant exprs dyn")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "Program", "CFG", "rHPG", "CFG", "rHPG")
+	for _, r := range rows {
+		fmt.Printf("%-10s %12d %12d %12d %12d\n",
+			r.Name, r.LiveBaseDyn, r.LiveQualDyn, r.AvailBaseDyn, r.AvailQualDyn)
 	}
 	return nil
 }

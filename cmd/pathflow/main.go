@@ -9,9 +9,10 @@
 //	pathflow source  <benchmark>
 //	pathflow run     <benchmark>|-src file [-ref] [-args a,b,...] [-seed n]
 //	pathflow profile <benchmark>|-src file [-ref] [-top n]
-//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95]
+//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-clients all] [-verify]
 //	pathflow opt     <benchmark>|-src file [-ref]
-//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all
+//	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95]
+//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all
 //	pathflow serve   [-addr host:port] [-maxjobs n] [-workers n] [-timeout d]
 package main
 
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"pathflow/internal/availexpr"
 	"pathflow/internal/bench"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
@@ -34,6 +36,8 @@ import (
 	"pathflow/internal/interp"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
+	"pathflow/internal/liveness"
+	"pathflow/internal/profile"
 )
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "opt":
 		err = cmdOpt(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
 	case "serve":
@@ -78,6 +84,10 @@ func main() {
 		if errors.As(err, &ub) {
 			fmt.Fprintln(os.Stderr, "pathflow:", ub.Hint())
 		}
+		var uc *engine.UnknownClientError
+		if errors.As(err, &uc) {
+			fmt.Fprintln(os.Stderr, "pathflow:", uc.Hint())
+		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "pathflow: interrupted")
 			os.Exit(130)
@@ -96,7 +106,9 @@ commands:
   profile <bench>|-src f [...]   collect and print a Ball-Larus path profile
   analyze <bench>|-src f [...]   run the full qualification pipeline
   opt     <bench>|-src f [...]   optimize and compare modeled run time
-  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|all>
+  check   <bench>|-src f [...]   run the precision differential oracle
+                                 (every client, every graph tier)
+  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all>
                                  regenerate the paper's tables and figures
   serve   [-addr host:port] [...] run the long-running analysis service
                                  (shared artifact cache, job manager,
@@ -269,6 +281,8 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
 	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
+	clientsFlag := fs.String("clients", "none", "extra data-flow clients to run: none, liveness, availexpr, all")
+	verify := fs.Bool("verify", false, "run the precision differential oracle as a final stage")
 	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
 	if err != nil {
@@ -284,7 +298,11 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := engine.Options{CA: *ca, CR: *cr}
+	clients, err := engine.ParseClients(*clientsFlag)
+	if err != nil {
+		return err
+	}
+	o := engine.Options{CA: *ca, CR: *cr, Clients: clients, Verify: *verify}
 	if err := o.Validate(); err != nil {
 		return err
 	}
@@ -326,6 +344,14 @@ func cmdAnalyze(args []string) error {
 		if *showConsts && fr.Qualified() {
 			printConsts(fr)
 		}
+		if clients != 0 {
+			printClients(fr)
+		}
+		if *verify {
+			for _, r := range fr.Oracle {
+				fmt.Printf("    %s\n", r.String())
+			}
+		}
 	}
 	st := res.Stats()
 	fmt.Printf("\ntotal: %d nodes -> %d HPG (%+.1f%%) -> %d reduced (%+.1f%%); %d hot paths\n",
@@ -335,6 +361,45 @@ func cmdAnalyze(args []string) error {
 		100*float64(st.RedNodes-st.OrigNodes)/float64(st.OrigNodes),
 		st.HotPaths)
 	return nil
+}
+
+// printClients renders the optional clients' dynamically-weighted
+// metrics per graph tier: dead stores found by liveness and redundant
+// recomputations found by available expressions. Rising numbers from
+// cfg to hpg/rhpg are the qualified analyses' precision wins.
+func printClients(fr *engine.FuncResult) {
+	type tier struct {
+		name  string
+		g     *cfg.Graph
+		freq  []int64
+		live  *liveness.Result
+		avail *availexpr.Result
+	}
+	var tiers []tier
+	if fr.Train != nil && (fr.LiveCFG != nil || fr.AvailCFG != nil) {
+		tiers = append(tiers, tier{"cfg", fr.Fn.G,
+			profile.NodeFrequencies(fr.Train, fr.Fn.G), fr.LiveCFG, fr.AvailCFG})
+	}
+	if fr.Qualified() && fr.HPGProf != nil {
+		tiers = append(tiers, tier{"hpg", fr.HPG.G,
+			profile.NodeFrequencies(fr.HPGProf, fr.HPG.G), fr.LiveHPG, fr.AvailHPG})
+		if ep, err := fr.TranslateEval(fr.Train); err == nil {
+			tiers = append(tiers, tier{"rhpg", fr.Red.G,
+				profile.NodeFrequencies(ep, fr.Red.G), fr.LiveRed, fr.AvailRed})
+		}
+	}
+	for _, t := range tiers {
+		line := fmt.Sprintf("    clients %-5s", t.name)
+		if t.live != nil {
+			s, d := liveness.DeadStoreCount(t.g, t.live, t.freq)
+			line += fmt.Sprintf("  dead stores %3d (dyn %8d)", s, d)
+		}
+		if t.avail != nil {
+			s, d := availexpr.RedundantCount(t.g, t.avail, t.freq)
+			line += fmt.Sprintf("  redundant exprs %3d (dyn %8d)", s, d)
+		}
+		fmt.Println(line)
+	}
 }
 
 func printConsts(fr *engine.FuncResult) {

@@ -6,6 +6,7 @@ import (
 
 	"pathflow/internal/core"
 	"pathflow/internal/machine"
+	"pathflow/internal/opt"
 )
 
 // cmdOpt runs the end-to-end optimization: profile on the training
@@ -24,8 +25,8 @@ func cmdOpt(args []string) error {
 	if err != nil {
 		return err
 	}
-	baseProg, baseFolds := core.BaselineProgram(tg.prog)
-	optProg, optFolds := res.OptimizedProgram()
+	baseProg, baseFolds := core.BaselineProgram(tg.prog, opt.PassesAll)
+	optProg, optFolds := res.OptimizedProgram(opt.PassesAll)
 
 	cm := machine.DefaultCostModel()
 	cc := machine.DefaultICache()
@@ -53,7 +54,10 @@ func cmdOpt(args []string) error {
 	fmt.Printf("%s @ CA=%.2f CR=%.2f (output verified identical: %v)\n\n", tg.name, *ca, *cr, optRes.Output)
 	fmt.Printf("%-22s %15s %15s\n", "", "Wegman-Zadek", "path-qualified")
 	row := func(label string, a, b int64) { fmt.Printf("%-22s %15d %15d\n", label, a, b) }
-	row("folded instructions", int64(baseFolds), int64(optFolds))
+	row("const folds", int64(baseFolds.Const), int64(optFolds.Const))
+	row("interval folds", int64(baseFolds.Interval), int64(optFolds.Interval))
+	row("dead deleted", int64(baseFolds.Dead), int64(optFolds.Dead))
+	row("rewritten total", int64(baseFolds.Total()), int64(optFolds.Total()))
 	row("code size (slots)", baseSim.Footprint, optSim.Footprint)
 	row("compute cycles", baseSim.ComputeCycles, optSim.ComputeCycles)
 	row("i-cache misses", baseSim.Misses, optSim.Misses)

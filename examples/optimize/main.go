@@ -16,6 +16,7 @@ import (
 	"pathflow/internal/bench"
 	"pathflow/internal/engine"
 	"pathflow/internal/machine"
+	"pathflow/internal/opt"
 )
 
 func main() {
@@ -36,8 +37,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	baseProg, baseFolds := engine.BaselineProgram(in.Prog)
-	optProg, optFolds := res.OptimizedProgram()
+	baseProg, baseFolds := engine.BaselineProgram(in.Prog, opt.PassesAll)
+	optProg, optFolds := res.OptimizedProgram(opt.PassesAll)
 
 	cm := machine.DefaultCostModel()
 	cc := machine.DefaultICache()
@@ -69,7 +70,9 @@ func main() {
 	row := func(label string, a, b int64) {
 		fmt.Printf("%-22s %15d %15d\n", label, a, b)
 	}
-	row("folded instructions", int64(baseFolds), int64(optFolds))
+	row("const folds", int64(baseFolds.Const), int64(optFolds.Const))
+	row("interval folds", int64(baseFolds.Interval), int64(optFolds.Interval))
+	row("dead deleted", int64(baseFolds.Dead), int64(optFolds.Dead))
 	row("code size (slots)", baseSim.Footprint, optSim.Footprint)
 	row("compute cycles", baseSim.ComputeCycles, optSim.ComputeCycles)
 	row("i-cache misses", baseSim.Misses, optSim.Misses)

@@ -293,10 +293,21 @@ func step(op, reg) {
 		cycles = (input() % 5) + 1;
 		mode = input() % 4;
 	}
+	// Path-dead spill: the hot ALU leg pins mode = 2, so on the hot path
+	// graph the guided liveness proves this store dead — its only use
+	// hides behind mode == 3, a branch only the qualified constant
+	// propagation decides. On the original CFG the handler merge erases
+	// mode and the store stays live: the backward client's analog of a
+	// non-local constant.
+	spill = (reg << 1) + width;
+	extra = 0;
+	if (mode == 3) {
+		extra = spill % 13;
+	}
 	// retire: cost model folded from handler constants on the hot path.
 	// The divisions are the expensive operations constant folding wins
 	// back, which is where m88ksim's large speedup comes from.
-	cost = cycles * 3 + width / 4;
+	cost = cycles * 3 + width / 4 + extra;
 	align = (1 << mode) - 1;
 	span = width * 2 + cycles;
 	penalty = 64 / width + cycles * cycles;

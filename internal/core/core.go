@@ -21,6 +21,7 @@ import (
 	"pathflow/internal/cfg"
 	"pathflow/internal/engine"
 	"pathflow/internal/interp"
+	"pathflow/internal/opt"
 )
 
 // Re-exported engine types: core.Options and friends are the same types
@@ -73,8 +74,9 @@ func ProfileAndAnalyze(prog *cfg.Program, trainOpts interp.Options, o Options) (
 	return compat.ProfileAndAnalyze(context.Background(), prog, trainOpts, o)
 }
 
-// BaselineProgram folds the Wegman-Zadek constants into clones of the
-// original functions: the paper's "Base" configuration for Table 2.
-func BaselineProgram(prog *cfg.Program) (*cfg.Program, int) {
-	return engine.BaselineProgram(prog)
+// BaselineProgram runs the selected optimizer passes on clones of the
+// original functions: with opt.PassConst, the paper's "Base"
+// configuration for Table 2.
+func BaselineProgram(prog *cfg.Program, ps opt.Passes) (*cfg.Program, opt.Counts) {
+	return engine.BaselineProgram(prog, ps)
 }

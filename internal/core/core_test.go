@@ -11,6 +11,7 @@ import (
 	"pathflow/internal/interp"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
+	"pathflow/internal/opt"
 	"pathflow/internal/paperex"
 	"pathflow/internal/profile"
 )
@@ -215,21 +216,21 @@ func TestOptimizedAndBaselineProgramsEquivalent(t *testing.T) {
 		return r.Output
 	}
 	want := run(prog)
-	optProg, optN := res.OptimizedProgram()
-	if optN == 0 {
+	optProg, optN := res.OptimizedProgram(opt.PassesAll)
+	if optN.Total() == 0 {
 		t.Error("optimizer folded nothing")
 	}
 	if got := run(optProg); !reflect.DeepEqual(got, want) {
 		t.Errorf("optimized output = %v, want %v", got, want)
 	}
-	baseProg, baseN := BaselineProgram(prog)
+	baseProg, baseN := BaselineProgram(prog, opt.PassesAll)
 	if got := run(baseProg); !reflect.DeepEqual(got, want) {
 		t.Errorf("baseline output = %v, want %v", got, want)
 	}
 	// The qualified pipeline folds the helper's s-derived constants the
-	// baseline cannot see, so it must fold strictly more instructions.
-	if optN <= baseN {
-		t.Errorf("qualified folds = %d, baseline folds = %d; want more", optN, baseN)
+	// baseline cannot see, so it must rewrite strictly more instructions.
+	if optN.Total() <= baseN.Total() {
+		t.Errorf("qualified rewrites = %+v, baseline rewrites = %+v; want more", optN, baseN)
 	}
 }
 

@@ -13,17 +13,67 @@
 // to the greatest fixpoint consistent with executable edges. It assumes
 // nothing about reducibility — hot path graphs produced by tracing are
 // irreducible (paper §4.1), which rules out elimination-style solvers.
+//
+// The framework is direction-polymorphic: a Problem may implement
+// Directional to declare a Backward orientation (liveness-style
+// problems). In backward mode the roles of edges flip — the transfer
+// function produces one fact per IN-edge, facts propagate from a node to
+// its predecessors, and iteration starts at the graph's exit. Everything
+// else (optimistic ⊤ start, per-edge executability, Widener hooks, the
+// narrowing passes, irreducibility tolerance) carries over unchanged.
 package dataflow
 
 import "pathflow/internal/cfg"
+
+// Direction is the orientation of a data-flow problem.
+type Direction uint8
+
+const (
+	// Forward problems propagate facts from entry toward exit along
+	// edges (constant propagation, available expressions).
+	Forward Direction = iota
+	// Backward problems propagate facts from exit toward entry against
+	// edges (liveness, very-busy expressions).
+	Backward
+)
+
+// String returns "forward" or "backward".
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// Directional is optionally implemented by problems to declare their
+// orientation. Problems that do not implement it are Forward.
+type Directional interface {
+	Direction() Direction
+}
+
+// DirectionOf reports the orientation of p (Forward unless p implements
+// Directional and says otherwise).
+func DirectionOf(p Problem) Direction {
+	if d, ok := p.(Directional); ok {
+		return d.Direction()
+	}
+	return Forward
+}
 
 // Fact is an element of the problem's lattice. Facts must be treated as
 // immutable: transfer functions receive a fact and must not modify it.
 type Fact interface{}
 
 // Problem defines a monotone data-flow problem (paper Definition 1).
+//
+// For Backward problems (see Directional) the orientation of every
+// method flips: Entry returns the fact holding at the function's *exit*,
+// Transfer receives the fact at node n's exit and fills one slot per
+// IN-edge of n (in n's In-list order), and a nil slot marks that in-edge
+// non-executable under the current fact.
 type Problem interface {
-	// Entry returns the fact holding at the function's entry (l_r).
+	// Entry returns the fact holding at the function's entry (l_r) —
+	// or, for Backward problems, at the function's exit.
 	Entry() Fact
 	// Meet combines two facts (the lattice ∧). Meet is only called with
 	// non-nil facts.
@@ -34,7 +84,8 @@ type Problem interface {
 	// Transfer computes the facts leaving node n given the fact at its
 	// entry. out has one slot per out-edge of n, in slot order; a slot
 	// left nil marks that edge non-executable under in. Slots are
-	// pre-initialized to nil.
+	// pre-initialized to nil. For Backward problems, in is the fact at
+	// n's exit and out has one slot per in-edge of n.
 	Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact)
 }
 
@@ -64,18 +115,31 @@ const NarrowingPasses = 2
 type Solution struct {
 	// In[n] is the fact at node n's entry — the meet over the facts
 	// delivered by executable in-edges. nil if n was never reached.
+	// For Backward problems, In[n] is the fact at node n's *exit* — the
+	// meet over facts delivered by executable out-edges.
 	In []Fact
-	// Reached[n] reports whether the analysis found n executable.
+	// Reached[n] reports whether the analysis found n executable (for
+	// Backward problems: reachable against edges from the exit).
 	Reached []bool
 	// EdgeExecutable[e] reports whether edge e ever carried a fact.
 	EdgeExecutable []bool
 	// Iterations counts node transfers, a measure of analysis effort
 	// (used by the paper's Figure 12-style analysis-time experiment).
 	Iterations int
+	// Direction records the orientation the solution was computed in.
+	Direction Direction
 }
 
-// Solve runs the worklist algorithm on g.
+// Solve runs the worklist algorithm on g, dispatching on the problem's
+// declared direction.
 func Solve(g *cfg.Graph, p Problem) *Solution {
+	if DirectionOf(p) == Backward {
+		return solveBackward(g, p)
+	}
+	return solveForward(g, p)
+}
+
+func solveForward(g *cfg.Graph, p Problem) *Solution {
 	sol := &Solution{
 		In:             make([]Fact, g.NumNodes()),
 		Reached:        make([]bool, g.NumNodes()),
@@ -197,6 +261,151 @@ func narrow(g *cfg.Graph, p Problem, sol *Solution) {
 			if acc != nil && !p.Equal(acc, sol.In[n]) {
 				sol.In[n] = acc
 				// The node's own cached outs are stale now.
+				outs[n] = nil
+			}
+		}
+	}
+}
+
+// solveBackward is the mirror image of solveForward: iteration starts at
+// g.Exit with p.Entry(), Transfer fills one slot per in-edge, and each
+// delivered fact is merged into the *source* node of that edge. The
+// chaotic worklist makes no reducibility assumption, so the solver is
+// safe on hot path graphs, whose backward structure is as irreducible as
+// their forward one.
+func solveBackward(g *cfg.Graph, p Problem) *Solution {
+	sol := &Solution{
+		In:             make([]Fact, g.NumNodes()),
+		Reached:        make([]bool, g.NumNodes()),
+		EdgeExecutable: make([]bool, g.NumEdges()),
+		Direction:      Backward,
+	}
+	inQueue := make([]bool, g.NumNodes())
+	queue := make([]cfg.NodeID, 0, g.NumNodes())
+	push := func(n cfg.NodeID) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	widener, _ := p.(Widener)
+	var changes []int
+	var widenAt []bool
+	if widener != nil {
+		changes = make([]int, g.NumNodes())
+		// In the backward orientation facts cycle around a loop in the
+		// reverse direction, so the node that accumulates repeated
+		// merges is the *source* of a retreating edge (the latch), not
+		// its target. Every cycle contains a retreating edge, so
+		// widening there still cuts every infinite descent.
+		widenAt = make([]bool, g.NumNodes())
+		dfs := g.DepthFirst()
+		for e := range dfs.Retreating {
+			widenAt[g.Edge(e).From] = true
+		}
+	}
+
+	sol.In[g.Exit] = p.Entry()
+	sol.Reached[g.Exit] = true
+	push(g.Exit)
+
+	var out []Fact
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		sol.Iterations++
+
+		nd := g.Node(n)
+		if cap(out) < len(nd.In) {
+			out = make([]Fact, len(nd.In))
+		}
+		out = out[:len(nd.In)]
+		for i := range out {
+			out[i] = nil
+		}
+		p.Transfer(g, n, sol.In[n], out)
+		for slot, f := range out {
+			if f == nil {
+				continue
+			}
+			eid := nd.In[slot]
+			sol.EdgeExecutable[eid] = true
+			from := g.Edge(eid).From
+			if !sol.Reached[from] {
+				sol.Reached[from] = true
+				sol.In[from] = f
+				push(from)
+				continue
+			}
+			merged := p.Meet(sol.In[from], f)
+			if !p.Equal(merged, sol.In[from]) {
+				if widener != nil && widenAt[from] {
+					changes[from]++
+					if changes[from] > WidenThreshold {
+						merged = widener.Widen(sol.In[from], merged)
+					}
+				}
+				sol.In[from] = merged
+				push(from)
+			}
+		}
+	}
+	if widener != nil {
+		narrowBackward(g, p, sol)
+	}
+	return sol
+}
+
+// narrowBackward runs NarrowingPasses decreasing re-iterations over the
+// reached nodes in *reverse* reverse-postorder (approximately exit-first
+// order), replacing each node's fact with the meet over the facts its
+// executable successors currently deliver along the connecting edges.
+func narrowBackward(g *cfg.Graph, p Problem, sol *Solution) {
+	dfs := g.DepthFirst()
+	// inSlot[e] is edge e's index within its target's In list — the slot
+	// the target's backward transfer writes for e.
+	inSlot := make([]int, g.NumEdges())
+	for n := 0; n < g.NumNodes(); n++ {
+		for i, eid := range g.Node(cfg.NodeID(n)).In {
+			inSlot[eid] = i
+		}
+	}
+	for pass := 0; pass < NarrowingPasses; pass++ {
+		outs := make([][]Fact, g.NumNodes())
+		outsOf := func(n cfg.NodeID) []Fact {
+			if outs[n] == nil {
+				nd := g.Node(n)
+				o := make([]Fact, len(nd.In))
+				p.Transfer(g, n, sol.In[n], o)
+				outs[n] = o
+			}
+			return outs[n]
+		}
+		for i := len(dfs.RPOOrder) - 1; i >= 0; i-- {
+			n := dfs.RPOOrder[i]
+			if n == g.Exit || !sol.Reached[n] {
+				continue
+			}
+			sol.Iterations++
+			var acc Fact
+			for _, eid := range g.Node(n).Out {
+				e := g.Edge(eid)
+				if !sol.Reached[e.To] {
+					continue
+				}
+				f := outsOf(e.To)[inSlot[eid]]
+				if f == nil {
+					continue
+				}
+				if acc == nil {
+					acc = f
+				} else {
+					acc = p.Meet(acc, f)
+				}
+			}
+			if acc != nil && !p.Equal(acc, sol.In[n]) {
+				sol.In[n] = acc
 				outs[n] = nil
 			}
 		}

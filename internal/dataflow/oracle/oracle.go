@@ -1,0 +1,132 @@
+// Package oracle implements the precision differential oracle: a static
+// check that a data-flow solution computed on a derived graph (hot path
+// graph or reduced HPG) is pointwise at least as precise as the solution
+// on the original CFG, once projected back through the vertex
+// correspondence. This is the checkable form of the paper's guarantee
+// that hot-path qualification never loses information — every (v, q)
+// vertex sees a subset of the paths reaching v, so its fact must sit at
+// or above v's in the client's lattice.
+//
+// The oracle is client-agnostic: it needs only the problem's own Meet
+// and Equal, because a ⊒ b in any meet-semilattice iff Meet(a, b) = b.
+// It therefore works unchanged for forward and backward problems, and
+// for may- and must-clients (for liveness, whose meet is set union,
+// "higher" is the *smaller* live set; the same formula applies).
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+)
+
+// Lattice is the fragment of dataflow.Problem the oracle needs.
+type Lattice interface {
+	Meet(a, b dataflow.Fact) dataflow.Fact
+	Equal(a, b dataflow.Fact) bool
+}
+
+// Kind classifies a violation.
+type Kind uint8
+
+const (
+	// KindReachability: the derived graph considers a vertex executable
+	// whose original the CFG analysis proved unreachable (⊤ on the CFG
+	// side strictly above any fact on the derived side).
+	KindReachability Kind = iota
+	// KindFact: the derived vertex's fact is not ⊒ the original's.
+	KindFact
+)
+
+func (k Kind) String() string {
+	if k == KindReachability {
+		return "reachability"
+	}
+	return "fact"
+}
+
+// Violation is one vertex at which the derived solution is *not* at
+// least as precise as the original one.
+type Violation struct {
+	Node cfg.NodeID // vertex of the derived graph
+	Orig cfg.NodeID // its original CFG vertex
+	Kind Kind
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation at derived node %d (orig %d)", v.Kind, v.Node, v.Orig)
+}
+
+// Report is the outcome of one oracle run.
+type Report struct {
+	Client     string // e.g. "constprop", "liveness"
+	Graph      string // e.g. "hpg", "rhpg"
+	Checked    int    // reached derived vertices compared
+	Violations []Violation
+}
+
+// OK reports whether the derived solution passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, and a descriptive error
+// otherwise.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	n := len(r.Violations)
+	show := r.Violations
+	if len(show) > 3 {
+		show = show[:3]
+	}
+	parts := make([]string, len(show))
+	for i, v := range show {
+		parts[i] = v.String()
+	}
+	return fmt.Errorf("oracle: %s on %s: %d violation(s) over %d checked vertices: %s",
+		r.Client, r.Graph, n, r.Checked, strings.Join(parts, "; "))
+}
+
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("oracle: %s on %s: ok (%d vertices)", r.Client, r.Graph, r.Checked)
+	}
+	return r.Err().Error()
+}
+
+// Check verifies that derived (a solution over a graph whose vertex n
+// projects to orig(n) in the original CFG) is pointwise at least as
+// precise as base (the solution over the original CFG). Vertices the
+// derived analysis left unreached are trivially at ⊤ and always pass.
+func Check(client, graph string, lat Lattice, base, derived *dataflow.Solution, orig func(cfg.NodeID) cfg.NodeID) *Report {
+	rep := &Report{Client: client, Graph: graph}
+	for n := range derived.In {
+		nid := cfg.NodeID(n)
+		if !derived.Reached[n] {
+			continue
+		}
+		v := orig(nid)
+		rep.Checked++
+		if !base.Reached[v] {
+			// Original proved dead, derived claims executable: the
+			// derived fact is strictly below the original's ⊤.
+			rep.Violations = append(rep.Violations, Violation{Node: nid, Orig: v, Kind: KindReachability})
+			continue
+		}
+		a, b := derived.In[n], base.In[v]
+		if a == nil || b == nil {
+			continue // defensive: Reached implies non-nil in both solvers
+		}
+		// a ⊒ b ⟺ a ∧ b = b.
+		if !lat.Equal(lat.Meet(a, b), b) {
+			rep.Violations = append(rep.Violations, Violation{Node: nid, Orig: v, Kind: KindFact})
+		}
+	}
+	return rep
+}
+
+// Identity is the trivial projection for comparing two solutions over
+// the same graph (e.g. conditional vs. plain constant propagation).
+func Identity(n cfg.NodeID) cfg.NodeID { return n }

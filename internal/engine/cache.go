@@ -7,10 +7,13 @@ import (
 	"sync"
 	"time"
 
+	"pathflow/internal/availexpr"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow"
 	"pathflow/internal/engine/diskcache"
+	"pathflow/internal/liveness"
 )
 
 // The cache kinds: each names the artifact bundle a key identifies.
@@ -19,6 +22,13 @@ const (
 	kindSelect    = "select"    // hot-path set; keyed by (function, profile, CA)
 	kindQualified = "qualified" // automaton + HPG + HPG solution + translated profile
 	kindReduced   = "reduced"   // reduced HPG + its solution
+
+	// Client-analysis bundles (ClientOut), one per graph tier. Memory
+	// tier only: clients are cheap to recompute relative to their encoded
+	// size, so no disk codec exists for them.
+	kindClientsCFG = "clients-cfg" // keyed by (function, clients)
+	kindClientsHPG = "clients-hpg" // keyed by (function, profile, hot set, clients)
+	kindClientsRed = "clients-red" // keyed by (function, profile, hot set, CR, clients)
 )
 
 // cacheKey identifies one artifact bundle. Artifacts are keyed by what
@@ -41,6 +51,10 @@ type cacheKey struct {
 	prof uint64
 	hot  uint64
 	knob uint64 // math.Float64bits of the swept knob (CR, or CA for select)
+	// knob2 is a second, independent knob dimension: the ClientSet bits
+	// for client bundles (zero for the qualification artifacts, which
+	// clients cannot influence).
+	knob2 uint64
 }
 
 // Provenance says where a cached-stage artifact came from: computed
@@ -285,6 +299,18 @@ func approxSize(v any) int64 {
 		n += int64(len(x.HPG.Recording)) * 16
 		n += int64(x.Auto.NumStates()) * 64 // trie maps, accept/depth arrays
 		return n
+	case ClientOut:
+		var n int64 = 32
+		if x.Live != nil {
+			n += sizeBitsetSolution(x.Live.Sol)
+		}
+		if x.Avail != nil {
+			n += sizeBitsetSolution(x.Avail.Sol)
+			// The expression universe is shared across tiers; charge a
+			// nominal per-bundle share rather than its full footprint.
+			n += int64(x.Avail.U.Size()) * 8
+		}
+		return n
 	case ReduceOut:
 		n := sizeGraph(x.Red.G) + sizeSolution(x.RedSol)
 		n += int64(len(x.Red.Class))*8 + int64(len(x.Red.Rep))*8 + int64(len(x.Red.OrigNode))*8
@@ -316,6 +342,25 @@ func sizeSolution(r *constprop.Result) int64 {
 	for _, f := range r.Sol.In {
 		if env, ok := f.(constprop.Env); ok {
 			n += 16 + int64(len(env))*24
+		}
+	}
+	return n
+}
+
+// sizeBitsetSolution estimates the footprint of a bit-vector client
+// solution (liveness or available expressions): the per-node word slices
+// plus the solution's bookkeeping slices.
+func sizeBitsetSolution(s *dataflow.Solution) int64 {
+	if s == nil {
+		return 0
+	}
+	n := int64(96) + int64(len(s.Reached)) + int64(len(s.EdgeExecutable))
+	for _, f := range s.In {
+		switch x := f.(type) {
+		case liveness.Set:
+			n += 24 + int64(len(x))*8
+		case availexpr.Set:
+			n += 24 + int64(len(x))*8
 		}
 	}
 	return n

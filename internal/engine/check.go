@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"pathflow/internal/availexpr"
+	"pathflow/internal/cfg"
+	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/intervals"
+	"pathflow/internal/liveness"
+)
+
+// CheckFuncResult runs the precision differential oracle over every
+// derived graph tier of a completed result (HPG and reduced HPG, when
+// qualification ran) and every client the repo ships: constant
+// propagation, intervals, liveness and available expressions. Client
+// solutions already attached to the result are reused; missing ones
+// (including both interval solutions, which no pipeline stage retains)
+// are computed on the spot.
+//
+// The returned reports certify — or refute, per vertex — the paper's
+// central guarantee: projected through the trace correspondence, the
+// hot-path solution is pointwise at least as precise as the CFG's.
+// Functions without qualified artifacts return no reports (there is
+// nothing to compare).
+func CheckFuncResult(fr *FuncResult) []*oracle.Report {
+	if fr == nil || fr.OrigSol == nil {
+		return nil
+	}
+	type tier struct {
+		name  string
+		g     *cfg.Graph
+		csol  *constprop.Result
+		orig  func(cfg.NodeID) cfg.NodeID
+		live  *liveness.Result
+		avail *availexpr.Result
+	}
+	var tiers []tier
+	if fr.HPG != nil && fr.HPGSol != nil {
+		h := fr.HPG
+		tiers = append(tiers, tier{
+			name: "hpg", g: h.G, csol: fr.HPGSol,
+			orig:  func(n cfg.NodeID) cfg.NodeID { return h.OrigNode[n] },
+			live:  fr.LiveHPG,
+			avail: fr.AvailHPG,
+		})
+	}
+	if fr.Red != nil && fr.RedSol != nil {
+		r := fr.Red
+		tiers = append(tiers, tier{
+			name: "rhpg", g: r.G, csol: fr.RedSol,
+			orig:  func(n cfg.NodeID) cfg.NodeID { return r.OrigNode[n] },
+			live:  fr.LiveRed,
+			avail: fr.AvailRed,
+		})
+	}
+	if len(tiers) == 0 {
+		return nil
+	}
+
+	nv := fr.Fn.NumVars()
+	cpLat := &constprop.Problem{NumVars: nv}
+	// Intervals are compared in their widening-free threshold-lattice
+	// form: the production analysis widens, and widening is not monotone
+	// in the graph, so its solutions are not comparable across tiers
+	// (see intervals.ClampedProblem). The threshold set is derived once
+	// from the original graph and shared by every tier.
+	thr := intervals.Thresholds(fr.Fn.G)
+	ivLat := &intervals.ClampedProblem{NumVars: nv, Conditional: true, T: thr}
+	lvLat := &liveness.Problem{NumVars: nv}
+
+	u := fr.AvailU
+	if u == nil {
+		u = availexpr.NewUniverse(fr.Fn.G, nv)
+	}
+	avLat := &availexpr.Problem{U: u}
+
+	baseIv := intervals.AnalyzeClamped(fr.Fn.G, nv, thr, true)
+	baseLive := fr.LiveCFG
+	if baseLive == nil {
+		baseLive = liveness.Analyze(fr.Fn.G, nv, fr.OrigSol.Sol)
+	}
+	baseAvail := fr.AvailCFG
+	if baseAvail == nil {
+		baseAvail = availexpr.Analyze(fr.Fn.G, u, fr.OrigSol.Sol)
+	}
+
+	var reports []*oracle.Report
+	for _, t := range tiers {
+		reports = append(reports,
+			oracle.Check("constprop", t.name, cpLat, fr.OrigSol.Sol, t.csol.Sol, t.orig))
+
+		iv := intervals.AnalyzeClamped(t.g, nv, thr, true)
+		reports = append(reports,
+			oracle.Check("intervals", t.name, ivLat, baseIv.Sol, iv.Sol, t.orig))
+
+		live := t.live
+		if live == nil {
+			live = liveness.Analyze(t.g, nv, t.csol.Sol)
+		}
+		reports = append(reports,
+			oracle.Check("liveness", t.name, lvLat, baseLive.Sol, live.Sol, t.orig))
+
+		avail := t.avail
+		if avail == nil {
+			avail = availexpr.Analyze(t.g, u, t.csol.Sol)
+		}
+		reports = append(reports,
+			oracle.Check("availexpr", t.name, avLat, baseAvail.Sol, avail.Sol, t.orig))
+	}
+	return reports
+}
+
+// OracleErr returns the first violation's error among reports, or nil
+// when every report is clean.
+func OracleErr(reports []*oracle.Report) error {
+	for _, r := range reports {
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pathflow/internal/automaton"
+	"pathflow/internal/availexpr"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
@@ -149,6 +150,7 @@ func (e *Engine) AnalyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, o Options, m *Metrics) (*FuncResult, error) {
 	res := &FuncResult{Fn: fn, Opt: o, Train: train, Metrics: m}
 	start := time.Now()
+	nv := fn.NumVars()
 
 	sol, err := e.baseline(ctx, fn, m)
 	if err != nil {
@@ -156,10 +158,29 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	}
 	res.OrigSol = sol
 
+	// CFG-tier client analyses run whether or not qualification will:
+	// they are the baseline the HPG/rHPG tiers are compared against, and
+	// the only tier at CA = 0.
+	if o.Clients != 0 {
+		in := ClientIn{G: fn.G, NumVars: nv, Guide: sol.Sol}
+		if o.Clients.Has(ClientAvailExpr) {
+			in.U = availexpr.NewUniverse(fn.G, nv)
+			res.AvailU = in.U
+		}
+		co, err := e.clientTier(ctx, fn, nil, nil, kindClientsCFG, 0, in, o.Clients, m)
+		if err != nil {
+			return nil, err
+		}
+		res.LiveCFG, res.AvailCFG = co.Live, co.Avail
+		if co.Avail != nil {
+			res.AvailU = co.Avail.U
+		}
+	}
+
 	res.Hot = hot
 	if len(hot) == 0 || train == nil {
 		res.Hot = nil
-		return finish(res, start), nil
+		return e.finalize(ctx, fn, res, o, m, start)
 	}
 
 	q, err := e.qualified(ctx, fn, train, hot, m)
@@ -173,6 +194,42 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 		return nil, err
 	}
 	res.Red, res.RedSol = r.Red, r.RedSol
+
+	if o.Clients != 0 {
+		in := ClientIn{G: q.HPG.G, NumVars: nv, Guide: q.HPGSol.Sol, U: res.AvailU}
+		co, err := e.clientTier(ctx, fn, train, hot, kindClientsHPG, 0, in, o.Clients, m)
+		if err != nil {
+			return nil, err
+		}
+		res.LiveHPG, res.AvailHPG = co.Live, co.Avail
+
+		in = ClientIn{G: r.Red.G, NumVars: nv, Guide: r.RedSol.Sol, U: res.AvailU}
+		co, err = e.clientTier(ctx, fn, train, hot, kindClientsRed, knobBits(o.CR), in, o.Clients, m)
+		if err != nil {
+			return nil, err
+		}
+		res.LiveRed, res.AvailRed = co.Live, co.Avail
+	}
+	return e.finalize(ctx, fn, res, o, m, start)
+}
+
+// finalize optionally runs the differential-oracle check stage, then
+// stamps the timing projections. With Options.Verify set, any oracle
+// violation fails the whole pipeline with a StageError for the check
+// stage (the reports stay attached to the error's FuncResult-less
+// context; use `pathflow check` or CheckFuncResult for a non-fatal
+// inspection).
+func (e *Engine) finalize(ctx context.Context, fn *cfg.Func, res *FuncResult, o Options, m *Metrics, start time.Time) (*FuncResult, error) {
+	if o.Verify {
+		reports, err := runStage(ctx, CheckStage, fn.Name, m, CheckIn{Res: res})
+		if err != nil {
+			return nil, err
+		}
+		res.Oracle = reports
+		if verr := OracleErr(reports); verr != nil {
+			return nil, &StageError{Stage: StageCheck, Func: fn.Name, Err: verr}
+		}
+	}
 	return finish(res, start), nil
 }
 
@@ -180,6 +237,54 @@ func finish(res *FuncResult, start time.Time) *FuncResult {
 	res.Metrics.Wall = time.Since(start)
 	res.Times = res.Metrics.Times()
 	return res
+}
+
+// clientTier computes (or fetches) the requested client analyses for
+// one graph tier. Client bundles live in the memory cache tier only
+// (no disk codec): they are cheap to recompute relative to their
+// encoded size, and the disk tier's value is in the expensive
+// qualification artifacts they derive from.
+func (e *Engine) clientTier(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, kind string, knob uint64, in ClientIn, cs ClientSet, m *Metrics) (ClientOut, error) {
+	if e.cache == nil || cs == 0 {
+		return e.runClients(ctx, fn, in, cs, m)
+	}
+	key := cacheKey{kind: kind, fn: e.cache.funcFP(fn), knob: knob, knob2: uint64(cs)}
+	if train != nil {
+		key.prof = e.cache.profileFP(train)
+	}
+	if hot != nil {
+		key.hot = FingerprintHot(hot)
+	}
+	v, cost, src, err := e.cache.do(key, nil, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		out, err := e.runClients(ctx, fn, in, cs, mm)
+		return out, costs(mm), err
+	})
+	if err != nil {
+		return ClientOut{}, err
+	}
+	m.merge(cost, src)
+	return v.(ClientOut), nil
+}
+
+// runClients executes the enabled client stages for one tier.
+func (e *Engine) runClients(ctx context.Context, fn *cfg.Func, in ClientIn, cs ClientSet, m *Metrics) (ClientOut, error) {
+	var out ClientOut
+	if cs.Has(ClientLiveness) {
+		lv, err := runStage(ctx, LivenessStage, fn.Name, m, in)
+		if err != nil {
+			return ClientOut{}, err
+		}
+		out.Live = lv
+	}
+	if cs.Has(ClientAvailExpr) {
+		av, err := runStage(ctx, AvailExprStage, fn.Name, m, in)
+		if err != nil {
+			return ClientOut{}, err
+		}
+		out.Avail = av
+	}
+	return out, nil
 }
 
 // selectHot computes (or fetches) the hot-path set at coverage CA. A CR

@@ -6,6 +6,76 @@ import (
 	"strings"
 )
 
+// ClientSet selects which additional data-flow clients the pipeline
+// runs beyond constant propagation (which always runs — it is the
+// pipeline's backbone). It is a bit set: combine with |.
+type ClientSet uint8
+
+const (
+	// ClientLiveness runs backward live-variable analysis (guided by
+	// the tier's constant-propagation solution) on each analyzed graph.
+	ClientLiveness ClientSet = 1 << iota
+	// ClientAvailExpr runs forward available-expressions analysis on
+	// each analyzed graph.
+	ClientAvailExpr
+)
+
+// ClientsAll enables every optional client.
+const ClientsAll = ClientLiveness | ClientAvailExpr
+
+// Has reports whether every client in c is enabled.
+func (cs ClientSet) Has(c ClientSet) bool { return cs&c == c }
+
+// String renders the set as a comma-separated list ("none" when empty).
+func (cs ClientSet) String() string {
+	var parts []string
+	if cs.Has(ClientLiveness) {
+		parts = append(parts, "liveness")
+	}
+	if cs.Has(ClientAvailExpr) {
+		parts = append(parts, "availexpr")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// UnknownClientError reports an unrecognized client name passed to
+// ParseClients.
+type UnknownClientError struct {
+	Name string
+}
+
+func (e *UnknownClientError) Error() string {
+	return fmt.Sprintf("engine: unknown analysis client %q", e.Name)
+}
+
+// Hint returns the remediation line the CLI and serving layer surface.
+func (e *UnknownClientError) Hint() string {
+	return "valid clients: none, liveness, availexpr, all (comma-separated)"
+}
+
+// ParseClients parses a comma-separated client list: "none" (or the
+// empty string), "liveness", "availexpr", or "all".
+func ParseClients(s string) (ClientSet, error) {
+	var cs ClientSet
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "", "none":
+		case "liveness":
+			cs |= ClientLiveness
+		case "availexpr":
+			cs |= ClientAvailExpr
+		case "all":
+			cs |= ClientsAll
+		default:
+			return 0, &UnknownClientError{Name: strings.TrimSpace(part)}
+		}
+	}
+	return cs, nil
+}
+
 // Options configures the pipeline.
 type Options struct {
 	// CA is the hot-path coverage: the minimal set of paths covering
@@ -17,6 +87,18 @@ type Options struct {
 	// this fraction of the dynamic non-local constants the qualified
 	// analysis discovered.
 	CR float64
+	// Clients selects additional data-flow clients (liveness,
+	// available expressions) to run on every analyzed graph tier (CFG,
+	// HPG, reduced HPG). Zero runs none.
+	Clients ClientSet
+	// Verify enables the precision differential oracle as a final
+	// pipeline stage: every derived-graph solution (constant
+	// propagation, intervals, liveness, available expressions) is
+	// statically checked to be pointwise at least as precise as the
+	// CFG solution once projected through the vertex correspondence.
+	// Any violation fails the pipeline with a StageError for the
+	// "check" stage.
+	Verify bool
 }
 
 // DefaultOptions returns the configuration the paper recommends after its

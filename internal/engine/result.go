@@ -4,9 +4,12 @@ import (
 	"time"
 
 	"pathflow/internal/automaton"
+	"pathflow/internal/availexpr"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/liveness"
 	"pathflow/internal/opt"
 	"pathflow/internal/profile"
 	"pathflow/internal/reduce"
@@ -33,10 +36,42 @@ type FuncResult struct {
 	Red     *reduce.Reduced
 	RedSol  *constprop.Result
 
+	// Client analyses (Options.Clients), one result per graph tier; HPG
+	// and Red entries are nil when qualification did not run, and every
+	// field is nil when the corresponding client was not requested.
+	// AvailU is the expression universe shared by all three
+	// available-expressions runs (built from the original graph).
+	LiveCFG, LiveHPG, LiveRed    *liveness.Result
+	AvailU                       *availexpr.Universe
+	AvailCFG, AvailHPG, AvailRed *availexpr.Result
+
+	// Oracle holds the differential-oracle reports when Options.Verify
+	// ran the check stage (also obtainable on demand via
+	// CheckFuncResult).
+	Oracle []*oracle.Report
+
 	// Times is the legacy per-stage timing projection; Metrics is the
 	// full per-stage record, including cache hits.
 	Times   Times
 	Metrics *Metrics
+}
+
+// FinalLive returns the liveness result on FinalGraph (nil when the
+// client did not run).
+func (r *FuncResult) FinalLive() *liveness.Result {
+	if r.Qualified() {
+		return r.LiveRed
+	}
+	return r.LiveCFG
+}
+
+// FinalAvail returns the available-expressions result on FinalGraph
+// (nil when the client did not run).
+func (r *FuncResult) FinalAvail() *availexpr.Result {
+	if r.Qualified() {
+		return r.AvailRed
+	}
+	return r.AvailCFG
 }
 
 // Qualified reports whether path qualification ran for this function.
@@ -100,15 +135,18 @@ type ProgramResult struct {
 	Funcs map[string]*FuncResult
 }
 
-// OptimizedProgram folds the discovered constants into each function's
-// final graph and assembles a runnable program.
-func (pr *ProgramResult) OptimizedProgram() (*cfg.Program, int) {
+// OptimizedProgram rewrites each function's final graph with the
+// selected optimizer passes (opt.PassConst reproduces the paper's PW
+// pass; opt.PassesAll adds interval-singleton folds and dead-store
+// deletion) and assembles a runnable program with the per-pass rewrite
+// counts.
+func (pr *ProgramResult) OptimizedProgram(ps opt.Passes) (*cfg.Program, opt.Counts) {
 	out := cfg.NewProgram()
-	folded := 0
+	var c opt.Counts
 	for _, name := range pr.Prog.Order {
 		fr := pr.Funcs[name]
-		g, n := opt.OptimizeGraph(fr.FinalGraph(), fr.Fn.NumVars())
-		folded += n
+		g, n := opt.OptimizeGraph(fr.FinalGraph(), fr.Fn.NumVars(), ps)
+		c = c.Add(n)
 		out.Add(&cfg.Func{
 			Name:     fr.Fn.Name,
 			Params:   fr.Fn.Params,
@@ -116,20 +154,21 @@ func (pr *ProgramResult) OptimizedProgram() (*cfg.Program, int) {
 			G:        g,
 		})
 	}
-	return out, folded
+	return out, c
 }
 
-// BaselineProgram folds the Wegman-Zadek constants into clones of the
-// original functions: the paper's "Base" configuration for Table 2.
-func BaselineProgram(prog *cfg.Program) (*cfg.Program, int) {
+// BaselineProgram runs the same rewrites on clones of the original
+// functions: with opt.PassConst, the paper's "Base" configuration for
+// Table 2.
+func BaselineProgram(prog *cfg.Program, ps opt.Passes) (*cfg.Program, opt.Counts) {
 	out := cfg.NewProgram()
-	folded := 0
+	var c opt.Counts
 	for _, name := range prog.Order {
-		f, n := opt.OptimizeFunc(prog.Funcs[name])
-		folded += n
+		f, n := opt.OptimizeFunc(prog.Funcs[name], ps)
+		c = c.Add(n)
 		out.Add(f)
 	}
-	return out, folded
+	return out, c
 }
 
 // Stats aggregates program-level size and timing numbers.

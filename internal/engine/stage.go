@@ -6,9 +6,13 @@ import (
 	"time"
 
 	"pathflow/internal/automaton"
+	"pathflow/internal/availexpr"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/liveness"
 	"pathflow/internal/profile"
 	"pathflow/internal/reduce"
 	"pathflow/internal/trace"
@@ -31,12 +35,23 @@ const (
 	StageAnalyze   StageName = "analyze"
 	StageTranslate StageName = "translate"
 	StageReduce    StageName = "reduce"
+	// StageLiveness and StageAvailExpr are the optional client analyses
+	// (Options.Clients), each run on every graph tier the pipeline
+	// produced; StageCheck is the opt-in precision differential oracle
+	// (Options.Verify).
+	StageLiveness  StageName = "liveness"
+	StageAvailExpr StageName = "availexpr"
+	StageCheck     StageName = "check"
 )
 
-// StageOrder lists every stage in execution order.
+// StageOrder lists every stage in execution order. It is the single
+// source of truth for stage enumeration: the CLI provenance table and
+// the serving layer's metrics iterate it rather than keeping their own
+// lists, so new stages appear everywhere by construction.
 var StageOrder = []StageName{
 	StageBaseline, StageSelect, StageAutomaton, StageTrace,
 	StageAnalyze, StageTranslate, StageReduce,
+	StageLiveness, StageAvailExpr, StageCheck,
 }
 
 // StageError is the structured error every pipeline failure is wrapped
@@ -131,6 +146,31 @@ type ReduceOut struct {
 	RedSol *constprop.Result
 }
 
+// ClientIn feeds the optional client analyses on one graph tier. Guide
+// is the tier's constant-propagation solution: liveness is conditioned
+// on its executable sub-graph (dead legs keep nothing alive), and
+// available expressions intersects only over executable in-edges. U is
+// the expression universe shared across tiers (required for
+// ClientAvailExpr).
+type ClientIn struct {
+	G       *cfg.Graph
+	NumVars int
+	Guide   *dataflow.Solution
+	U       *availexpr.Universe
+}
+
+// ClientOut bundles one tier's client-analysis results (fields are nil
+// for clients that were not requested).
+type ClientOut struct {
+	Live  *liveness.Result
+	Avail *availexpr.Result
+}
+
+// CheckIn feeds the differential oracle with a completed result.
+type CheckIn struct {
+	Res *FuncResult
+}
+
 // --- The stages ----------------------------------------------------------
 
 // BaselineStage runs Wegman-Zadek on the original graph (the CA = 0
@@ -193,6 +233,35 @@ var ReduceStage = Stage[ReduceIn, ReduceOut]{
 			return ReduceOut{}, err
 		}
 		return ReduceOut{Red: red, RedSol: constprop.Analyze(red.G, in.NumVars, true)}, nil
+	},
+}
+
+// LivenessStage runs guided live-variable analysis (backward) on one
+// graph tier.
+var LivenessStage = Stage[ClientIn, *liveness.Result]{
+	Name: StageLiveness,
+	Run: func(in ClientIn) (*liveness.Result, error) {
+		return liveness.Analyze(in.G, in.NumVars, in.Guide), nil
+	},
+}
+
+// AvailExprStage runs guided available-expressions analysis (forward)
+// on one graph tier.
+var AvailExprStage = Stage[ClientIn, *availexpr.Result]{
+	Name: StageAvailExpr,
+	Run: func(in ClientIn) (*availexpr.Result, error) {
+		return availexpr.Analyze(in.G, in.U, in.Guide), nil
+	},
+}
+
+// CheckStage runs the precision differential oracle over a completed
+// result; see CheckFuncResult. Violations are reported in the returned
+// slice, not as a stage error — the engine decides whether they are
+// fatal (Options.Verify) or informational (`pathflow check`).
+var CheckStage = Stage[CheckIn, []*oracle.Report]{
+	Name: StageCheck,
+	Run: func(in CheckIn) ([]*oracle.Report, error) {
+		return CheckFuncResult(in.Res), nil
 	},
 }
 

@@ -1,0 +1,125 @@
+package intervals
+
+import (
+	"sort"
+
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/ir"
+)
+
+// This file implements the widening-free variant of range analysis used
+// by the precision differential oracle.
+//
+// The production analysis (Problem) converges on loops by widening, and
+// widening is not monotone in the graph: a hot path graph can widen at
+// different loop heads than the original CFG, so its solution is not
+// guaranteed pointwise at least as precise — exactly the property the
+// oracle certifies. The fix is classical: restrict interval bounds to a
+// finite *threshold set* derived from the program text. Over that
+// lattice the analysis is a plain monotone framework of finite height,
+// the worklist solver computes its exact greatest fixpoint with no
+// widening at all, and the refinement guarantee holds by the same
+// argument as for the other clients (assigning each hot-path vertex its
+// original vertex's solution is a post-fixpoint of the HPG equations, so
+// the HPG's greatest fixpoint lies above it).
+//
+// Rounding bounds outward to thresholds loses precision relative to the
+// widened analysis only transiently; in exchange the result is
+// comparable across graph tiers, which the widened result is not.
+
+// Thresholds returns the canonical threshold set for a graph: ±∞, 0, ±1,
+// and k−1, k, k+1 for every integer literal k in the program text. Hot
+// path graphs copy the original instructions verbatim, so deriving the
+// set from any tier of the same function yields the same thresholds —
+// but callers comparing tiers should derive it once from the original
+// graph and share it, which also shares the work.
+func Thresholds(g *cfg.Graph) []int64 {
+	seen := map[int64]bool{NegInf: true, PosInf: true, -1: true, 0: true, 1: true}
+	add := func(k int64) {
+		seen[addSat(k, -1)] = true
+		seen[k] = true
+		seen[addSat(k, 1)] = true
+	}
+	for _, nd := range g.Nodes {
+		for i := range nd.Instrs {
+			if nd.Instrs[i].Op == ir.Const {
+				add(nd.Instrs[i].K)
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clamp rounds a's bounds outward to the nearest thresholds in t (which
+// must be sorted and contain NegInf and PosInf). Clamping is monotone
+// with respect to interval inclusion, so composing it with the monotone
+// transfer keeps the framework monotone.
+func Clamp(a Interval, t []int64) Interval {
+	if a.IsEmpty() {
+		return a
+	}
+	// Largest threshold ≤ Lo.
+	i := sort.Search(len(t), func(i int) bool { return t[i] > a.Lo }) - 1
+	// Smallest threshold ≥ Hi.
+	j := sort.Search(len(t), func(i int) bool { return t[i] >= a.Hi })
+	return Interval{Lo: t[i], Hi: t[j], present: true}
+}
+
+// ClampedProblem is range analysis over the finite threshold lattice: it
+// delegates the transfer to the production Problem and rounds every
+// delivered fact's bounds outward to T. It deliberately does NOT
+// implement dataflow.Widener — the finite lattice makes widening
+// unnecessary, and omitting it is what restores the oracle's guarantee.
+type ClampedProblem struct {
+	NumVars int
+	// Conditional enables branch pruning and comparison refinement,
+	// exactly as on Problem.
+	Conditional bool
+	// T is the sorted threshold set (see Thresholds); it must contain
+	// NegInf and PosInf.
+	T []int64
+}
+
+var _ dataflow.Problem = (*ClampedProblem)(nil)
+
+func (p *ClampedProblem) inner() *Problem {
+	return &Problem{NumVars: p.NumVars, Conditional: p.Conditional}
+}
+
+// Entry returns the all-⊥ (full-range) environment.
+func (p *ClampedProblem) Entry() dataflow.Fact { return NewEnv(p.NumVars, Full()) }
+
+// Meet hulls two facts (threshold bounds are closed under hull).
+func (p *ClampedProblem) Meet(a, b dataflow.Fact) dataflow.Fact { return a.(Env).Meet(b.(Env)) }
+
+// Equal compares two facts.
+func (p *ClampedProblem) Equal(a, b dataflow.Fact) bool { return a.(Env).Equal(b.(Env)) }
+
+// Transfer runs the production transfer, then clamps each out-fact.
+func (p *ClampedProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []dataflow.Fact) {
+	p.inner().Transfer(g, n, in, out)
+	for s, f := range out {
+		if f == nil {
+			continue
+		}
+		env := f.(Env)
+		for v := range env {
+			env[v] = Clamp(env[v], p.T)
+		}
+		out[s] = env
+	}
+}
+
+// AnalyzeClamped runs the widening-free threshold-lattice range analysis
+// over g. Callers comparing solutions across graph tiers must pass the
+// same threshold set to every tier.
+func AnalyzeClamped(g *cfg.Graph, numVars int, thresholds []int64, conditional bool) *Result {
+	p := &ClampedProblem{NumVars: numVars, Conditional: conditional, T: thresholds}
+	return &Result{G: g, Sol: dataflow.Solve(g, p), n: numVars}
+}

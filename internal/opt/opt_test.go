@@ -8,6 +8,7 @@ import (
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
 	"pathflow/internal/interp"
+	"pathflow/internal/intervals"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
 	. "pathflow/internal/opt"
@@ -90,8 +91,8 @@ func main() {
 	}
 	f := prog.Main()
 	before := f.G.String()
-	optF, n := OptimizeFunc(f)
-	if n == 0 {
+	optF, n := OptimizeFunc(f, PassesAll)
+	if n.Total() == 0 {
 		t.Fatal("nothing folded")
 	}
 	if f.G.String() != before {
@@ -113,11 +114,11 @@ func TestFoldOnExampleHPGPreservesBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	folded, n := OptimizeGraph(h.G, f.NumVars())
+	folded, n := OptimizeGraph(h.G, f.NumVars(), PassesAll)
 	// x=a+b at H12..H15, i++ at H14/H15 and n=i at I17 all fold, plus
 	// folded copies.
-	if n < 7 {
-		t.Errorf("folded %d instructions, want >= 7", n)
+	if n.Const < 7 {
+		t.Errorf("folded %d instructions, want >= 7", n.Const)
 	}
 	for kind := 1; kind <= 3; kind++ {
 		in := paperex.RunInputs(kind)
@@ -164,5 +165,163 @@ func main() {
 	}
 	if adds == 0 {
 		t.Error("dead code was folded")
+	}
+}
+
+// --- FoldIntervals -------------------------------------------------------
+
+// TestFoldIntervalsCatchesRefinementSingletons: after `while (i < 10)`
+// the loop counter is exactly 10 (refinement pins [10,10], but the
+// constant lattice sees ⊥ after the loop-carried merge). FoldIntervals
+// must fold a use of i after the loop; Fold alone must not.
+func TestFoldIntervalsCatchesRefinementSingletons(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	i = 0;
+	while (i < 10) {
+		i = i + 1;
+	}
+	y = i + 5;
+	print(y);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	nv := f.NumVars()
+
+	g := f.G.Clone()
+	sol := constprop.Analyze(g, nv, true)
+	constFolds := Fold(g, sol)
+	iv := intervals.Analyze(g, nv, true)
+	ivFolds := FoldIntervals(g, iv)
+	if ivFolds == 0 {
+		t.Fatalf("interval folding found nothing beyond constprop (const folds = %d)", constFolds)
+	}
+
+	// Behaviour must be unchanged.
+	run := func(gr *cfg.Graph) []ir.Value {
+		p := cfg.NewProgram()
+		p.Add(&cfg.Func{Name: f.Name, Params: f.Params, VarNames: f.VarNames, G: gr})
+		r, err := interp.Run(p, interp.Options{CollectOutput: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Output
+	}
+	if got, want := run(g), run(f.G); !reflect.DeepEqual(got, want) {
+		t.Fatalf("interval-folded output = %v, want %v", got, want)
+	}
+}
+
+// --- DeleteDead ----------------------------------------------------------
+
+// TestDeleteDeadCascades: deleting d = c*c leaves c's store dead in
+// turn; the fixpoint loop must delete the whole dead chain but keep the
+// live computation intact.
+func TestDeleteDeadCascades(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	a = input();
+	b = a + 1;
+	c = a * 2;
+	d = c * c;
+	print(b);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	g := f.G.Clone()
+	n := DeleteDead(g, f.NumVars(), nil)
+	if n < 2 {
+		t.Fatalf("deleted %d instructions, want the c/d chain (>= 2)", n)
+	}
+	for _, nd := range g.Nodes {
+		for i := range nd.Instrs {
+			if nd.Instrs[i].Op == ir.Mul {
+				t.Fatalf("dead multiply survived in %s", nd.Name)
+			}
+		}
+	}
+	run := func(gr *cfg.Graph) []ir.Value {
+		p := cfg.NewProgram()
+		p.Add(&cfg.Func{Name: f.Name, Params: f.Params, VarNames: f.VarNames, G: gr})
+		r, err := interp.Run(p, interp.Options{
+			Input:         &interp.SliceInput{Values: []ir.Value{41}},
+			CollectOutput: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Output
+	}
+	if got, want := run(g), run(f.G); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dead-deleted output = %v, want %v", got, want)
+	}
+}
+
+// TestDeleteDeadGuidedRemovesUnreachableUses: a store whose only use
+// sits behind a branch constant propagation decides is dead under the
+// guided analysis, but live under the plain one.
+func TestDeleteDeadGuidedRemovesUnreachableUses(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	u = input();
+	v = u * 3;
+	p = 1;
+	if (p) { print(u); } else { print(v); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	nv := f.NumVars()
+
+	plain := f.G.Clone()
+	if n := DeleteDead(plain, nv, nil); n != 0 {
+		t.Fatalf("plain liveness deleted %d instructions; v's use looks live without a guide", n)
+	}
+
+	guided := f.G.Clone()
+	sol := constprop.Analyze(guided, nv, true)
+	if n := DeleteDead(guided, nv, sol.Sol); n == 0 {
+		t.Fatal("guided liveness failed to delete the store feeding the dead leg")
+	}
+}
+
+// TestOptimizeGraphCountsSeparate: OptimizeFunc reports the three passes
+// separately and the clone leaves the original untouched.
+func TestOptimizeCountsSeparate(t *testing.T) {
+	prog, err := lang.Compile(`
+func main() {
+	x = 3;
+	y = x * 2;
+	i = 0;
+	while (i < 4) { i = i + 1; }
+	w = input() * 0;
+	dead = input() + 1;
+	print(y + i + w);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Main()
+	before := f.G.String()
+	_, c := OptimizeFunc(f, PassesAll)
+	if f.G.String() != before {
+		t.Fatal("OptimizeFunc mutated the original")
+	}
+	if c.Const == 0 {
+		t.Errorf("no const folds: %+v", c)
+	}
+	if c.Interval == 0 {
+		t.Errorf("no interval folds (loop exit i = 4 expected): %+v", c)
+	}
+	if c.Dead == 0 {
+		t.Errorf("no dead deletions (`dead` is unused): %+v", c)
+	}
+	if c.Total() != c.Const+c.Interval+c.Dead {
+		t.Errorf("Total inconsistent: %+v", c)
 	}
 }

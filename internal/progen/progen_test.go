@@ -13,6 +13,7 @@ import (
 	"pathflow/internal/interp"
 	"pathflow/internal/ir"
 	"pathflow/internal/lang"
+	"pathflow/internal/opt"
 	. "pathflow/internal/progen"
 )
 
@@ -155,16 +156,18 @@ func TestPipelinePreservesSemantics(t *testing.T) {
 			if !reflect.DeepEqual(got.Output, want.Output) {
 				t.Fatalf("seed %d ca=%v: HPG diverged", seed, ca)
 			}
-			// Folded program equivalence.
-			optProg, _ := res.OptimizedProgram()
+			// Folded program equivalence — with every optimizer pass
+			// enabled, so interval folds and dead-store deletion get
+			// differential soundness coverage on random programs too.
+			optProg, _ := res.OptimizedProgram(opt.PassesAll)
 			got = runProg(t, optProg, seed)
 			if !reflect.DeepEqual(got.Output, want.Output) {
 				t.Fatalf("seed %d ca=%v: optimized program diverged\nwant %v\ngot  %v",
 					seed, ca, want.Output, got.Output)
 			}
 		}
-		// Baseline (Wegman-Zadek folded) equivalence.
-		baseProg, _ := core.BaselineProgram(prog)
+		// Baseline (all passes on the original graphs) equivalence.
+		baseProg, _ := core.BaselineProgram(prog, opt.PassesAll)
 		got := runProg(t, baseProg, seed)
 		if !reflect.DeepEqual(got.Output, want.Output) {
 			t.Fatalf("seed %d: baseline-folded program diverged", seed)

@@ -63,11 +63,30 @@ type TargetSpec struct {
 type OptionsSpec struct {
 	CA float64 `json:"ca"`
 	CR float64 `json:"cr"`
+	// Clients is a comma-separated list of extra data-flow clients to
+	// run on every graph tier: "none" (default), "liveness",
+	// "availexpr", or "all" — the same syntax as the CLI's -clients.
+	Clients string `json:"clients,omitempty"`
+	// Verify runs the precision differential oracle as a final stage;
+	// any violation fails the job with a check-stage error.
+	Verify bool `json:"verify,omitempty"`
 }
 
-func (o OptionsSpec) engine() engine.Options { return engine.Options{CA: o.CA, CR: o.CR} }
+func (o OptionsSpec) engine() (engine.Options, error) {
+	cs, err := engine.ParseClients(o.Clients)
+	if err != nil {
+		return engine.Options{}, err
+	}
+	return engine.Options{CA: o.CA, CR: o.CR, Clients: cs, Verify: o.Verify}, nil
+}
 
-func specOf(o engine.Options) OptionsSpec { return OptionsSpec{CA: o.CA, CR: o.CR} }
+func specOf(o engine.Options) OptionsSpec {
+	spec := OptionsSpec{CA: o.CA, CR: o.CR, Verify: o.Verify}
+	if o.Clients != 0 {
+		spec.Clients = o.Clients.String()
+	}
+	return spec
+}
 
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
@@ -314,6 +333,10 @@ func errorBody(err error) ErrorBody {
 	var ub *bench.UnknownBenchmarkError
 	if errors.As(err, &ub) {
 		b.Hint = ub.Hint()
+	}
+	var uc *engine.UnknownClientError
+	if errors.As(err, &uc) {
+		b.Hint = uc.Hint()
 	}
 	var se *engine.StageError
 	if errors.As(err, &se) {

@@ -168,6 +168,57 @@ func TestAnalyzeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientsAndVerifyOverHTTP exercises the OptionsSpec extensions:
+// extra data-flow clients and the precision differential oracle are
+// selectable per request, their stages show up in the job metrics, and
+// an unknown client name maps to a 400 with the CLI's hint text.
+func TestClientsAndVerifyOverHTTP(t *testing.T) {
+	srv := mustNew(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Shutdown()
+
+	body, err := json.Marshal(AnalyzeRequest{
+		TargetSpec: TargetSpec{Source: testSrc, Args: []int64{120}},
+		Options:    &OptionsSpec{CA: 0.97, CR: 0.95, Clients: "all", Verify: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/analyze?wait=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.State != JobDone {
+		t.Fatalf("job state = %q (error %+v)", job.State, job.Error)
+	}
+	if got := job.Result.Options; got.Clients != "liveness,availexpr" || !got.Verify {
+		t.Errorf("result options = %+v; clients/verify not round-tripped", got)
+	}
+	for _, stage := range []string{"liveness", "availexpr", "check"} {
+		st, ok := job.Metrics.Stages[stage]
+		if !ok || st.Runs == 0 {
+			t.Errorf("stage %q missing from job metrics: %+v", stage, job.Metrics.Stages)
+		}
+	}
+
+	// Unknown client → 400 carrying engine.UnknownClientError's hint.
+	resp, data = postJSON(t, ts.URL+"/v1/analyze",
+		[]byte(`{"program": "compress", "options": {"ca": 0.97, "cr": 0.95, "clients": "bogus"}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad client status = %d, body %s", resp.StatusCode, data)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, data)
+	}
+	wantHint := (&engine.UnknownClientError{Name: "bogus"}).Hint()
+	if eb.Hint != wantHint {
+		t.Errorf("hint = %q, want the CLI's %q", eb.Hint, wantHint)
+	}
+}
+
 // --- Satellite: concurrent requests share the cache, byte-identically ----
 
 func TestConcurrentRequestsByteIdenticalAndCacheShared(t *testing.T) {

@@ -388,7 +388,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	o := engine.DefaultOptions()
 	if req.Options != nil {
-		o = req.Options.engine()
+		o, err = req.Options.engine()
+		if err != nil {
+			writeError(w, requestID(r), http.StatusBadRequest, err)
+			return
+		}
 	}
 	if err := o.Validate(); err != nil {
 		writeError(w, requestID(r), http.StatusBadRequest, err)
@@ -418,8 +422,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	points := make([]engine.Options, len(req.Points))
 	for i, p := range req.Points {
-		points[i] = p.engine()
-		if err := points[i].Validate(); err != nil {
+		points[i], err = p.engine()
+		if err == nil {
+			err = points[i].Validate()
+		}
+		if err != nil {
 			writeError(w, requestID(r), http.StatusBadRequest,
 				fmt.Errorf("serve: points[%d]: %w", i, err))
 			return
