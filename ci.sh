@@ -9,18 +9,30 @@
 #                           internal/bench/testdata/metrics.golden.json)
 #   5. go test -race        the concurrency-bearing packages under the
 #                           race detector (engine scheduler + two-tier
-#                           cache, the persistent diskcache store, the
-#                           core compat shim, the bench harness memo,
-#                           the serving layer's job manager + streams),
-#                           plus the new analysis clients and the
-#                           oracle, which the engine runs from pooled
-#                           workers (liveness, availexpr,
+#                           cache — including the incremental
+#                           differential test in internal/engine, so
+#                           cold-vs-warm byte-identity holds under
+#                           -race — the persistent diskcache store,
+#                           the core compat shim, the bench harness
+#                           memo, the serving layer's job manager +
+#                           streams), plus the new analysis clients and
+#                           the oracle, which the engine runs from
+#                           pooled workers (liveness, availexpr,
 #                           dataflow/oracle)
-#   6. check smoke          `pathflow check` over examples/hotpath.pf
+#   6. fuzz smoke           10s of coverage-guided fuzzing per target
+#                           (FuzzDiskcacheCodec: corrupt cache files
+#                           never panic; FuzzDelta: dirty-set
+#                           predictions stay sound on random edits),
+#                           seeded from testdata/fuzz corpora
+#   7. check smoke          `pathflow check` over examples/hotpath.pf
 #                           and two benchmarks: the precision
 #                           differential oracle must report zero
 #                           violations (exit status is the gate)
-#   7. serve smoke          end-to-end: start `pathflow serve` with a
+#   8. baseline smoke       end-to-end incremental re-analysis:
+#                           `analyze -baseline` on a one-block constant
+#                           edit must classify the edited function as a
+#                           body delta and replay >= 3 of its stages
+#   9. serve smoke          end-to-end: start `pathflow serve` with a
 #                           persistent -cachedir on an ephemeral port,
 #                           run one analyze round-trip over HTTP, check
 #                           /healthz, SIGINT-drain it — then restart the
@@ -52,6 +64,13 @@ echo "== race"
 go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
     ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/
 
+echo "== fuzz smoke"
+# Short coverage-guided runs on top of the checked-in seed corpora: the
+# codec must treat arbitrary bytes as at worst a silent cache miss, and
+# Delta's dirty-set prediction must stay sound on random program edits.
+go test -run '^$' -fuzz '^FuzzDiskcacheCodec$' -fuzztime 10s ./internal/engine/diskcache/
+go test -run '^$' -fuzz '^FuzzDelta$' -fuzztime 10s ./internal/engine/
+
 tmpdir=$(mktemp -d)
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
@@ -71,6 +90,23 @@ for b in compress m88ksim; do
     "$tmpdir/pathflow" check -q "$b" || {
         echo "check smoke: oracle violation in benchmark $b" >&2; exit 1; }
 done
+
+echo "== baseline smoke"
+# Incremental re-analysis end to end: dump a benchmark's source, apply a
+# one-block constant edit, and re-analyze against the original as the
+# -baseline. The edited function must classify as a body delta that
+# replays select/automaton/translate (3 stages) and recomputes 4.
+"$tmpdir/pathflow" source li >"$tmpdir/li.pf"
+sed 's/heap = 262144;/heap = 262145;/' "$tmpdir/li.pf" >"$tmpdir/edited.pf"
+cmp -s "$tmpdir/li.pf" "$tmpdir/edited.pf" && {
+    echo "baseline smoke: edit did not change the source" >&2; exit 1; }
+"$tmpdir/pathflow" analyze -src "$tmpdir/edited.pf" -baseline "$tmpdir/li.pf" >"$tmpdir/incr.txt"
+grep -Eq '^main +body +3 +4 +select,automaton,translate$' "$tmpdir/incr.txt" || {
+    echo "baseline smoke: body edit did not replay select/automaton/translate" >&2
+    cat "$tmpdir/incr.txt" >&2; exit 1; }
+grep -Eq '^eval +none ' "$tmpdir/incr.txt" || {
+    echo "baseline smoke: untouched function not classified as none" >&2
+    cat "$tmpdir/incr.txt" >&2; exit 1; }
 
 echo "== serve smoke"
 

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/engine"
+	"pathflow/internal/lang"
+)
+
+// loadProfile reads a saved Ball-Larus profile for prog.
+func loadProfile(path string, prog *cfg.Program) (*bl.ProgramProfile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bl.Load(f, prog)
+}
+
+// analyzeIncremental implements `analyze -baseline <prev source>`: the
+// previous version is compiled, profiled on the same training input and
+// analyzed first — warming the memory tier (and the disk tier, with
+// -cachedir) with every stage bundle it produces — then each function of
+// the current version is diffed against its namesake (engine.DiffFunc)
+// and analyzed under the classified delta, so stages whose Merkle keys
+// survived the edit replay from cache while the dirtied suffix
+// recomputes. The returned deltas drive the replayed/recomputed report.
+//
+// profFile, when set, supplies the current version's training profile;
+// otherwise both versions are profiled on the target's training input.
+func analyzeIncremental(ctx context.Context, eng *engine.Engine, tg *target, baseFile, profFile string, o engine.Options) (*engine.ProgramResult, []*engine.Delta, error) {
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseProg, err := lang.Compile(string(data))
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile -baseline %s: %w", baseFile, err)
+	}
+	baseTrain, _, err := bl.ProfileProgram(baseProg, tg.fresh())
+	if err != nil {
+		return nil, nil, fmt.Errorf("profile -baseline %s: %w", baseFile, err)
+	}
+	// Warm start: analyze the previous version so its stage bundles are
+	// resident. Under WithDeltaClass(DeltaCold) every disk bundle is
+	// stamped as a cold write.
+	if _, err := eng.AnalyzeProgram(engine.WithDeltaClass(ctx, engine.DeltaCold), baseProg, baseTrain, o); err != nil {
+		return nil, nil, fmt.Errorf("analyze -baseline %s: %w", baseFile, err)
+	}
+
+	var train *bl.ProgramProfile
+	if profFile != "" {
+		train, err = loadProfile(profFile, tg.prog)
+	} else {
+		train, _, err = bl.ProfileProgram(tg.prog, tg.fresh())
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	deltas := engine.DiffPrograms(baseProg, tg.prog, baseTrain, train)
+	byName := make(map[string]*engine.Delta, len(deltas))
+	for _, d := range deltas {
+		byName[d.Func] = d
+	}
+
+	// Analyze function by function so each runs under its own delta
+	// class (a body edit in one function must not stamp another's
+	// bundles). Serial is fine here: the interesting cost is the
+	// replay/recompute split, not wall-clock.
+	res := &engine.ProgramResult{Prog: tg.prog, Opt: o, Funcs: make(map[string]*engine.FuncResult, len(tg.prog.Order))}
+	for _, name := range tg.prog.Order {
+		fctx := engine.WithDeltaClass(ctx, byName[name].Class)
+		fr, err := eng.AnalyzeFunc(fctx, tg.prog.Funcs[name], train.Funcs[name], o)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Funcs[name] = fr
+	}
+	return res, deltas, nil
+}
+
+// printIncremental renders the per-function incremental report: the
+// classified delta, the dirty-set prediction, and what actually
+// happened — how many pipeline stages were served from cache (replayed)
+// versus recomputed.
+func printIncremental(baseFile string, deltas []*engine.Delta, res *engine.ProgramResult) {
+	fmt.Printf("\nincremental re-analysis vs %s:\n", baseFile)
+	fmt.Printf("%-12s %-8s %9s %10s  %s\n",
+		"function", "delta", "replayed", "recomputed", "replayed stages")
+	for _, d := range deltas {
+		fr := res.Funcs[d.Func]
+		if fr == nil {
+			continue
+		}
+		var replayed, recomputed int
+		var names []string
+		for _, s := range engine.PipelineStages {
+			sm := fr.Metrics.Stages[s]
+			if sm.Runs == 0 {
+				continue
+			}
+			if sm.CacheHits > 0 {
+				replayed++
+				names = append(names, string(s))
+			} else {
+				recomputed++
+			}
+		}
+		fmt.Printf("%-12s %-8s %9d %10d  %s\n",
+			d.Func, d.Class, replayed, recomputed, strings.Join(names, ","))
+	}
+}

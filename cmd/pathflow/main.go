@@ -9,7 +9,7 @@
 //	pathflow source  <benchmark>
 //	pathflow run     <benchmark>|-src file [-ref] [-args a,b,...] [-seed n]
 //	pathflow profile <benchmark>|-src file [-ref] [-top n]
-//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-clients all] [-verify]
+//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-clients all] [-verify] [-baseline prev.pf]
 //	pathflow opt     <benchmark>|-src file [-ref]
 //	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95]
 //	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all
@@ -105,6 +105,9 @@ commands:
   run     <bench>|-src f [...]   execute a program and print its output
   profile <bench>|-src f [...]   collect and print a Ball-Larus path profile
   analyze <bench>|-src f [...]   run the full qualification pipeline
+                                 (-baseline prev: classify the edit vs a
+                                 previous source version and report which
+                                 stages replayed from cache)
   opt     <bench>|-src f [...]   optimize and compare modeled run time
   check   <bench>|-src f [...]   run the precision differential oracle
                                  (every client, every graph tier)
@@ -283,6 +286,7 @@ func cmdAnalyze(args []string) error {
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
 	clientsFlag := fs.String("clients", "none", "extra data-flow clients to run: none, liveness, availexpr, all")
 	verify := fs.Bool("verify", false, "run the precision differential oracle as a final stage")
+	baseFile := fs.String("baseline", "", "previous source version: warm the cache with its analysis, classify the edit per function, and report which stages replayed vs recomputed")
 	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
 	if err != nil {
@@ -307,13 +311,15 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	var res *engine.ProgramResult
-	if *profFile != "" {
-		f, err := os.Open(*profFile)
+	var deltas []*engine.Delta
+	switch {
+	case *baseFile != "":
+		res, deltas, err = analyzeIncremental(ctx, eng, tg, *baseFile, *profFile, o)
 		if err != nil {
 			return err
 		}
-		train, err := bl.Load(f, tg.prog)
-		f.Close()
+	case *profFile != "":
+		train, err := loadProfile(*profFile, tg.prog)
 		if err != nil {
 			return err
 		}
@@ -321,7 +327,7 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return err
 		}
-	} else {
+	default:
 		res, _, err = eng.ProfileAndAnalyze(ctx, tg.prog, tg.opts, o)
 		if err != nil {
 			return err
@@ -360,6 +366,9 @@ func cmdAnalyze(args []string) error {
 		st.RedNodes,
 		100*float64(st.RedNodes-st.OrigNodes)/float64(st.OrigNodes),
 		st.HotPaths)
+	if deltas != nil {
+		printIncremental(*baseFile, deltas, res)
+	}
 	return nil
 }
 

@@ -1,0 +1,192 @@
+package automaton_test
+
+import (
+	"testing"
+
+	"pathflow/internal/automaton"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/paperex"
+	"pathflow/internal/profile"
+	"pathflow/internal/progen"
+)
+
+// Theorem 2 of Ammons & Larus says the Aho-Corasick failure function of
+// the qualification automaton is trivial: because every keyword is a
+// trimmed hot path — a leading • followed by non-recording edges — no
+// proper suffix of a keyword prefix is itself a nonempty keyword prefix,
+// so h(q, a) = q• when a is a recording edge and qε otherwise. The
+// implementation banks on this by storing only retrieval-tree edges.
+//
+// This file checks the theorem from first principles: it rebuilds the
+// textbook AC failure function over the automaton's retrieval tree
+// (making no triviality assumption) and asserts that (a) every computed
+// failure link lands on qε, and (b) the textbook full transition
+// function δ agrees with Step on every (state, edge) pair.
+
+// dotSym is the trie symbol standing for "any recording edge".
+const dotSym = int64(-1)
+
+// textbookAC is a generic Aho-Corasick closure over a retrieval tree.
+type textbookAC struct {
+	gotoFn []map[int64]automaton.State
+	fail   []automaton.State
+}
+
+// newTextbookAC computes goto/failure the standard way (Aho & Corasick
+// 1975, Algorithms 2–3): BFS from the root; a state's failure is found
+// by walking its parent's failure chain until a goto on the same symbol
+// exists.
+func newTextbookAC(a *automaton.Automaton) *textbookAC {
+	s := a.Snapshot()
+	n := len(s.Trans)
+	ac := &textbookAC{
+		gotoFn: make([]map[int64]automaton.State, n),
+		fail:   make([]automaton.State, n),
+	}
+	for q, ts := range s.Trans {
+		m := map[int64]automaton.State{}
+		for _, t := range ts {
+			m[int64(t.Edge)] = t.To
+		}
+		ac.gotoFn[q] = m
+	}
+	// qε's implicit •-edge to q•.
+	ac.gotoFn[automaton.StateEpsilon][dotSym] = automaton.StateDot
+
+	// BFS in depth order (canonical state numbering is breadth-first, so
+	// ascending state ID is a valid BFS order).
+	ac.fail[automaton.StateEpsilon] = automaton.StateEpsilon
+	for q := automaton.State(0); int(q) < n; q++ {
+		for sym, child := range ac.gotoFn[q] {
+			if q == automaton.StateEpsilon {
+				ac.fail[child] = automaton.StateEpsilon
+				continue
+			}
+			f := ac.fail[q]
+			for {
+				if t, ok := ac.gotoFn[f][sym]; ok {
+					ac.fail[child] = t
+					break
+				}
+				if f == automaton.StateEpsilon {
+					ac.fail[child] = automaton.StateEpsilon
+					break
+				}
+				f = ac.fail[f]
+			}
+		}
+	}
+	return ac
+}
+
+// delta is the textbook full transition function: follow failure links
+// until a goto is defined; undefined at the root stays at the root.
+func (ac *textbookAC) delta(q automaton.State, sym int64) automaton.State {
+	for {
+		if t, ok := ac.gotoFn[q][sym]; ok {
+			return t
+		}
+		if q == automaton.StateEpsilon {
+			return automaton.StateEpsilon
+		}
+		q = ac.fail[q]
+	}
+}
+
+// checkTheorem2 asserts both halves of the theorem for one automaton.
+func checkTheorem2(t *testing.T, label string, g *cfg.Graph, R map[cfg.EdgeID]bool, a *automaton.Automaton) {
+	t.Helper()
+	ac := newTextbookAC(a)
+
+	// (a) Every failure link is trivial: no state falls back to a deeper
+	// keyword prefix.
+	for q := automaton.State(1); int(q) < a.NumStates(); q++ {
+		if ac.fail[q] != automaton.StateEpsilon {
+			t.Errorf("%s: textbook failure of state %d is %d, want qε (Theorem 2 violated)",
+				label, q, ac.fail[q])
+		}
+	}
+
+	// (b) The stored-trie Step equals the textbook δ on every pair.
+	for q := automaton.State(0); int(q) < a.NumStates(); q++ {
+		for e := 0; e < g.NumEdges(); e++ {
+			eid := cfg.EdgeID(e)
+			sym := int64(eid)
+			if R[eid] {
+				sym = dotSym
+			}
+			if got, want := a.Step(q, eid), ac.delta(q, sym); got != want {
+				t.Errorf("%s: Step(%d, e%d) = %d, textbook δ = %d", label, q, e, got, want)
+			}
+		}
+	}
+}
+
+// TestTheorem2PaperExample pins the property on the paper's running
+// example (Figure 3's automaton).
+func TestTheorem2PaperExample(t *testing.T) {
+	fn, _, edges := paperex.Build()
+	pr := paperex.Profile(edges)
+	paths := paperex.Paths(edges)
+	a, err := automaton.New(fn.G, pr.R, paths[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTheorem2(t, "paperex", fn.G, pr.R, a)
+}
+
+// TestTheorem2RandomPrograms is the property test proper: hot sets of
+// every function of many generated programs, across coverage levels,
+// all satisfy the trivial-failure characterization.
+func TestTheorem2RandomPrograms(t *testing.T) {
+	checked := 0
+	for seed := uint64(1); seed <= 40; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vals := make([]ir.Value, 64)
+		x := seed*0x9e3779b97f4a7c15 + 1
+		for i := range vals {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			vals[i] = ir.Value(x & 0xffff)
+		}
+		train, _, err := bl.ProfileProgram(prog, interp.Options{
+			Args:     []ir.Value{3, 7, 11},
+			Input:    &interp.SliceInput{Values: vals},
+			MaxSteps: 2_000_000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: training run: %v", seed, err)
+		}
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			pr := train.Funcs[name]
+			if pr == nil {
+				continue
+			}
+			for _, ca := range []float64{0.5, 0.97, 1.0} {
+				hot := profile.SelectHot(pr, fn.G, ca)
+				if len(hot) == 0 {
+					continue
+				}
+				a, err := automaton.New(fn.G, pr.R, hot)
+				if err != nil {
+					t.Fatalf("seed %d %s ca=%v: %v", seed, name, ca, err)
+				}
+				checkTheorem2(t, name, fn.G, pr.R, a)
+				checked++
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("property exercised only %d automata; generator or selection broke", checked)
+	}
+}

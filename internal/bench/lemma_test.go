@@ -1,0 +1,102 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+
+	"pathflow/internal/bench"
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/engine"
+	"pathflow/internal/profile"
+)
+
+// Lemmas 1 and 2 of Ammons & Larus (§4.2) underwrite profile
+// translation: every Ball-Larus path of the original graph corresponds
+// to exactly one Ball-Larus path of the hot path graph (and of the
+// reduced hot path graph), so a profile can be re-expressed on the
+// overlay without losing or inventing flow. This test checks both
+// conservation laws on every qualified function of all seven
+// benchmarks:
+//
+//   - total flow: the translated profile carries the same number of
+//     path traversals and the same number of distinct paths;
+//   - per-path mass: mapping each translated path's edges back through
+//     OverlayOrigEdge recovers an original path with exactly the same
+//     count, and no two translated paths collapse onto one original.
+func checkTranslation(t *testing.T, label string, orig *bl.Profile, og *cfg.Graph, ov profile.Overlay, out *bl.Profile) {
+	t.Helper()
+	if got, want := out.TotalCount(), orig.TotalCount(); got != want {
+		t.Errorf("%s: translated total flow %d, want %d (Lemma 1 violated)", label, got, want)
+	}
+	if got, want := out.NumPaths(), orig.NumPaths(); got != want {
+		t.Errorf("%s: translated profile has %d distinct paths, want %d", label, got, want)
+	}
+	seen := map[string]bool{}
+	for _, ent := range out.Entries {
+		back := make([]cfg.EdgeID, len(ent.Path.Edges))
+		for i, e := range ent.Path.Edges {
+			back[i] = ov.OverlayOrigEdge(e)
+		}
+		key := bl.Path{Edges: back}.Key()
+		oe, ok := orig.Entries[key]
+		if !ok {
+			t.Errorf("%s: translated path %s maps back to %s, absent from the original profile",
+				label, ent.Path.Key(), key)
+			continue
+		}
+		if seen[key] {
+			t.Errorf("%s: two translated paths collapse onto original %s", label, key)
+			continue
+		}
+		seen[key] = true
+		if ent.Count != oe.Count {
+			t.Errorf("%s: path %s carries count %d, original has %d (Lemma 2 violated)",
+				label, key, ent.Count, oe.Count)
+		}
+	}
+}
+
+// TestLemmasHoldOnAllBenchmarks pushes the training profile of every
+// benchmark function through both overlays — the HPG (the pipeline's
+// own translation) and the rHPG (translated here) — and checks the
+// conservation laws end to end.
+func TestLemmasHoldOnAllBenchmarks(t *testing.T) {
+	ctx := context.Background()
+	o := engine.Options{CA: 0.97, CR: 0.95}
+	qualified := 0
+	for _, b := range bench.All() {
+		in, err := bench.Load(b, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res, err := in.Analyze(ctx, o)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, name := range res.Prog.Order {
+			fr := res.Funcs[name]
+			if !fr.Qualified() {
+				continue
+			}
+			qualified++
+			label := b.Name + "/" + name
+
+			// Lemma round trip onto the HPG: the pipeline's translated
+			// profile must conserve the training profile exactly.
+			checkTranslation(t, label+"/hpg", fr.Train, fr.Fn.G, fr.HPG, fr.HPGProf)
+
+			// And onto the rHPG: reduction preserves the overlay
+			// property, so translation composes.
+			rprof, err := profile.Translate(fr.Train, fr.Fn.G, fr.Red)
+			if err != nil {
+				t.Errorf("%s: translation onto rHPG failed: %v", label, err)
+				continue
+			}
+			checkTranslation(t, label+"/rhpg", fr.Train, fr.Fn.G, fr.Red, rprof)
+		}
+	}
+	if qualified == 0 {
+		t.Fatal("no benchmark function qualified; the lemma check never ran")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pathflow/internal/automaton"
 	"pathflow/internal/availexpr"
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
@@ -14,47 +15,83 @@ import (
 	"pathflow/internal/dataflow"
 	"pathflow/internal/engine/diskcache"
 	"pathflow/internal/liveness"
+	"pathflow/internal/trace"
 )
 
 // The cache kinds: each names the artifact bundle a key identifies.
 const (
-	kindBaseline  = "baseline"  // OrigSol; keyed by function only
-	kindSelect    = "select"    // hot-path set; keyed by (function, profile, CA)
-	kindQualified = "qualified" // automaton + HPG + HPG solution + translated profile
+	kindBaseline  = "baseline"  // OrigSol
+	kindSelect    = "select"    // hot-path set
+	kindAutomaton = "automaton" // qualification automaton
+	kindTrace     = "trace"     // traced HPG
+	kindAnalyze   = "analyze"   // Wegman-Zadek on the HPG
+	kindTranslate = "translate" // training profile translated onto the HPG
 	kindReduced   = "reduced"   // reduced HPG + its solution
 
 	// Client-analysis bundles (ClientOut), one per graph tier. Memory
 	// tier only: clients are cheap to recompute relative to their encoded
 	// size, so no disk codec exists for them.
-	kindClientsCFG = "clients-cfg" // keyed by (function, clients)
-	kindClientsHPG = "clients-hpg" // keyed by (function, profile, hot set, clients)
-	kindClientsRed = "clients-red" // keyed by (function, profile, hot set, CR, clients)
+	kindClientsCFG = "clients-cfg"
+	kindClientsHPG = "clients-hpg"
+	kindClientsRed = "clients-red"
 )
 
-// cacheKey identifies one artifact bundle. Artifacts are keyed by what
-// they actually depend on, so a parameter sweep reuses everything the
-// swept knob cannot influence:
+// cacheKey identifies one artifact bundle with a Merkle-style per-stage
+// key: slice fingerprints the input slice the stage reads directly from
+// the function/profile (CFG shape, block bodies, per-block instruction
+// counts, recording edges, the training profile — whichever apply),
+// chain folds in the digests of the stage's upstream cache keys (or the
+// hot-set fingerprint, which is output-addressed), and knob/knob2 carry
+// swept parameters (CA, CR, the client set). See Cache.keyBaseline and
+// friends for the exact composition of every stage's key; Delta
+// mirrors the same table to predict which stages an edit dirties.
 //
-//   - baseline:  (function)                       — shared by every CA/CR point
-//   - select:    (function, profile, CA)          — shared by every CR point
-//   - qualified: (function, profile, hot set)     — shared by every CR point,
-//     and by CA points that select the same hot paths
-//   - reduced:   (function, profile, hot set, CR)
-//
-// Downstream of selection, the hot set is fingerprinted rather than the
-// CA knob so that explicitly chosen hot sets (AnalyzeFuncHot, the
-// edge-selection ablation) share the same cache, and so that two CA
-// values selecting identical paths hit.
+// Because each key hashes only what its stage actually reads plus its
+// upstream keys, an edit re-keys exactly the stages whose inputs (or
+// ancestors) changed: a body-only edit leaves select, automaton and
+// translate keyed as before — they replay from cache — while baseline
+// and trace-onward recompute. Downstream of selection, the hot set is
+// fingerprinted rather than the CA knob so explicitly chosen hot sets
+// (AnalyzeFuncHot, the edge-selection ablation) share the same cache,
+// and so two CA values selecting identical paths hit.
 type cacheKey struct {
-	kind string
-	fn   uint64
-	prof uint64
-	hot  uint64
-	knob uint64 // math.Float64bits of the swept knob (CR, or CA for select)
+	kind  string
+	slice uint64
+	chain uint64
+	knob  uint64 // math.Float64bits of the swept knob (CR, or CA for select)
 	// knob2 is a second, independent knob dimension: the ClientSet bits
 	// for client bundles (zero for the qualification artifacts, which
 	// clients cannot influence).
 	knob2 uint64
+}
+
+// digest collapses a key into the single word downstream stages chain.
+// The kind participates so two stages with coincidentally equal
+// fingerprints still chain distinctly.
+func (k cacheKey) digest() uint64 {
+	h := newFNV()
+	h.str(k.kind)
+	h.u64(k.slice)
+	h.u64(k.chain)
+	h.u64(k.knob)
+	h.u64(k.knob2)
+	return uint64(h)
+}
+
+// hash2 and hash3 combine independent fingerprints into one slice word.
+func hash2(a, b uint64) uint64 {
+	h := newFNV()
+	h.u64(a)
+	h.u64(b)
+	return uint64(h)
+}
+
+func hash3(a, b, c uint64) uint64 {
+	h := newFNV()
+	h.u64(a)
+	h.u64(b)
+	h.u64(c)
+	return uint64(h)
 }
 
 // Provenance says where a cached-stage artifact came from: computed
@@ -140,8 +177,28 @@ type Cache struct {
 
 	// Fingerprint memos, keyed by identity: functions and profiles are
 	// immutable once built, so hashing each at most once is sound.
-	fnFP   map[*cfg.Func]uint64
-	profFP map[*bl.Profile]uint64
+	fnFP   map[*cfg.Func]fnPrints
+	profFP map[*bl.Profile]profPrints
+}
+
+// fnPrints caches one function's slice fingerprints: the CFG shape, the
+// per-block instruction counts, and the block bodies. Together the
+// three slices cover the whole function (FingerprintFunc combines
+// shape and body), so any edit moves at least one of them.
+type fnPrints struct {
+	shape  uint64
+	counts uint64
+	body   uint64
+}
+
+func (p fnPrints) full() uint64 { return hash2(p.shape, p.body) }
+
+// profPrints caches one profile's fingerprints: the whole profile and
+// its recording-edge set alone (the only part of the profile the
+// automaton stage reads).
+type profPrints struct {
+	prof uint64
+	rec  uint64
 }
 
 // NewCache returns an empty, unbounded, memory-only artifact cache.
@@ -155,8 +212,8 @@ func newCache(maxBytes int64, disk *diskcache.Store) *Cache {
 		maxBytes: maxBytes,
 		lru:      list.New(),
 		disk:     disk,
-		fnFP:     map[*cfg.Func]uint64{},
-		profFP:   map[*bl.Profile]uint64{},
+		fnFP:     map[*cfg.Func]fnPrints{},
+		profFP:   map[*bl.Profile]profPrints{},
 	}
 }
 
@@ -199,7 +256,12 @@ type diskOps struct {
 // to decode are rejected (deleted) and silently recomputed. Failed
 // computations are evicted so a later retry — for example after a
 // cancelled context — can succeed.
-func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageName]time.Duration, error)) (any, map[StageName]time.Duration, Provenance, error) {
+//
+// The returned decode duration is nonzero only for the leader of a
+// disk hit: the wall-clock cost of decoding the payload, reported
+// separately from the bundle's stored compute costs so incremental
+// replay numbers never conflate decode time with stage compute time.
+func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageName]time.Duration, error)) (any, map[StageName]time.Duration, Provenance, time.Duration, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -208,12 +270,12 @@ func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageNam
 		c.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
-			return nil, nil, SourceComputed, e.err
+			return nil, nil, SourceComputed, 0, e.err
 		}
 		c.mu.Lock()
 		c.hits++
 		c.mu.Unlock()
-		return e.val, e.cost, SourceMemory, nil
+		return e.val, e.cost, SourceMemory, 0, nil
 	}
 	e := &cacheEntry{ready: make(chan struct{}), key: key}
 	c.entries[key] = e
@@ -221,12 +283,14 @@ func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageNam
 	c.mu.Unlock()
 
 	prov := SourceComputed
+	var decodeTime time.Duration
 	if c.disk != nil && ops != nil {
 		if data, ok := c.disk.Get(ops.key); ok {
 			t0 := time.Now()
 			val, cost, err := ops.decode(data)
 			if err == nil {
-				c.disk.Hit(time.Since(t0))
+				decodeTime = time.Since(t0)
+				c.disk.Hit(decodeTime)
 				e.val, e.cost = val, cost
 				prov = SourceDisk
 			} else {
@@ -244,7 +308,7 @@ func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageNam
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
-		return nil, nil, SourceComputed, e.err
+		return nil, nil, SourceComputed, 0, e.err
 	}
 	if c.disk != nil && ops != nil && prov == SourceComputed {
 		c.disk.Put(ops.key, ops.encode(e.val, e.cost))
@@ -256,7 +320,7 @@ func (c *Cache) do(key cacheKey, ops *diskOps, compute func() (any, map[StageNam
 	c.bytes += e.size
 	c.evictMemoryLocked()
 	c.mu.Unlock()
-	return e.val, e.cost, prov, nil
+	return e.val, e.cost, prov, decodeTime, nil
 }
 
 // evictMemoryLocked drops least-recently-used completed entries until
@@ -293,12 +357,15 @@ func approxSize(v any) int64 {
 		return n
 	case *constprop.Result:
 		return sizeSolution(x)
-	case *qualifiedBundle:
-		n := sizeGraph(x.HPG.G) + sizeSolution(x.HPGSol) + sizeProfile(x.HPGProf)
-		n += int64(len(x.HPG.OrigNode))*8 + int64(len(x.HPG.State))*4 + int64(len(x.HPG.OrigEdge))*8
-		n += int64(len(x.HPG.Recording)) * 16
-		n += int64(x.Auto.NumStates()) * 64 // trie maps, accept/depth arrays
+	case *automaton.Automaton:
+		return int64(x.NumStates()) * 64 // trie maps, accept/depth arrays
+	case *trace.HPG:
+		n := sizeGraph(x.G)
+		n += int64(len(x.OrigNode))*8 + int64(len(x.State))*4 + int64(len(x.OrigEdge))*8
+		n += int64(len(x.Recording)) * 16
 		return n
+	case *bl.Profile:
+		return sizeProfile(x)
 	case ClientOut:
 		var n int64 = 32
 		if x.Live != nil {
@@ -411,28 +478,32 @@ func (h *fnv1a64) str(s string) {
 	h.int(len(s))
 }
 
-// funcFP returns (computing at most once) the structural fingerprint of
-// fn: its name, registers, every instruction, terminator and edge.
-func (c *Cache) funcFP(fn *cfg.Func) uint64 {
+// funcFP returns (computing at most once) the slice fingerprints of fn.
+func (c *Cache) funcFP(fn *cfg.Func) fnPrints {
 	c.mu.Lock()
 	if fp, ok := c.fnFP[fn]; ok {
 		c.mu.Unlock()
 		return fp
 	}
 	c.mu.Unlock()
-	fp := FingerprintFunc(fn)
+	fp := fnPrints{
+		shape:  FingerprintShape(fn),
+		counts: FingerprintCounts(fn),
+		body:   FingerprintBody(fn),
+	}
 	c.mu.Lock()
 	c.fnFP[fn] = fp
 	c.mu.Unlock()
 	return fp
 }
 
-// profileFP returns (computing at most once) the fingerprint of a
-// training profile: its function name, recording edges, and every
-// (path, count) entry, order-independently.
-func (c *Cache) profileFP(pr *bl.Profile) uint64 {
+// profileFP returns (computing at most once) the fingerprints of a
+// training profile: the whole profile (function name, recording edges,
+// every (path, count) entry, order-independently) and the recording
+// set alone.
+func (c *Cache) profileFP(pr *bl.Profile) profPrints {
 	if pr == nil {
-		return 0
+		return profPrints{}
 	}
 	c.mu.Lock()
 	if fp, ok := c.profFP[pr]; ok {
@@ -440,19 +511,152 @@ func (c *Cache) profileFP(pr *bl.Profile) uint64 {
 		return fp
 	}
 	c.mu.Unlock()
-	fp := FingerprintProfile(pr)
+	fp := profPrints{prof: FingerprintProfile(pr), rec: FingerprintRecording(pr.R)}
 	c.mu.Lock()
 	c.profFP[pr] = fp
 	c.mu.Unlock()
 	return fp
 }
 
+// --- Per-stage Merkle keys -------------------------------------------------
+//
+// Each stage's key hashes exactly the input slice it reads plus the
+// digests of its upstream stage keys, forming a Merkle-style dependency
+// chain. The table (mirrored by Delta's dirty-set prediction, so keep
+// the two in sync):
+//
+//	stage      slice                    chain                 knob
+//	baseline   shape + body             —                     —
+//	select     shape + counts + prof    —                     CA
+//	automaton  shape + recording        hot-set fingerprint   —
+//	trace      shape + body             automaton key         —
+//	analyze    —                        trace key             —
+//	translate  shape + prof             automaton key         —
+//	reduce     —                        analyze+translate     CR
+//
+// The automaton chains the *hot-set fingerprint* rather than the select
+// key: the hot set is the select stage's output, so addressing by it
+// lets two CA values (or an explicit AnalyzeFuncHot set) that select
+// identical paths share everything downstream — and lets a counts-only
+// edit that happens to re-select the same hot set replay the whole
+// qualification suffix. The trace slice includes block bodies because
+// the HPG copies them into its nodes; the translate slice does not —
+// an HPG's shape and edge numbering depend only on the CFG shape and
+// the automaton, so a body-only edit replays translate from cache.
+
+func (c *Cache) keyBaseline(fn *cfg.Func) cacheKey {
+	return cacheKey{kind: kindBaseline, slice: c.funcFP(fn).full()}
+}
+
+func (c *Cache) keySelect(fn *cfg.Func, train *bl.Profile, ca float64) cacheKey {
+	f := c.funcFP(fn)
+	return cacheKey{
+		kind:  kindSelect,
+		slice: hash3(f.shape, f.counts, c.profileFP(train).prof),
+		knob:  knobBits(ca),
+	}
+}
+
+func (c *Cache) keyAutomaton(fn *cfg.Func, train *bl.Profile, hot []bl.Path) cacheKey {
+	return cacheKey{
+		kind:  kindAutomaton,
+		slice: hash2(c.funcFP(fn).shape, c.profileFP(train).rec),
+		chain: FingerprintHot(hot),
+	}
+}
+
+func (c *Cache) keyTrace(fn *cfg.Func, train *bl.Profile, hot []bl.Path) cacheKey {
+	f := c.funcFP(fn)
+	return cacheKey{
+		kind:  kindTrace,
+		slice: hash2(f.shape, f.body),
+		chain: c.keyAutomaton(fn, train, hot).digest(),
+	}
+}
+
+func (c *Cache) keyAnalyze(fn *cfg.Func, train *bl.Profile, hot []bl.Path) cacheKey {
+	return cacheKey{
+		kind:  kindAnalyze,
+		chain: c.keyTrace(fn, train, hot).digest(),
+	}
+}
+
+func (c *Cache) keyTranslate(fn *cfg.Func, train *bl.Profile, hot []bl.Path) cacheKey {
+	return cacheKey{
+		kind:  kindTranslate,
+		slice: hash2(c.funcFP(fn).shape, c.profileFP(train).prof),
+		chain: c.keyAutomaton(fn, train, hot).digest(),
+	}
+}
+
+func (c *Cache) keyReduce(fn *cfg.Func, train *bl.Profile, hot []bl.Path, cr float64) cacheKey {
+	return cacheKey{
+		kind: kindReduced,
+		chain: hash2(c.keyAnalyze(fn, train, hot).digest(),
+			c.keyTranslate(fn, train, hot).digest()),
+		knob: knobBits(cr),
+	}
+}
+
 // FingerprintFunc hashes the full structure of a function: CFG shape,
 // instructions, terminators and register names. Two functions with the
-// same fingerprint produce identical pipeline artifacts.
+// same fingerprint produce identical pipeline artifacts. It is the
+// combination of the shape and body slices — the per-stage cache keys
+// hash only the slice(s) a stage actually reads, so an edit that moves
+// FingerprintFunc may still leave some stage keys (and their cached
+// artifacts) intact.
 func FingerprintFunc(fn *cfg.Func) uint64 {
+	return hash2(FingerprintShape(fn), FingerprintBody(fn))
+}
+
+// FingerprintShape hashes the CFG shape slice: the function name, the
+// entry/exit vertices, every node's ID, name and terminator kind, and
+// every edge with its successor slot — but no instruction bodies, no
+// terminator operands and no register names. The shape determines the
+// Ball-Larus edge numbering, path keys, and the node/edge structure of
+// every derived graph (HPG node names copy original node names, so
+// names are shape).
+func FingerprintShape(fn *cfg.Func) uint64 {
 	h := newFNV()
 	h.str(fn.Name)
+	g := fn.G
+	h.int(int(g.Entry))
+	h.int(int(g.Exit))
+	h.int(len(g.Nodes))
+	for _, nd := range g.Nodes {
+		h.int(int(nd.ID))
+		h.str(nd.Name)
+		h.u64(uint64(nd.Kind))
+	}
+	h.int(len(g.Edges))
+	for _, e := range g.Edges {
+		h.int(int(e.From))
+		h.int(int(e.To))
+		h.int(e.Slot)
+	}
+	return uint64(h)
+}
+
+// FingerprintCounts hashes the per-block instruction counts — the only
+// part of the block bodies hot-path selection reads (a path's dynamic
+// weight is frequency × instructions along it). A constant tweak
+// inside a block leaves counts unchanged; inserting or deleting an
+// instruction moves them.
+func FingerprintCounts(fn *cfg.Func) uint64 {
+	h := newFNV()
+	h.int(len(fn.G.Nodes))
+	for _, nd := range fn.G.Nodes {
+		h.int(len(nd.Instrs))
+	}
+	return uint64(h)
+}
+
+// FingerprintBody hashes the block-body slice: register names and
+// parameters, every instruction, and the terminator operands — the
+// contents the shape slice deliberately omits. Shape + body together
+// cover the whole function.
+func FingerprintBody(fn *cfg.Func) uint64 {
+	h := newFNV()
 	h.int(len(fn.Params))
 	for _, p := range fn.Params {
 		h.i64(int64(p))
@@ -461,13 +665,8 @@ func FingerprintFunc(fn *cfg.Func) uint64 {
 	for _, n := range fn.VarNames {
 		h.str(n)
 	}
-	g := fn.G
-	h.int(int(g.Entry))
-	h.int(int(g.Exit))
-	h.int(len(g.Nodes))
-	for _, nd := range g.Nodes {
-		h.int(int(nd.ID))
-		h.u64(uint64(nd.Kind))
+	h.int(len(fn.G.Nodes))
+	for _, nd := range fn.G.Nodes {
 		h.i64(int64(nd.Cond))
 		h.i64(int64(nd.Ret))
 		h.int(len(nd.Instrs))
@@ -485,11 +684,24 @@ func FingerprintFunc(fn *cfg.Func) uint64 {
 			}
 		}
 	}
-	h.int(len(g.Edges))
-	for _, e := range g.Edges {
-		h.int(int(e.From))
-		h.int(int(e.To))
-		h.int(e.Slot)
+	return uint64(h)
+}
+
+// FingerprintRecording hashes a recording-edge set, order-independently
+// — the only slice of the training profile the automaton stage reads
+// (its keywords come from the hot set, which is chained separately).
+func FingerprintRecording(R map[cfg.EdgeID]bool) uint64 {
+	h := newFNV()
+	redges := make([]int, 0, len(R))
+	for e, on := range R {
+		if on {
+			redges = append(redges, int(e))
+		}
+	}
+	sort.Ints(redges)
+	h.int(len(redges))
+	for _, e := range redges {
+		h.int(e)
 	}
 	return uint64(h)
 }

@@ -20,6 +20,27 @@ import (
 // same convention the in-memory tier uses.
 type Costs map[string]time.Duration
 
+// Meta is the provenance envelope every bundle carries: the per-stage
+// compute costs of the run that produced it, plus the delta class of
+// that run — "cold" for a from-scratch computation, or the edit class
+// ("none", "body", "counts", "shape") of the incremental re-analysis
+// that dirtied and recomputed this stage. The class is provenance only:
+// it never participates in the key, so bundles written by incremental
+// and cold runs of identical inputs interchange freely.
+type Meta struct {
+	Costs Costs
+	Class string
+}
+
+func encodeMeta(e *enc, m Meta) {
+	encodeCosts(e, m.Costs)
+	e.str(m.Class)
+}
+
+func decodeMeta(d *dec) Meta {
+	return Meta{Costs: decodeCosts(d), Class: d.str()}
+}
+
 func encodeCosts(e *enc, c Costs) {
 	// Deterministic order is not required (the map is consumed, not
 	// hashed), but sorting costs nothing at these sizes and keeps
@@ -383,59 +404,108 @@ func decodeAutomaton(d *dec, R map[cfg.EdgeID]bool) *automaton.Automaton {
 // --- Bundles --------------------------------------------------------------
 
 // EncodeSelect frames a hot-path selection bundle.
-func EncodeSelect(cost Costs, hot []bl.Path) []byte {
+func EncodeSelect(meta Meta, hot []bl.Path) []byte {
 	var e enc
-	encodeCosts(&e, cost)
+	encodeMeta(&e, meta)
 	encodeHot(&e, hot)
 	return frame(KindSelect, e.b)
 }
 
 // DecodeSelect decodes a selection bundle; edge IDs are validated
 // against the function's graph.
-func DecodeSelect(data []byte, g *cfg.Graph) (Costs, []bl.Path, error) {
+func DecodeSelect(data []byte, g *cfg.Graph) (Meta, []bl.Path, error) {
 	payload, err := unframe(KindSelect, data)
 	if err != nil {
-		return nil, nil, err
+		return Meta{}, nil, err
 	}
 	d := &dec{b: payload}
-	cost := decodeCosts(d)
+	meta := decodeMeta(d)
 	hot := decodeHot(d, g)
 	if err := d.done(); err != nil {
-		return nil, nil, err
+		return Meta{}, nil, err
 	}
-	return cost, hot, nil
+	return meta, hot, nil
 }
 
 // EncodeBaseline frames a CA = 0 baseline-solution bundle.
-func EncodeBaseline(cost Costs, sol *constprop.Result) []byte {
-	var e enc
-	encodeCosts(&e, cost)
-	encodeSolution(&e, sol)
-	return frame(KindBaseline, e.b)
+func EncodeBaseline(meta Meta, sol *constprop.Result) []byte {
+	return encodeSolutionBundle(KindBaseline, meta, sol)
 }
 
 // DecodeBaseline decodes a baseline bundle against the function's own
 // graph (which the solution is re-attached to).
-func DecodeBaseline(data []byte, g *cfg.Graph, numVars int) (Costs, *constprop.Result, error) {
-	payload, err := unframe(KindBaseline, data)
-	if err != nil {
-		return nil, nil, err
-	}
-	d := &dec{b: payload}
-	cost := decodeCosts(d)
-	sol := decodeSolution(d, g, numVars)
-	if err := d.done(); err != nil {
-		return nil, nil, err
-	}
-	return cost, sol, nil
+func DecodeBaseline(data []byte, g *cfg.Graph, numVars int) (Meta, *constprop.Result, error) {
+	return decodeSolutionBundle(KindBaseline, data, g, numVars)
 }
 
-// EncodeQualified frames the CR-independent qualified bundle: the
-// automaton, the traced HPG, its solution, and the translated profile.
-func EncodeQualified(cost Costs, h *trace.HPG, sol *constprop.Result, prof *bl.Profile) []byte {
+// EncodeAnalyze frames the HPG analysis bundle: the Wegman-Zadek
+// solution on the traced graph, without the graph itself (the trace
+// bundle owns the graph; the decoder re-attaches).
+func EncodeAnalyze(meta Meta, sol *constprop.Result) []byte {
+	return encodeSolutionBundle(KindAnalyze, meta, sol)
+}
+
+// DecodeAnalyze decodes an analyze bundle against the live HPG graph it
+// was computed on (revived from the trace bundle or freshly traced —
+// the Merkle chain guarantees the shapes agree, and the decoder
+// re-validates them).
+func DecodeAnalyze(data []byte, g *cfg.Graph, numVars int) (Meta, *constprop.Result, error) {
+	return decodeSolutionBundle(KindAnalyze, data, g, numVars)
+}
+
+func encodeSolutionBundle(kind Kind, meta Meta, sol *constprop.Result) []byte {
 	var e enc
-	encodeCosts(&e, cost)
-	encodeAutomaton(&e, h.Auto)
+	encodeMeta(&e, meta)
+	encodeSolution(&e, sol)
+	return frame(kind, e.b)
+}
+
+func decodeSolutionBundle(kind Kind, data []byte, g *cfg.Graph, numVars int) (Meta, *constprop.Result, error) {
+	payload, err := unframe(kind, data)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	d := &dec{b: payload}
+	meta := decodeMeta(d)
+	sol := decodeSolution(d, g, numVars)
+	if err := d.done(); err != nil {
+		return Meta{}, nil, err
+	}
+	return meta, sol, nil
+}
+
+// EncodeAutomatonBundle frames a qualification-automaton bundle.
+func EncodeAutomatonBundle(meta Meta, a *automaton.Automaton) []byte {
+	var e enc
+	encodeMeta(&e, meta)
+	encodeAutomaton(&e, a)
+	return frame(KindAutomaton, e.b)
+}
+
+// DecodeAutomatonBundle decodes an automaton bundle, rebuilding the
+// automaton against recording set R (owned by the training profile the
+// bundle was keyed by).
+func DecodeAutomatonBundle(data []byte, R map[cfg.EdgeID]bool) (Meta, *automaton.Automaton, error) {
+	payload, err := unframe(KindAutomaton, data)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	d := &dec{b: payload}
+	meta := decodeMeta(d)
+	auto := decodeAutomaton(d, R)
+	if err := d.done(); err != nil {
+		return Meta{}, nil, err
+	}
+	return meta, auto, nil
+}
+
+// EncodeTrace frames a traced-HPG bundle: the traced graph plus its
+// per-node and per-edge maps back to the original function. The
+// automaton is not re-encoded — the trace key chains the automaton key,
+// so the decoder receives the same automaton the graph was traced with.
+func EncodeTrace(meta Meta, h *trace.HPG) []byte {
+	var e enc
+	encodeMeta(&e, meta)
 	encodeGraph(&e, h.G)
 	for _, v := range h.OrigNode {
 		e.i64(int64(v))
@@ -446,25 +516,21 @@ func EncodeQualified(cost Costs, h *trace.HPG, sol *constprop.Result, prof *bl.P
 	for _, eid := range h.OrigEdge {
 		e.i64(int64(eid))
 	}
-	encodeSolution(&e, sol)
-	encodeProfile(&e, prof)
-	return frame(KindQualified, e.b)
+	return frame(KindTrace, e.b)
 }
 
-// DecodeQualified decodes a qualified bundle for fn, rebuilding the
-// automaton against recording set R (owned by the training profile the
-// bundle was keyed by) and reassembling the HPG with full revalidation.
-func DecodeQualified(data []byte, fn *cfg.Func, R map[cfg.EdgeID]bool) (Costs, *trace.HPG, *constprop.Result, *bl.Profile, error) {
-	payload, err := unframe(KindQualified, data)
+// DecodeTrace decodes a trace bundle for fn, reassembling the HPG
+// around the supplied automaton with full revalidation.
+func DecodeTrace(data []byte, fn *cfg.Func, a *automaton.Automaton) (Meta, *trace.HPG, error) {
+	payload, err := unframe(KindTrace, data)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return Meta{}, nil, err
 	}
 	d := &dec{b: payload}
-	cost := decodeCosts(d)
-	auto := decodeAutomaton(d, R)
+	meta := decodeMeta(d)
 	g := decodeGraph(d, fn.NumVars())
 	if d.err != nil {
-		return nil, nil, nil, nil, d.err
+		return Meta{}, nil, d.err
 	}
 	origNode := make([]cfg.NodeID, g.NumNodes())
 	for i := range origNode {
@@ -478,26 +544,46 @@ func DecodeQualified(data []byte, fn *cfg.Func, R map[cfg.EdgeID]bool) (Costs, *
 	for i := range origEdge {
 		origEdge[i] = cfg.EdgeID(d.i64())
 	}
-	if d.err != nil {
-		return nil, nil, nil, nil, d.err
+	if err := d.done(); err != nil {
+		return Meta{}, nil, err
 	}
-	h, err := trace.Assemble(fn, auto, g, origNode, state, origEdge)
+	h, err := trace.Assemble(fn, a, g, origNode, state, origEdge)
 	if err != nil {
-		return nil, nil, nil, nil, ErrCorrupt
+		return Meta{}, nil, ErrCorrupt
 	}
-	sol := decodeSolution(d, g, fn.NumVars())
+	return meta, h, nil
+}
+
+// EncodeTranslate frames a translated-profile bundle (the training
+// profile re-expressed on the HPG, Lemma 2).
+func EncodeTranslate(meta Meta, prof *bl.Profile) []byte {
+	var e enc
+	encodeMeta(&e, meta)
+	encodeProfile(&e, prof)
+	return frame(KindTranslate, e.b)
+}
+
+// DecodeTranslate decodes a translate bundle against the live HPG graph
+// whose edges the profile's paths traverse.
+func DecodeTranslate(data []byte, g *cfg.Graph) (Meta, *bl.Profile, error) {
+	payload, err := unframe(KindTranslate, data)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	d := &dec{b: payload}
+	meta := decodeMeta(d)
 	prof := decodeProfile(d, g)
 	if err := d.done(); err != nil {
-		return nil, nil, nil, nil, err
+		return Meta{}, nil, err
 	}
-	return cost, h, sol, prof, nil
+	return meta, prof, nil
 }
 
 // EncodeReduced frames a reduction bundle: the quotient graph with its
 // HPG bookkeeping and the re-analyzed solution.
-func EncodeReduced(cost Costs, red *reduce.Reduced, sol *constprop.Result) []byte {
+func EncodeReduced(meta Meta, red *reduce.Reduced, sol *constprop.Result) []byte {
 	var e enc
-	encodeCosts(&e, cost)
+	encodeMeta(&e, meta)
 	encodeGraph(&e, red.G)
 	e.u64(uint64(len(red.Class)))
 	for _, c := range red.Class {
@@ -538,29 +624,29 @@ func EncodeReduced(cost Costs, red *reduce.Reduced, sol *constprop.Result) []byt
 }
 
 // DecodeReduced decodes a reduction bundle against the HPG it quotients.
-func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constprop.Result, error) {
+func DecodeReduced(data []byte, h *trace.HPG) (Meta, *reduce.Reduced, *constprop.Result, error) {
 	payload, err := unframe(KindReduced, data)
 	if err != nil {
-		return nil, nil, nil, err
+		return Meta{}, nil, nil, err
 	}
 	numVars := h.Fn.NumVars()
 	d := &dec{b: payload}
-	cost := decodeCosts(d)
+	meta := decodeMeta(d)
 	g := decodeGraph(d, numVars)
 	if d.err != nil {
-		return nil, nil, nil, d.err
+		return Meta{}, nil, nil, d.err
 	}
 	red := &reduce.Reduced{H: h, G: g, Recording: map[cfg.EdgeID]bool{}}
 	nClass := d.sliceLen()
 	if d.err != nil || nClass != h.G.NumNodes() {
-		return nil, nil, nil, ErrCorrupt
+		return Meta{}, nil, nil, ErrCorrupt
 	}
 	red.Class = make([]int, nClass)
 	nClasses := g.NumNodes() // one rHPG node per class
 	for i := 0; i < nClass; i++ {
 		c := d.int()
 		if c < 0 || c >= nClasses {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.Class[i] = c
 	}
@@ -572,7 +658,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 		for j := 0; j < m; j++ {
 			v := d.i64()
 			if v < 0 || v >= int64(h.G.NumNodes()) {
-				return nil, nil, nil, ErrCorrupt
+				return Meta{}, nil, nil, ErrCorrupt
 			}
 			ms[j] = cfg.NodeID(v)
 		}
@@ -583,7 +669,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	for i := 0; i < nRep; i++ {
 		v := d.i64()
 		if v < 0 || v >= int64(g.NumNodes()) {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.Rep[i] = cfg.NodeID(v)
 	}
@@ -591,7 +677,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	for i := range red.OrigNode {
 		v := d.i64()
 		if v < 0 || v >= int64(h.Fn.G.NumNodes()) {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.OrigNode[i] = cfg.NodeID(v)
 	}
@@ -599,7 +685,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	for i := range red.OrigEdge {
 		v := d.i64()
 		if v < 0 || v >= int64(h.Fn.G.NumEdges()) {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.OrigEdge[i] = cfg.EdgeID(v)
 	}
@@ -607,7 +693,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	for i := 0; i < nRec; i++ {
 		v := d.i64()
 		if v < 0 || v >= int64(g.NumEdges()) {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.Recording[cfg.EdgeID(v)] = true
 	}
@@ -616,13 +702,13 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	for i := 0; i < nHot; i++ {
 		v := d.i64()
 		if v < 0 || v >= int64(h.G.NumNodes()) {
-			return nil, nil, nil, ErrCorrupt
+			return Meta{}, nil, nil, ErrCorrupt
 		}
 		red.Hot[i] = cfg.NodeID(v)
 	}
 	nW := d.sliceLen()
 	if d.err != nil || nW != h.G.NumNodes() {
-		return nil, nil, nil, ErrCorrupt
+		return Meta{}, nil, nil, ErrCorrupt
 	}
 	red.Weights = make([]int64, nW)
 	for i := 0; i < nW; i++ {
@@ -630,7 +716,7 @@ func DecodeReduced(data []byte, h *trace.HPG) (Costs, *reduce.Reduced, *constpro
 	}
 	sol := decodeSolution(d, g, numVars)
 	if err := d.done(); err != nil {
-		return nil, nil, nil, err
+		return Meta{}, nil, nil, err
 	}
-	return cost, red, sol, nil
+	return meta, red, sol, nil
 }

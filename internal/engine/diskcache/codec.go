@@ -41,8 +41,12 @@ var ErrCorrupt = errors.New("diskcache: corrupt or stale entry")
 // changes shape; readers reject every version but their own, so stale
 // entries from older binaries decode as misses and are rewritten.
 const (
-	// FormatVersion is the current on-disk format version.
-	FormatVersion = 1
+	// FormatVersion is the current on-disk format version. Version 2
+	// split the monolithic qualified bundle into per-stage bundles
+	// (automaton/trace/analyze/translate), moved to Merkle-style
+	// (slice, chain) keys, and added the Meta envelope carrying the
+	// delta class of the run that wrote each bundle.
+	FormatVersion = 2
 
 	headerLen   = 6 // magic(4) + version(1) + kind(1)
 	checksumLen = 8
@@ -55,11 +59,17 @@ var magic = [4]byte{'P', 'F', 'A', 'C'}
 // header so a file renamed across kinds still decodes as a miss.
 type Kind uint8
 
-// The bundle kinds, mirroring the engine's cache keys.
+// The bundle kinds, mirroring the engine's per-stage cache keys. Since
+// format version 2 every qualification stage persists its own bundle
+// (the old monolithic "qualified" bundle is gone), so an incremental
+// re-analysis can replay exactly the stages an edit left clean.
 const (
 	KindBaseline Kind = iota + 1
 	KindSelect
-	KindQualified
+	KindAutomaton
+	KindTrace
+	KindAnalyze
+	KindTranslate
 	KindReduced
 )
 
@@ -69,8 +79,14 @@ func (k Kind) String() string {
 		return "baseline"
 	case KindSelect:
 		return "select"
-	case KindQualified:
-		return "qualified"
+	case KindAutomaton:
+		return "automaton"
+	case KindTrace:
+		return "trace"
+	case KindAnalyze:
+		return "analyze"
+	case KindTranslate:
+		return "translate"
 	case KindReduced:
 		return "reduced"
 	}

@@ -24,19 +24,19 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestUnframeRejectsEveryDefect(t *testing.T) {
 	payload := []byte("some payload bytes")
-	good := frame(KindQualified, payload)
+	good := frame(KindTrace, payload)
 	cases := []struct {
 		name   string
 		mutate func([]byte) []byte
 		kind   Kind
 	}{
-		{"truncated-to-nothing", func(b []byte) []byte { return b[:3] }, KindQualified},
-		{"truncated-mid-payload", func(b []byte) []byte { return b[:len(b)-9] }, KindQualified},
-		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, KindQualified},
-		{"version-bump", func(b []byte) []byte { b[4] = FormatVersion + 1; return b }, KindQualified},
+		{"truncated-to-nothing", func(b []byte) []byte { return b[:3] }, KindTrace},
+		{"truncated-mid-payload", func(b []byte) []byte { return b[:len(b)-9] }, KindTrace},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, KindTrace},
+		{"version-bump", func(b []byte) []byte { b[4] = FormatVersion + 1; return b }, KindTrace},
 		{"kind-mismatch", func(b []byte) []byte { return b }, KindReduced},
-		{"payload-bit-flip", func(b []byte) []byte { b[headerLen+2] ^= 0x01; return b }, KindQualified},
-		{"checksum-bit-flip", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b }, KindQualified},
+		{"payload-bit-flip", func(b []byte) []byte { b[headerLen+2] ^= 0x01; return b }, KindTrace},
+		{"checksum-bit-flip", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b }, KindTrace},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,7 +126,7 @@ func TestDecoderStickyErrorAndBounds(t *testing.T) {
 // --- Store -----------------------------------------------------------------
 
 func testKey(i int) Key {
-	return Key{Kind: KindSelect, Fn: uint64(i), Prof: 2, Hot: 3, Knob: 4}
+	return Key{Kind: KindSelect, Slice: uint64(i), Chain: 2, Knob: 3}
 }
 
 func TestStorePutGetRoundTrip(t *testing.T) {
@@ -296,7 +296,9 @@ func TestStoreCrossProcessFallback(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindBaseline: "baseline", KindSelect: "select",
-		KindQualified: "qualified", KindReduced: "reduced", Kind(99): "unknown",
+		KindAutomaton: "automaton", KindTrace: "trace",
+		KindAnalyze: "analyze", KindTranslate: "translate",
+		KindReduced: "reduced", Kind(99): "unknown",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)

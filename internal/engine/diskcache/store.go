@@ -12,20 +12,25 @@ import (
 )
 
 // Key identifies one bundle in the store: the artifact kind plus the
-// engine's fingerprint quadruple. Identical keys name identical content
+// engine's Merkle-style stage key. Slice fingerprints the input slice
+// the stage actually reads (block bodies, CFG shape, recording edges,
+// per-block counts — whichever apply); Chain folds in the digests of
+// the stage's upstream cache keys, so a change anywhere upstream
+// re-keys every dependent bundle; Knob carries the stage's swept
+// parameter bits (CA or CR). Identical keys name identical content
 // (the pipeline is a pure function of the fingerprints), so concurrent
 // writers racing on one key are harmless — last rename wins and both
 // payloads are equivalent.
 type Key struct {
-	Kind                Kind
-	Fn, Prof, Hot, Knob uint64
+	Kind               Kind
+	Slice, Chain, Knob uint64
 }
 
 // filename renders the key as the bundle's file name. The kind appears
 // both in the name and in the frame header, so a renamed file still
 // fails closed at decode time.
 func (k Key) filename() string {
-	return fmt.Sprintf("%s-%016x%016x%016x%016x%s", k.Kind, k.Fn, k.Prof, k.Hot, k.Knob, fileSuffix)
+	return fmt.Sprintf("%s-%016x%016x%016x%s", k.Kind, k.Slice, k.Chain, k.Knob, fileSuffix)
 }
 
 const (

@@ -8,16 +8,21 @@
 // cancellation, structured per-stage errors (StageError), per-stage
 // metrics (Metrics, generalizing the old ad-hoc Times struct), bounded
 // parallel scheduling across independent functions (Map), and a
-// cross-run artifact cache (Cache) keyed by what each artifact actually
-// depends on:
+// cross-run artifact cache (Cache) with Merkle-style per-stage keys:
+// every stage's key hashes only the input slice it actually reads (CFG
+// shape, block bodies, per-block instruction counts, recording edges,
+// the training profile) plus the digests of its upstream stage keys —
+// see the table on Cache.keyBaseline and friends.
 //
-//	baseline   (fn)                    shared by every CA/CR point
-//	select     (fn, profile, CA)       shared by every CR point
-//	qualified  (fn, profile, hot set)  shared by every CR point
-//	reduced    (fn, profile, hot set, CR)
-//
-// so parameter sweeps — the harness's Figures 9/11/12 and the CR
-// ablation — recompute only the stages the swept knob can influence.
+// Two reuse stories fall out of the slice keys. Parameter sweeps — the
+// harness's Figures 9/11/12 and the CR ablation — recompute only the
+// stages the swept knob can influence (the hot set, not CA, addresses
+// everything downstream of selection). And *incremental re-analysis*:
+// an edited function re-keys exactly the stages whose input slices (or
+// ancestors) the edit touched, so a warm cache replays the clean stages
+// and recomputes only the dirtied suffix. DiffFunc classifies an edit
+// (Delta) and predicts the replay/recompute split ahead of time;
+// `pathflow analyze -baseline` reports it.
 //
 // The legacy one-call API lives on as thin wrappers in internal/core.
 package engine
@@ -167,7 +172,9 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 			in.U = availexpr.NewUniverse(fn.G, nv)
 			res.AvailU = in.U
 		}
-		co, err := e.clientTier(ctx, fn, nil, nil, kindClientsCFG, 0, in, o.Clients, m)
+		co, err := e.clientTier(ctx, fn, func() cacheKey {
+			return cacheKey{kind: kindClientsCFG, slice: e.cache.funcFP(fn).full()}
+		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
 		}
@@ -183,28 +190,48 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 		return e.finalize(ctx, fn, res, o, m, start)
 	}
 
-	q, err := e.qualified(ctx, fn, train, hot, m)
+	// The qualification chain runs as four independently cached stages:
+	// each replays from the cache tiers when its Merkle key survives the
+	// edit (or sweep point) that brought us here, and recomputes
+	// otherwise — the unit of reuse is the stage, not the chain.
+	a, err := e.automatonStage(ctx, fn, train, hot, m)
 	if err != nil {
 		return nil, err
 	}
-	res.Auto, res.HPG, res.HPGSol, res.HPGProf = q.Auto, q.HPG, q.HPGSol, q.HPGProf
+	h, err := e.traceStage(ctx, fn, train, hot, a, m)
+	if err != nil {
+		return nil, err
+	}
+	hsol, err := e.analyzeStage(ctx, fn, train, hot, h, m)
+	if err != nil {
+		return nil, err
+	}
+	hprof, err := e.translateStage(ctx, fn, train, hot, h, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Auto, res.HPG, res.HPGSol, res.HPGProf = a, h, hsol, hprof
 
-	r, err := e.reduced(ctx, fn, train, hot, q, o.CR, m)
+	r, err := e.reduced(ctx, fn, train, hot, h, hsol, hprof, o.CR, m)
 	if err != nil {
 		return nil, err
 	}
 	res.Red, res.RedSol = r.Red, r.RedSol
 
 	if o.Clients != 0 {
-		in := ClientIn{G: q.HPG.G, NumVars: nv, Guide: q.HPGSol.Sol, U: res.AvailU}
-		co, err := e.clientTier(ctx, fn, train, hot, kindClientsHPG, 0, in, o.Clients, m)
+		in := ClientIn{G: h.G, NumVars: nv, Guide: hsol.Sol, U: res.AvailU}
+		co, err := e.clientTier(ctx, fn, func() cacheKey {
+			return cacheKey{kind: kindClientsHPG, chain: e.cache.keyAnalyze(fn, train, hot).digest()}
+		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
 		}
 		res.LiveHPG, res.AvailHPG = co.Live, co.Avail
 
 		in = ClientIn{G: r.Red.G, NumVars: nv, Guide: r.RedSol.Sol, U: res.AvailU}
-		co, err = e.clientTier(ctx, fn, train, hot, kindClientsRed, knobBits(o.CR), in, o.Clients, m)
+		co, err = e.clientTier(ctx, fn, func() cacheKey {
+			return cacheKey{kind: kindClientsRed, chain: e.cache.keyReduce(fn, train, hot, o.CR).digest()}
+		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
 		}
@@ -240,22 +267,19 @@ func finish(res *FuncResult, start time.Time) *FuncResult {
 }
 
 // clientTier computes (or fetches) the requested client analyses for
-// one graph tier. Client bundles live in the memory cache tier only
-// (no disk codec): they are cheap to recompute relative to their
-// encoded size, and the disk tier's value is in the expensive
-// qualification artifacts they derive from.
-func (e *Engine) clientTier(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, kind string, knob uint64, in ClientIn, cs ClientSet, m *Metrics) (ClientOut, error) {
+// one graph tier. mkKey builds the tier's cache key (deferred so the
+// cache-disabled path never touches fingerprint machinery); the client
+// set lands in knob2, the key dimension reserved for it. Client bundles
+// live in the memory cache tier only (no disk codec): they are cheap to
+// recompute relative to their encoded size, and the disk tier's value
+// is in the expensive qualification artifacts they derive from.
+func (e *Engine) clientTier(ctx context.Context, fn *cfg.Func, mkKey func() cacheKey, in ClientIn, cs ClientSet, m *Metrics) (ClientOut, error) {
 	if e.cache == nil || cs == 0 {
 		return e.runClients(ctx, fn, in, cs, m)
 	}
-	key := cacheKey{kind: kind, fn: e.cache.funcFP(fn), knob: knob, knob2: uint64(cs)}
-	if train != nil {
-		key.prof = e.cache.profileFP(train)
-	}
-	if hot != nil {
-		key.hot = FingerprintHot(hot)
-	}
-	v, cost, src, err := e.cache.do(key, nil, func() (any, map[StageName]time.Duration, error) {
+	key := mkKey()
+	key.knob2 = uint64(cs)
+	v, cost, src, dec, err := e.cache.do(key, nil, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		out, err := e.runClients(ctx, fn, in, cs, mm)
 		return out, costs(mm), err
@@ -263,7 +287,7 @@ func (e *Engine) clientTier(ctx context.Context, fn *cfg.Func, train *bl.Profile
 	if err != nil {
 		return ClientOut{}, err
 	}
-	m.merge(cost, src)
+	m.merge(cost, src, dec)
 	return v.(ClientOut), nil
 }
 
@@ -296,24 +320,19 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 	if e.cache == nil {
 		return runStage(ctx, SelectStage, fn.Name, m, in)
 	}
-	key := cacheKey{
-		kind: kindSelect,
-		fn:   e.cache.funcFP(fn),
-		prof: e.cache.profileFP(train),
-		knob: knobBits(ca),
-	}
-	ops := e.diskOps(key, diskcache.KindSelect,
-		func(v any, cost map[StageName]time.Duration) []byte {
-			return diskcache.EncodeSelect(costsToDisk(cost), v.([]bl.Path))
+	key := e.cache.keySelect(fn, train, ca)
+	ops := e.diskOps(ctx, key, diskcache.KindSelect,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeSelect(meta, v.([]bl.Path))
 		},
 		func(data []byte) (any, map[StageName]time.Duration, error) {
-			dc, hot, err := diskcache.DecodeSelect(data, fn.G)
+			meta, hot, err := diskcache.DecodeSelect(data, fn.G)
 			if err != nil {
 				return nil, nil, err
 			}
-			return hot, costsFromDisk(dc), nil
+			return hot, costsFromDisk(meta.Costs), nil
 		})
-	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		hot, err := runStage(ctx, SelectStage, fn.Name, mm, in)
 		return hot, costs(mm), err
@@ -321,7 +340,7 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, src)
+	m.merge(cost, src, dec)
 	return v.([]bl.Path), nil
 }
 
@@ -331,19 +350,19 @@ func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*const
 	if e.cache == nil {
 		return runStage(ctx, BaselineStage, fn.Name, m, in)
 	}
-	key := cacheKey{kind: kindBaseline, fn: e.cache.funcFP(fn)}
-	ops := e.diskOps(key, diskcache.KindBaseline,
-		func(v any, cost map[StageName]time.Duration) []byte {
-			return diskcache.EncodeBaseline(costsToDisk(cost), v.(*constprop.Result))
+	key := e.cache.keyBaseline(fn)
+	ops := e.diskOps(ctx, key, diskcache.KindBaseline,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeBaseline(meta, v.(*constprop.Result))
 		},
 		func(data []byte) (any, map[StageName]time.Duration, error) {
-			dc, sol, err := diskcache.DecodeBaseline(data, fn.G, fn.NumVars())
+			meta, sol, err := diskcache.DecodeBaseline(data, fn.G, fn.NumVars())
 			if err != nil {
 				return nil, nil, err
 			}
-			return sol, costsFromDisk(dc), nil
+			return sol, costsFromDisk(meta.Costs), nil
 		})
-	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		sol, err := runStage(ctx, BaselineStage, fn.Name, mm, in)
 		return sol, costs(mm), err
@@ -351,102 +370,164 @@ func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*const
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, src)
+	m.merge(cost, src, dec)
 	return v.(*constprop.Result), nil
 }
 
-// qualified computes (or fetches) the automaton, the HPG, its solution
-// and the translated training profile — everything that depends on the
-// hot set but not on CR.
-func (e *Engine) qualified(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, m *Metrics) (*qualifiedBundle, error) {
+// automatonStage computes (or fetches) the Aho-Corasick qualification
+// automaton. Its key chains the hot-set fingerprint (output-addressed),
+// so any route to the same hot set — a different CA, an explicit
+// AnalyzeFuncHot set, a counts-only edit that re-selects identically —
+// shares the bundle.
+func (e *Engine) automatonStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, m *Metrics) (*automaton.Automaton, error) {
+	in := AutomatonIn{Fn: fn, R: train.R, Hot: hot}
 	if e.cache == nil {
-		return e.runQualified(ctx, fn, train, hot, m)
+		return runStage(ctx, AutomatonStage, fn.Name, m, in)
 	}
-	key := cacheKey{
-		kind: kindQualified,
-		fn:   e.cache.funcFP(fn),
-		prof: e.cache.profileFP(train),
-		hot:  FingerprintHot(hot),
-	}
-	ops := e.diskOps(key, diskcache.KindQualified,
-		func(v any, cost map[StageName]time.Duration) []byte {
-			q := v.(*qualifiedBundle)
-			return diskcache.EncodeQualified(costsToDisk(cost), q.HPG, q.HPGSol, q.HPGProf)
+	key := e.cache.keyAutomaton(fn, train, hot)
+	ops := e.diskOps(ctx, key, diskcache.KindAutomaton,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeAutomatonBundle(meta, v.(*automaton.Automaton))
 		},
 		func(data []byte) (any, map[StageName]time.Duration, error) {
-			dc, h, sol, hp, err := diskcache.DecodeQualified(data, fn, train.R)
+			meta, a, err := diskcache.DecodeAutomatonBundle(data, train.R)
 			if err != nil {
 				return nil, nil, err
 			}
-			return &qualifiedBundle{Auto: h.Auto, HPG: h, HPGSol: sol, HPGProf: hp}, costsFromDisk(dc), nil
+			return a, costsFromDisk(meta.Costs), nil
 		})
-	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
-		q, err := e.runQualified(ctx, fn, train, hot, mm)
-		return q, costs(mm), err
+		a, err := runStage(ctx, AutomatonStage, fn.Name, mm, in)
+		return a, costs(mm), err
 	})
 	if err != nil {
 		return nil, err
 	}
-	m.merge(cost, src)
-	return v.(*qualifiedBundle), nil
+	m.merge(cost, src, dec)
+	return v.(*automaton.Automaton), nil
 }
 
-// qualifiedBundle is the cached bundle of every CR-independent
-// qualified-pipeline artifact.
-type qualifiedBundle struct {
-	Auto    *automaton.Automaton
-	HPG     *trace.HPG
-	HPGSol  *constprop.Result
-	HPGProf *bl.Profile
-}
-
-func (e *Engine) runQualified(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, m *Metrics) (*qualifiedBundle, error) {
-	a, err := runStage(ctx, AutomatonStage, fn.Name, m, AutomatonIn{Fn: fn, R: train.R, Hot: hot})
-	if err != nil {
-		return nil, err
-	}
-	h, err := runStage(ctx, TraceStage, fn.Name, m, TraceIn{Fn: fn, Auto: a})
-	if err != nil {
-		return nil, err
-	}
-	sol, err := runStage(ctx, AnalyzeStage, fn.Name, m, AnalyzeIn{G: h.G, NumVars: fn.NumVars()})
-	if err != nil {
-		return nil, err
-	}
-	hp, err := runStage(ctx, TranslateStage, fn.Name, m, TranslateIn{Prof: train, Orig: fn.G, Overlay: h})
-	if err != nil {
-		return nil, err
-	}
-	return &qualifiedBundle{Auto: a, HPG: h, HPGSol: sol, HPGProf: hp}, nil
-}
-
-// reduced computes (or fetches) the reduced HPG and its solution.
-func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, q *qualifiedBundle, cr float64, m *Metrics) (ReduceOut, error) {
-	in := ReduceIn{HPG: q.HPG, Sol: q.HPGSol, Prof: q.HPGProf, CR: cr, NumVars: fn.NumVars()}
+// traceStage computes (or fetches) the Holley-Rosen traced HPG. Its
+// slice includes block bodies (the HPG copies them into its nodes), so
+// a body edit recomputes it; the decode attaches the stored graph
+// structure to the live function and automaton via trace.Assemble.
+func (e *Engine) traceStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, a *automaton.Automaton, m *Metrics) (*trace.HPG, error) {
+	in := TraceIn{Fn: fn, Auto: a}
 	if e.cache == nil {
-		return runStage(ctx, ReduceStage, fn.Name, m, in)
+		return runStage(ctx, TraceStage, fn.Name, m, in)
 	}
-	key := cacheKey{
-		kind: kindReduced,
-		fn:   e.cache.funcFP(fn),
-		prof: e.cache.profileFP(train),
-		hot:  FingerprintHot(hot),
-		knob: knobBits(cr),
-	}
-	ops := e.diskOps(key, diskcache.KindReduced,
-		func(v any, cost map[StageName]time.Duration) []byte {
-			r := v.(ReduceOut)
-			return diskcache.EncodeReduced(costsToDisk(cost), r.Red, r.RedSol)
+	key := e.cache.keyTrace(fn, train, hot)
+	ops := e.diskOps(ctx, key, diskcache.KindTrace,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeTrace(meta, v.(*trace.HPG))
 		},
 		func(data []byte) (any, map[StageName]time.Duration, error) {
-			dc, red, sol, err := diskcache.DecodeReduced(data, q.HPG)
+			meta, h, err := diskcache.DecodeTrace(data, fn, a)
 			if err != nil {
 				return nil, nil, err
 			}
-			return ReduceOut{Red: red, RedSol: sol}, costsFromDisk(dc), nil
+			return h, costsFromDisk(meta.Costs), nil
 		})
-	v, cost, src, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		h, err := runStage(ctx, TraceStage, fn.Name, mm, in)
+		return h, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, src, dec)
+	return v.(*trace.HPG), nil
+}
+
+// analyzeStage computes (or fetches) the Wegman-Zadek solution on the
+// HPG. Pure chain key: its only input is the trace stage's output.
+func (e *Engine) analyzeStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: h.G, NumVars: fn.NumVars()}
+	if e.cache == nil {
+		return runStage(ctx, AnalyzeStage, fn.Name, m, in)
+	}
+	key := e.cache.keyAnalyze(fn, train, hot)
+	ops := e.diskOps(ctx, key, diskcache.KindAnalyze,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeAnalyze(meta, v.(*constprop.Result))
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			meta, sol, err := diskcache.DecodeAnalyze(data, h.G, fn.NumVars())
+			if err != nil {
+				return nil, nil, err
+			}
+			return sol, costsFromDisk(meta.Costs), nil
+		})
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		sol, err := runStage(ctx, AnalyzeStage, fn.Name, mm, in)
+		return sol, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, src, dec)
+	return v.(*constprop.Result), nil
+}
+
+// translateStage computes (or fetches) the training profile translated
+// onto the HPG (Lemma 2). Its slice is shape + profile but *not* block
+// bodies: an HPG's node/edge structure depends only on the CFG shape
+// and the automaton, so a body-only edit replays the translation onto
+// the freshly traced (body-updated) HPG — the stored bundle's edge IDs
+// still line up.
+func (e *Engine) translateStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, m *Metrics) (*bl.Profile, error) {
+	in := TranslateIn{Prof: train, Orig: fn.G, Overlay: h}
+	if e.cache == nil {
+		return runStage(ctx, TranslateStage, fn.Name, m, in)
+	}
+	key := e.cache.keyTranslate(fn, train, hot)
+	ops := e.diskOps(ctx, key, diskcache.KindTranslate,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeTranslate(meta, v.(*bl.Profile))
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			meta, hp, err := diskcache.DecodeTranslate(data, h.G)
+			if err != nil {
+				return nil, nil, err
+			}
+			return hp, costsFromDisk(meta.Costs), nil
+		})
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		hp, err := runStage(ctx, TranslateStage, fn.Name, mm, in)
+		return hp, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, src, dec)
+	return v.(*bl.Profile), nil
+}
+
+// reduced computes (or fetches) the reduced HPG and its solution. Pure
+// chain key over the analyze and translate stages plus the CR knob.
+func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, hsol *constprop.Result, hprof *bl.Profile, cr float64, m *Metrics) (ReduceOut, error) {
+	in := ReduceIn{HPG: h, Sol: hsol, Prof: hprof, CR: cr, NumVars: fn.NumVars()}
+	if e.cache == nil {
+		return runStage(ctx, ReduceStage, fn.Name, m, in)
+	}
+	key := e.cache.keyReduce(fn, train, hot, cr)
+	ops := e.diskOps(ctx, key, diskcache.KindReduced,
+		func(v any, meta diskcache.Meta) []byte {
+			r := v.(ReduceOut)
+			return diskcache.EncodeReduced(meta, r.Red, r.RedSol)
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			meta, red, sol, err := diskcache.DecodeReduced(data, h)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ReduceOut{Red: red, RedSol: sol}, costsFromDisk(meta.Costs), nil
+		})
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
 		mm := NewMetrics()
 		r, err := runStage(ctx, ReduceStage, fn.Name, mm, in)
 		return r, costs(mm), err
@@ -454,7 +535,7 @@ func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, h
 	if err != nil {
 		return ReduceOut{}, err
 	}
-	m.merge(cost, src)
+	m.merge(cost, src, dec)
 	return v.(ReduceOut), nil
 }
 
@@ -468,17 +549,21 @@ func costs(m *Metrics) map[StageName]time.Duration {
 
 // diskOps assembles the persistent-tier plumbing for one cache key, or
 // returns nil when no disk tier is attached. The disk key reuses the
-// in-memory key's fingerprints so the two tiers always agree on
-// identity.
-func (e *Engine) diskOps(key cacheKey, kind diskcache.Kind,
-	encode func(v any, cost map[StageName]time.Duration) []byte,
+// in-memory key's (slice, chain, knob) fingerprints so the two tiers
+// always agree on identity, and every write is stamped with the
+// context's delta class (WithDeltaClass) as provenance.
+func (e *Engine) diskOps(ctx context.Context, key cacheKey, kind diskcache.Kind,
+	encode func(v any, meta diskcache.Meta) []byte,
 	decode func(data []byte) (any, map[StageName]time.Duration, error)) *diskOps {
 	if e.cache == nil || e.cache.disk == nil {
 		return nil
 	}
+	class := deltaClassFrom(ctx)
 	return &diskOps{
-		key:    diskcache.Key{Kind: kind, Fn: key.fn, Prof: key.prof, Hot: key.hot, Knob: key.knob},
-		encode: encode,
+		key: diskcache.Key{Kind: kind, Slice: key.slice, Chain: key.chain, Knob: key.knob},
+		encode: func(v any, cost map[StageName]time.Duration) []byte {
+			return encode(v, diskcache.Meta{Costs: costsToDisk(cost), Class: class})
+		},
 		decode: decode,
 	}
 }

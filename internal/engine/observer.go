@@ -20,6 +20,11 @@ type StageEvent struct {
 	Func     string
 	Stage    StageName
 	Duration time.Duration
+	// Decode is the wall-clock spent decoding the artifact from the
+	// persistent tier — nonzero only when Source is SourceDisk, and kept
+	// separate from Duration (the stored compute cost) so replay
+	// observers never conflate the two.
+	Decode time.Duration
 	// Cached reports service from either cache tier; Source says which
 	// (computed, memory or disk).
 	Cached bool
@@ -51,8 +56,8 @@ func stageObserver(ctx context.Context) func(StageEvent) {
 func newMetrics(ctx context.Context, fname string) *Metrics {
 	m := NewMetrics()
 	if obs := stageObserver(ctx); obs != nil {
-		m.observe = func(s StageName, d time.Duration, src Provenance) {
-			obs(StageEvent{Func: fname, Stage: s, Duration: d, Cached: src.Cached(), Source: src})
+		m.observe = func(s StageName, d, decode time.Duration, src Provenance) {
+			obs(StageEvent{Func: fname, Stage: s, Duration: d, Decode: decode, Cached: src.Cached(), Source: src})
 		}
 	}
 	return m

@@ -54,6 +54,12 @@ var StageOrder = []StageName{
 	StageLiveness, StageAvailExpr, StageCheck,
 }
 
+// PipelineStages is the prefix of StageOrder that forms the cached
+// qualification pipeline — the stages with per-stage Merkle cache keys,
+// and the domain of Delta's dirty-set prediction. Clients and the check
+// oracle are excluded (memory-tier-only and uncached respectively).
+var PipelineStages = StageOrder[:7]
+
 // StageError is the structured error every pipeline failure is wrapped
 // in: it names the owning stage and the function being analyzed, and
 // unwraps to the underlying cause (including context.Canceled when a
@@ -88,7 +94,7 @@ func runStage[In, Out any](ctx context.Context, st Stage[In, Out], fname string,
 	}
 	t0 := time.Now()
 	out, err := st.Run(in)
-	m.add(st.Name, time.Since(t0), SourceComputed)
+	m.add(st.Name, time.Since(t0), 0, SourceComputed)
 	if err != nil {
 		return zero, &StageError{Stage: st.Name, Func: fname, Err: err}
 	}
@@ -271,8 +277,15 @@ var CheckStage = Stage[CheckIn, []*oracle.Report]{
 type StageMetrics struct {
 	// Duration is the compute cost of the stage. For cache hits this is
 	// the stored cost of the run that produced the artifact, so cost
-	// ratios (Figure 12) stay meaningful under caching.
+	// ratios (Figure 12) stay meaningful under caching. Disk-decode time
+	// is never folded in — it lives in Decode — so incremental-replay
+	// numbers compare compute against compute.
 	Duration time.Duration
+	// Decode is the wall-clock spent decoding this stage's artifact from
+	// the persistent tier (zero unless DiskHits > 0, and zero for memory
+	// hits and fresh computes). It is the price actually paid for a
+	// replay, reported separately from the stored compute cost above.
+	Decode time.Duration
 	// Runs counts stage executions attributed to this result, including
 	// cache hits; CacheHits counts how many of them were served from
 	// either cache tier, and DiskHits how many of those were decoded
@@ -287,6 +300,10 @@ type StageMetrics struct {
 // Computed returns how many executions actually ran the stage.
 func (sm StageMetrics) Computed() int { return sm.Runs - sm.CacheHits }
 
+// DecodeNanos returns the disk-decode cost in nanoseconds (the unit the
+// serving layer exports).
+func (sm StageMetrics) DecodeNanos() int64 { return sm.Decode.Nanoseconds() }
+
 // Metrics generalizes the old ad-hoc Times struct: per-stage durations,
 // run/hit counts, and the actual wall-clock of the pipeline invocation.
 type Metrics struct {
@@ -300,15 +317,16 @@ type Metrics struct {
 	// merges alike. The cache's leader computes into a private Metrics
 	// with no observer and then merges, so each artifact is reported to
 	// each requester exactly once.
-	observe func(s StageName, d time.Duration, src Provenance)
+	observe func(s StageName, d, decode time.Duration, src Provenance)
 }
 
 // NewMetrics returns an empty metrics record.
 func NewMetrics() *Metrics { return &Metrics{Stages: map[StageName]StageMetrics{}} }
 
-func (m *Metrics) add(s StageName, d time.Duration, src Provenance) {
+func (m *Metrics) add(s StageName, d, decode time.Duration, src Provenance) {
 	sm := m.Stages[s]
 	sm.Duration += d
+	sm.Decode += decode
 	sm.Runs++
 	if src.Cached() {
 		sm.CacheHits++
@@ -318,15 +336,33 @@ func (m *Metrics) add(s StageName, d time.Duration, src Provenance) {
 	}
 	m.Stages[s] = sm
 	if m.observe != nil {
-		m.observe(s, d, src)
+		m.observe(s, d, decode, src)
 	}
 }
 
 // merge folds a recorded cost map into m, attributing every entry to the
-// given provenance.
-func (m *Metrics) merge(cost map[StageName]time.Duration, src Provenance) {
+// given provenance. decode is the wall-clock spent decoding the bundle
+// from the persistent tier (nonzero only for the leader of a disk hit);
+// it is attributed to the earliest pipeline stage present in cost — each
+// disk bundle carries exactly one pipeline stage, so in practice the
+// whole decode lands on the stage that owns the bundle and is never
+// folded into any stage's Duration.
+func (m *Metrics) merge(cost map[StageName]time.Duration, src Provenance, decode time.Duration) {
+	var decodeStage StageName
+	if decode > 0 {
+		for _, s := range StageOrder {
+			if _, ok := cost[s]; ok {
+				decodeStage = s
+				break
+			}
+		}
+	}
 	for s, d := range cost {
-		m.add(s, d, src)
+		if s == decodeStage {
+			m.add(s, d, decode, src)
+		} else {
+			m.add(s, d, 0, src)
+		}
 	}
 }
 

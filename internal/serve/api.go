@@ -215,11 +215,17 @@ func collectConsts(fr *engine.FuncResult) []ConstFact {
 // --- Job metrics ----------------------------------------------------------
 
 // StageStat is one stage's aggregate cost within a job. DiskHits counts
-// the subset of CacheHits decoded from the persistent tier.
+// the subset of CacheHits decoded from the persistent tier. Replayed
+// mirrors CacheHits under the incremental re-analysis vocabulary — the
+// stage was served from a cache tier instead of recomputed — and
+// DecodeMS is the disk-decode time those replays actually cost (never
+// folded into DurationMS, which stays the stored compute cost).
 type StageStat struct {
 	DurationMS float64 `json:"duration_ms"`
+	DecodeMS   float64 `json:"decode_ms,omitempty"`
 	Runs       int     `json:"runs"`
 	CacheHits  int     `json:"cache_hits"`
+	Replayed   int     `json:"replayed"`
 	DiskHits   int     `json:"disk_hits,omitempty"`
 }
 
@@ -278,6 +284,7 @@ type JobMetrics struct {
 	Stages         map[string]StageStat `json:"stages"`
 	StageRuns      int                  `json:"stage_runs"`
 	StageCacheHits int                  `json:"stage_cache_hits"`
+	StageReplayed  int                  `json:"stage_replayed"`
 	StageDiskHits  int                  `json:"stage_disk_hits,omitempty"`
 	EngineCache    CacheStatsJSON       `json:"engine_cache"`
 }
@@ -294,12 +301,15 @@ func (jm *JobMetrics) addProgram(res *engine.ProgramResult) {
 		for s, sm := range fr.Metrics.Stages {
 			st := jm.Stages[string(s)]
 			st.DurationMS += durMS(sm.Duration)
+			st.DecodeMS += durMS(sm.Decode)
 			st.Runs += sm.Runs
 			st.CacheHits += sm.CacheHits
+			st.Replayed += sm.CacheHits
 			st.DiskHits += sm.DiskHits
 			jm.Stages[string(s)] = st
 			jm.StageRuns += sm.Runs
 			jm.StageCacheHits += sm.CacheHits
+			jm.StageReplayed += sm.CacheHits
 			jm.StageDiskHits += sm.DiskHits
 		}
 	}

@@ -47,12 +47,18 @@ type Event struct {
 
 	// With type=stage: which function/stage, its compute cost, whether
 	// the artifact came from the shared cache, and its provenance
-	// ("computed", "memory" or "disk"). type=profile uses the same
-	// Duration/Cached fields for the training run.
+	// ("computed", "memory" or "disk"). Replayed mirrors Cached — the
+	// stage was served from a cache tier instead of recomputed (the
+	// incremental re-analysis vocabulary) — and DecodeMS is the
+	// disk-decode cost actually paid for it (nonzero only for source
+	// "disk", and never folded into DurationMS). type=profile uses the
+	// same Duration/Cached fields for the training run.
 	Func       string  `json:"func,omitempty"`
 	Stage      string  `json:"stage,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	DecodeMS   float64 `json:"decode_ms,omitempty"`
 	Cached     bool    `json:"cached,omitempty"`
+	Replayed   bool    `json:"replayed,omitempty"`
 	Source     string  `json:"source,omitempty"`
 
 	Error string `json:"error,omitempty"` // with type=end, failed/canceled

@@ -55,17 +55,21 @@ type serverMetrics struct {
 	stages        map[engine.StageName]*histogram
 	stageHits     map[engine.StageName]int64
 	stageDisk     map[engine.StageName]int64
+	stageReplayed map[engine.StageName]int64
+	stageDecode   map[engine.StageName]float64
 	profileRuns   int64
 	profileCached int64
 }
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
-		start:        time.Now(),
-		jobsFinished: map[JobState]int64{},
-		stages:       map[engine.StageName]*histogram{},
-		stageHits:    map[engine.StageName]int64{},
-		stageDisk:    map[engine.StageName]int64{},
+		start:         time.Now(),
+		jobsFinished:  map[JobState]int64{},
+		stages:        map[engine.StageName]*histogram{},
+		stageHits:     map[engine.StageName]int64{},
+		stageDisk:     map[engine.StageName]int64{},
+		stageReplayed: map[engine.StageName]int64{},
+		stageDecode:   map[engine.StageName]float64{},
 	}
 }
 
@@ -90,16 +94,21 @@ func (sm *serverMetrics) jobFinished(state JobState) {
 }
 
 // observeStage records one engine stage execution. Cache hits count
-// toward the hit counter but not the histogram — the histogram measures
-// compute actually performed by this process's engine, so hit-heavy
-// workloads show up as flat histograms and climbing hit counters.
+// toward the hit/replayed counters but not the histogram — the
+// histogram measures compute actually performed by this process's
+// engine, so hit-heavy workloads show up as flat histograms and
+// climbing hit counters. Disk replays additionally accumulate their
+// decode cost (the price actually paid for the replay, which the
+// engine keeps separate from the stage's stored compute cost).
 func (sm *serverMetrics) observeStage(ev engine.StageEvent) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	if ev.Cached {
 		sm.stageHits[ev.Stage]++
+		sm.stageReplayed[ev.Stage]++
 		if ev.Source == engine.SourceDisk {
 			sm.stageDisk[ev.Stage]++
+			sm.stageDecode[ev.Stage] += ev.Decode.Seconds()
 		}
 		return
 	}
@@ -229,6 +238,22 @@ func (sm *serverMetrics) render(w io.Writer, cache engine.CacheStats) {
 	for _, s := range engine.StageOrder {
 		if n, ok := sm.stageDisk[s]; ok {
 			fmt.Fprintf(w, "pathflow_stage_disk_hits_total{stage=%q} %d\n", string(s), n)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pathflow_stage_replayed_total Stage executions replayed from the artifact cache instead of recomputed (incremental re-analysis reuse).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_stage_replayed_total counter\n")
+	for _, s := range engine.StageOrder {
+		if n, ok := sm.stageReplayed[s]; ok {
+			fmt.Fprintf(w, "pathflow_stage_replayed_total{stage=%q} %d\n", string(s), n)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP pathflow_stage_decode_seconds_total Disk-decode time paid for replayed stages (kept separate from compute cost).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_stage_decode_seconds_total counter\n")
+	for _, s := range engine.StageOrder {
+		if v, ok := sm.stageDecode[s]; ok {
+			fmt.Fprintf(w, "pathflow_stage_decode_seconds_total{stage=%q} %g\n", string(s), v)
 		}
 	}
 

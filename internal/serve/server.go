@@ -306,7 +306,9 @@ func (s *Server) observer(job *Job, point int) func(engine.StageEvent) {
 			Func:       ev.Func,
 			Stage:      string(ev.Stage),
 			DurationMS: durMS(ev.Duration),
+			DecodeMS:   durMS(ev.Decode),
 			Cached:     ev.Cached,
+			Replayed:   ev.Cached,
 			Source:     ev.Source.String(),
 		})
 		if h := s.hookStage; h != nil {
