@@ -11,6 +11,7 @@ package pathflow
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"pathflow/internal/classify"
 	"pathflow/internal/constprop"
 	"pathflow/internal/core"
+	"pathflow/internal/dataflow/kernel"
 	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/profile"
@@ -636,5 +638,69 @@ func BenchmarkEngineIncremental(b *testing.B) {
 				analyzeAll(b, eng, mixed(k))
 			}
 		}
+	})
+}
+
+// BenchmarkAnalyzeKernels compares the boxed reference solver against
+// the packed SoA kernel on the largest analysis-tier HPGs of the suite
+// (the graphs `pathflow exp` actually solves). Three configurations:
+//
+//	boxed    one boxed constprop solve per graph per iteration
+//	packed   one packed solve per graph per iteration (includes domain
+//	         construction and solution materialization)
+//	resolve  Run() on pre-built packed solvers — the steady-state path
+//	         the engine's hot loop pays for; must report 0 allocs/op
+//	         (ci.sh greps for exactly that)
+func BenchmarkAnalyzeKernels(b *testing.B) {
+	ins := suite(b)
+	var graphs []bench.AnalyzeGraph
+	for _, in := range ins {
+		gs, err := bench.AnalyzeGraphs(benchCtx, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, gs...)
+	}
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].G.NumNodes() > graphs[j].G.NumNodes() })
+	if len(graphs) > 8 {
+		graphs = graphs[:8]
+	}
+	nodes := 0
+	for _, g := range graphs {
+		nodes += g.G.NumNodes()
+	}
+
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				constprop.Analyze(g.G, g.NumVars, true)
+			}
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				constprop.AnalyzePacked(g.G, g.NumVars, true)
+			}
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	})
+	b.Run("resolve", func(b *testing.B) {
+		solvers := make([]*kernel.Solver, len(graphs))
+		for i, g := range graphs {
+			solvers[i] = constprop.PackedSolver(g.G, g.NumVars, true)
+			solvers[i].Run() // warm: arenas sized before the timer starts
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range solvers {
+				s.Run()
+			}
+		}
+		b.ReportMetric(float64(nodes), "nodes")
 	})
 }

@@ -15,24 +15,33 @@
 #                           -race — the persistent diskcache store,
 #                           the core compat shim, the bench harness
 #                           memo, the serving layer's job manager +
-#                           streams), plus the new analysis clients and
+#                           streams), plus the analysis clients and
 #                           the oracle, which the engine runs from
 #                           pooled workers (liveness, availexpr,
-#                           dataflow/oracle)
+#                           dataflow/oracle) — and the solver layers
+#                           themselves (dataflow, dataflow/kernel,
+#                           constprop, intervals), whose packed-vs-boxed
+#                           differential tests then hold under -race
 #   6. fuzz smoke           10s of coverage-guided fuzzing per target
 #                           (FuzzDiskcacheCodec: corrupt cache files
 #                           never panic; FuzzDelta: dirty-set
-#                           predictions stay sound on random edits),
+#                           predictions stay sound on random edits;
+#                           FuzzKernelEquivalence: the packed arena
+#                           kernels match the boxed reference pointwise
+#                           on full pipeline runs over random programs),
 #                           seeded from testdata/fuzz corpora
-#   7. check smoke          `pathflow check` over examples/hotpath.pf
+#   7. kernel gate          BenchmarkAnalyzeKernels/resolve — the packed
+#                           solvers' steady-state Run() loop — must
+#                           report exactly 0 allocs/op (BENCH_kernels.json)
+#   8. check smoke          `pathflow check` over examples/hotpath.pf
 #                           and two benchmarks: the precision
 #                           differential oracle must report zero
 #                           violations (exit status is the gate)
-#   8. baseline smoke       end-to-end incremental re-analysis:
+#   9. baseline smoke       end-to-end incremental re-analysis:
 #                           `analyze -baseline` on a one-block constant
 #                           edit must classify the edited function as a
 #                           body delta and replay >= 3 of its stages
-#   9. serve smoke          end-to-end: start `pathflow serve` with a
+#  10. serve smoke          end-to-end: start `pathflow serve` with a
 #                           persistent -cachedir on an ephemeral port,
 #                           run one analyze round-trip over HTTP, check
 #                           /healthz, SIGINT-drain it — then restart the
@@ -62,14 +71,28 @@ go test ./...
 
 echo "== race"
 go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
-    ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/
+    ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/ \
+    ./internal/dataflow/ ./internal/dataflow/kernel/ ./internal/constprop/ ./internal/intervals/
 
 echo "== fuzz smoke"
 # Short coverage-guided runs on top of the checked-in seed corpora: the
-# codec must treat arbitrary bytes as at worst a silent cache miss, and
-# Delta's dirty-set prediction must stay sound on random program edits.
+# codec must treat arbitrary bytes as at worst a silent cache miss,
+# Delta's dirty-set prediction must stay sound on random program edits,
+# and the packed kernels must stay pointwise identical to the boxed
+# reference across full pipeline runs.
 go test -run '^$' -fuzz '^FuzzDiskcacheCodec$' -fuzztime 10s ./internal/engine/diskcache/
 go test -run '^$' -fuzz '^FuzzDelta$' -fuzztime 10s ./internal/engine/
+go test -run '^$' -fuzz '^FuzzKernelEquivalence$' -fuzztime 10s ./internal/engine/
+
+echo "== kernel gate"
+# The packed kernels' steady-state loop must be allocation-free: every
+# Run() on a pre-built solver re-solves entirely inside the arena. The
+# resolve configuration must report exactly 0 allocs/op; any regression
+# (an escaping row, a resized slice) fails the build.
+kernels=$(go test -run '^$' -bench '^BenchmarkAnalyzeKernels$' -benchmem -benchtime 20x .)
+echo "$kernels"
+echo "$kernels" | grep -Eq 'AnalyzeKernels/resolve.*[^0-9]0 B/op[[:space:]]+0 allocs/op' || {
+    echo "kernel gate: resolve path is not allocation-free" >&2; exit 1; }
 
 tmpdir=$(mktemp -d)
 cleanup() {

@@ -88,6 +88,10 @@ func main() {
 		if errors.As(err, &uc) {
 			fmt.Fprintln(os.Stderr, "pathflow:", uc.Hint())
 		}
+		var uk *engine.UnknownKernelError
+		if errors.As(err, &uk) {
+			fmt.Fprintln(os.Stderr, "pathflow:", uk.Hint())
+		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "pathflow: interrupted")
 			os.Exit(130)
@@ -111,7 +115,7 @@ commands:
   opt     <bench>|-src f [...]   optimize and compare modeled run time
   check   <bench>|-src f [...]   run the precision differential oracle
                                  (every client, every graph tier)
-  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all>
+  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|all>
                                  regenerate the paper's tables and figures
   serve   [-addr host:port] [...] run the long-running analysis service
                                  (shared artifact cache, job manager,
@@ -285,6 +289,7 @@ func cmdAnalyze(args []string) error {
 	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
 	clientsFlag := fs.String("clients", "none", "extra data-flow clients to run: none, liveness, availexpr, all")
+	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels) or boxed (reference)")
 	verify := fs.Bool("verify", false, "run the precision differential oracle as a final stage")
 	baseFile := fs.String("baseline", "", "previous source version: warm the cache with its analysis, classify the edit per function, and report which stages replayed vs recomputed")
 	cflags := addCacheFlags(fs, "")
@@ -306,7 +311,11 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := engine.Options{CA: *ca, CR: *cr, Clients: clients, Verify: *verify}
+	kern, err := engine.ParseKernel(*kernelFlag)
+	if err != nil {
+		return err
+	}
+	o := engine.Options{CA: *ca, CR: *cr, Clients: clients, Verify: *verify, Kernel: kern}
 	if err := o.Validate(); err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 
 	"pathflow/internal/cfg"
 	"pathflow/internal/dataflow"
+	"pathflow/internal/dataflow/kernel"
 	"pathflow/internal/ir"
 )
 
@@ -59,22 +60,23 @@ func exprOf(in *ir.Instr) (Expr, bool) {
 // universe built from a function's original CFG is shared by the CFG,
 // HPG and rHPG runs (hot-path duplication copies instructions, never
 // invents them), which keeps the three solutions directly comparable —
-// a requirement of the differential oracle.
+// a requirement of the differential oracle. Expression numbering is a
+// per-function kernel.Interner: the dense IDs double as bit positions
+// in both the boxed Set and the packed arena rows.
 type Universe struct {
 	Exprs   []Expr
-	index   map[Expr]int
+	intern  *kernel.Interner[Expr]
 	useMask []Set // per register: expressions that read it
 	words   int
 }
 
 // NewUniverse scans g and numbers its expressions.
 func NewUniverse(g *cfg.Graph, numVars int) *Universe {
-	u := &Universe{index: make(map[Expr]int)}
+	u := &Universe{intern: kernel.NewInterner[Expr]()}
 	for _, nd := range g.Nodes {
 		for i := range nd.Instrs {
 			if e, ok := exprOf(&nd.Instrs[i]); ok {
-				if _, seen := u.index[e]; !seen {
-					u.index[e] = len(u.Exprs)
+				if u.intern.Intern(e) == len(u.Exprs) {
 					u.Exprs = append(u.Exprs, e)
 				}
 			}
@@ -99,12 +101,7 @@ func (u *Universe) Size() int { return len(u.Exprs) }
 
 // Index returns the number of expression e, or -1 if e is not in the
 // universe.
-func (u *Universe) Index(e Expr) int {
-	if i, ok := u.index[e]; ok {
-		return i
-	}
-	return -1
-}
+func (u *Universe) Index(e Expr) int { return u.intern.Lookup(e) }
 
 // Set is a bit set over the universe's expressions.
 type Set []uint64

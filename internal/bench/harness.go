@@ -9,6 +9,7 @@ import (
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/classify"
+	"pathflow/internal/dataflow"
 	"pathflow/internal/engine"
 	"pathflow/internal/interp"
 	"pathflow/internal/machine"
@@ -34,6 +35,12 @@ func DefaultEngine() *engine.Engine {
 type Instance struct {
 	B   *Benchmark
 	Eng *engine.Engine
+
+	// Kernel selects the data-flow solver backend every analysis this
+	// instance runs uses (zero value: the packed arena kernels). Set it
+	// before the first Analyze call — it participates in the memo key,
+	// but both backends produce identical results by contract.
+	Kernel dataflow.Kernel
 
 	Prog *cfg.Program
 	// Train and Ref are the path profiles of the train and ref runs.
@@ -84,7 +91,8 @@ func Load(b *Benchmark, eng *engine.Engine) (*Instance, error) {
 
 // Analyze runs (or returns the memoized) pipeline at the given options.
 func (in *Instance) Analyze(ctx context.Context, o engine.Options) (*engine.ProgramResult, error) {
-	key := fmt.Sprintf("%.6f/%.6f/%d/%t", o.CA, o.CR, o.Clients, o.Verify)
+	o.Kernel = in.Kernel
+	key := fmt.Sprintf("%.6f/%.6f/%d/%t/%s", o.CA, o.CR, o.Clients, o.Verify, o.Kernel)
 	in.mu.Lock()
 	if r, ok := in.analyses[key]; ok {
 		in.mu.Unlock()

@@ -1,0 +1,165 @@
+package constprop
+
+import (
+	"pathflow/internal/cfg"
+	"pathflow/internal/dataflow"
+	"pathflow/internal/dataflow/kernel"
+	"pathflow/internal/ir"
+)
+
+// packedDomain is the SoA kernel for the constant lattice: environments
+// live as rows of a (kind []uint8, val []int64) arena instead of boxed
+// []Value slices. Cells are kept normalized (val = 0 unless Const), so
+// raw cell comparison is exactly Env.Equal.
+type packedDomain struct {
+	g           *cfg.Graph
+	conditional bool
+	cells       *kernel.KV
+}
+
+const (
+	pkTop    = uint8(Top)
+	pkConst  = uint8(Const)
+	pkBottom = uint8(Bottom)
+)
+
+func (d *packedDomain) Direction() dataflow.Direction { return dataflow.Forward }
+func (d *packedDomain) Grow(rows int)                 { d.cells.Grow(rows) }
+func (d *packedDomain) Boundary(dst int)              { d.cells.Fill(dst, pkBottom) }
+func (d *packedDomain) Copy(dst, src int)             { d.cells.Copy(dst, src) }
+func (d *packedDomain) Equal(a, b int) bool           { return d.cells.Equal(a, b) }
+
+// Meet folds src into dst pointwise (Value.Meet over normalized cells).
+func (d *packedDomain) Meet(dst, src int) bool {
+	dk, dv := d.cells.Row(dst)
+	sk, sv := d.cells.Row(src)
+	changed := false
+	for i := range dk {
+		k, v := meetCell(dk[i], dv[i], sk[i], sv[i])
+		if k != dk[i] || v != dv[i] {
+			dk[i], dv[i] = k, v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func meetCell(ak uint8, av int64, bk uint8, bv int64) (uint8, int64) {
+	switch {
+	case ak == pkTop:
+		return bk, bv
+	case bk == pkTop:
+		return ak, av
+	case ak == pkBottom || bk == pkBottom:
+		return pkBottom, 0
+	case av == bv:
+		return ak, av
+	default:
+		return pkBottom, 0
+	}
+}
+
+// evalCell is EvalInstr over SoA cells.
+func evalCell(in *ir.Instr, k []uint8, v []int64) (uint8, int64) {
+	switch {
+	case in.Op == ir.Const:
+		return pkConst, in.K
+	case in.Op.Opaque() || in.Op == ir.Print || in.Op == ir.Nop:
+		return pkBottom, 0
+	case in.Op.IsUnary():
+		switch k[in.A] {
+		case pkConst:
+			return pkConst, ir.EvalUn(in.Op, v[in.A])
+		case pkTop:
+			return pkTop, 0
+		}
+		return pkBottom, 0
+	case in.Op.IsBinary():
+		ak, bk := k[in.A], k[in.B]
+		if ak == pkConst && bk == pkConst {
+			return pkConst, ir.EvalBin(in.Op, v[in.A], v[in.B])
+		}
+		if ak == pkBottom || bk == pkBottom {
+			return pkBottom, 0
+		}
+		return pkTop, 0
+	}
+	return pkBottom, 0
+}
+
+// Transfer symbolically executes the block in scratch row 0 and marks
+// the executable out-edges — the Wegman-Zadek dispatch of the boxed
+// Transfer, without the Env clones (both branch legs share the scratch
+// row; the solver copies on delivery).
+func (d *packedDomain) Transfer(n cfg.NodeID, in, scratch int, slots []int8) {
+	d.cells.Copy(scratch, in)
+	k, v := d.cells.Row(scratch)
+	nd := d.g.Node(n)
+	for i := range nd.Instrs {
+		ins := &nd.Instrs[i]
+		ck, cv := evalCell(ins, k, v)
+		if ins.HasDst() {
+			k[ins.Dst], v[ins.Dst] = ck, cv
+		}
+	}
+	switch nd.Kind {
+	case cfg.TermJump, cfg.TermReturn:
+		slots[0] = 0
+	case cfg.TermBranch:
+		if !d.conditional {
+			slots[0], slots[1] = 0, 0
+			return
+		}
+		switch k[nd.Cond] {
+		case pkTop:
+			// No evidence about the condition yet: neither leg is
+			// known executable (optimistic).
+		case pkConst:
+			if v[nd.Cond] != 0 {
+				slots[0] = 0
+			} else {
+				slots[1] = 0
+			}
+		default:
+			slots[0], slots[1] = 0, 0
+		}
+	case cfg.TermHalt:
+		// no successors
+	}
+}
+
+// env boxes row r into a standard Env.
+func (d *packedDomain) env(r int) Env {
+	k, v := d.cells.Row(r)
+	e := make(Env, len(k))
+	for i := range k {
+		e[i] = Value{Kind: Kind(k[i]), K: v[i]}
+	}
+	return e
+}
+
+// PackedSolver builds a reusable kernel solver for constant propagation
+// over g: every Run() re-solves from scratch without allocating. The
+// allocs-per-op gate in ci.sh benchmarks exactly this entry point;
+// AnalyzePacked wraps it for one-shot use.
+func PackedSolver(g *cfg.Graph, numVars int, conditional bool) *kernel.Solver {
+	d := &packedDomain{g: g, conditional: conditional, cells: kernel.NewKV(numVars)}
+	return kernel.NewSolver(g, d)
+}
+
+// AnalyzePacked runs constant propagation on the packed SoA kernel. The
+// solution is pointwise equal to Analyze's, iteration counts included.
+func AnalyzePacked(g *cfg.Graph, numVars int, conditional bool) *Result {
+	d := &packedDomain{g: g, conditional: conditional, cells: kernel.NewKV(numVars)}
+	s := kernel.NewSolver(g, d)
+	s.Run()
+	return &Result{G: g, Sol: s.Materialize(func(row int) dataflow.Fact { return d.env(row) })}
+}
+
+// AnalyzeWith dispatches Analyze on the requested kernel backend.
+func AnalyzeWith(g *cfg.Graph, numVars int, conditional bool, k dataflow.Kernel) *Result {
+	if k == dataflow.KernelBoxed {
+		return Analyze(g, numVars, conditional)
+	}
+	return AnalyzePacked(g, numVars, conditional)
+}

@@ -1,0 +1,86 @@
+package dataflow_test
+
+// Allocation regression tests for the boxed solver's hoisted scratch:
+// the Transfer out-slot slice, the worklist ring buffer, and the
+// narrowing arena are all owned by the solver and reused across
+// iterations, so the solver's own allocation count must depend only on
+// the graph shape — never on how many iterations convergence takes.
+
+import (
+	"testing"
+
+	"pathflow/internal/cfg"
+	. "pathflow/internal/dataflow"
+)
+
+// countLoop is a max-lattice counting loop with no Widener: the body
+// increments until cap, so convergence takes Θ(cap) iterations. Facts
+// stay below 256, which the runtime boxes allocation-free — any
+// allocation growth would come from solver infrastructure.
+type countLoop struct {
+	h, b cfg.NodeID
+	cap  int
+}
+
+func (p *countLoop) Entry() Fact { return 0 }
+func (p *countLoop) Meet(a, b Fact) Fact {
+	if a.(int) > b.(int) {
+		return a
+	}
+	return b
+}
+func (p *countLoop) Equal(a, b Fact) bool { return a.(int) == b.(int) }
+func (p *countLoop) Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact) {
+	v := in.(int)
+	if n == p.b && v < p.cap {
+		v++
+	}
+	for i := range out {
+		out[i] = v
+	}
+}
+
+func TestSolveAllocsIndependentOfIterations(t *testing.T) {
+	solveAllocs := func(cap int) (allocs float64, iters int) {
+		g, h, b, _ := loopGraph(t)
+		p := &countLoop{h: h, b: b, cap: cap}
+		allocs = testing.AllocsPerRun(20, func() {
+			iters = Solve(g, p).Iterations
+		})
+		return allocs, iters
+	}
+	fewAllocs, fewIters := solveAllocs(10)
+	manyAllocs, manyIters := solveAllocs(200)
+	if manyIters <= fewIters {
+		t.Fatalf("iteration counts %d vs %d do not differ; test exercises nothing", fewIters, manyIters)
+	}
+	if fewAllocs != manyAllocs {
+		t.Errorf("allocations grew with iteration count: %.1f allocs at %d iterations, %.1f allocs at %d iterations",
+			fewAllocs, fewIters, manyAllocs, manyIters)
+	}
+}
+
+// TestSolveAllocsIndependentOfIterationsWidening repeats the check on
+// the widening/narrowing path: the widen sentinel and the narrow arena
+// must cost the same whether the loop converges early or late.
+func TestSolveAllocsIndependentOfIterationsWidening(t *testing.T) {
+	solveAllocs := func(cap, refine int) (allocs float64, iters int) {
+		g, h, b, _ := loopGraph(t)
+		p := &cappedLoop{h: h, b: b, cap: cap, refine: refine}
+		allocs = testing.AllocsPerRun(20, func() {
+			iters = Solve(g, p).Iterations
+		})
+		return allocs, iters
+	}
+	// Below the widening threshold convergence is cap-paced; both runs
+	// widen zero times, so the counts differ only in iterations.
+	fewAllocs, fewIters := solveAllocs(2, 200)
+	manyAllocs, manyIters := solveAllocs(WidenThreshold, 200)
+	if manyIters <= fewIters {
+		t.Fatalf("iteration counts %d vs %d do not differ; test exercises nothing", fewIters, manyIters)
+	}
+	if fewAllocs != manyAllocs {
+		t.Errorf("allocations grew with iteration count: %.1f allocs at %d iterations, %.1f allocs at %d iterations",
+			fewAllocs, fewIters, manyAllocs, manyIters)
+	}
+}

@@ -21,6 +21,12 @@
 // its predecessors, and iteration starts at the graph's exit. Everything
 // else (optimistic ⊤ start, per-edge executability, Widener hooks, the
 // narrowing passes, irreducibility tolerance) carries over unchanged.
+//
+// Two solver backends share this contract: the boxed reference path in
+// this file (facts as interface values) and the packed kernels under
+// dataflow/kernel (facts as rows of preallocated arenas). The boxed path
+// is the semantic reference; the kernels must reproduce its solutions —
+// including iteration counts — exactly.
 package dataflow
 
 import "pathflow/internal/cfg"
@@ -58,6 +64,30 @@ func DirectionOf(p Problem) Direction {
 		return d.Direction()
 	}
 	return Forward
+}
+
+// Kernel selects the fact representation a client analysis solves on.
+// Both backends compute identical solutions (the differential oracle and
+// FuzzKernelEquivalence enforce pointwise equality); they differ only in
+// memory layout and speed.
+type Kernel uint8
+
+const (
+	// KernelPacked solves on the allocation-free packed kernels
+	// (dataflow/kernel): bitset or struct-of-arrays arenas sized once
+	// per graph. The default.
+	KernelPacked Kernel = iota
+	// KernelBoxed solves on the boxed reference implementation in this
+	// package (facts as interface values).
+	KernelBoxed
+)
+
+// String returns "packed" or "boxed".
+func (k Kernel) String() string {
+	if k == KernelBoxed {
+		return "boxed"
+	}
+	return "packed"
 }
 
 // Fact is an element of the problem's lattice. Facts must be treated as
@@ -101,6 +131,7 @@ type Widener interface {
 // WidenThreshold is the number of per-node fact changes after which the
 // solver switches from Meet to Widen for widening problems. The small
 // constant trades a little precision for fast convergence, as usual.
+// Problems may override it via Tuner.
 const WidenThreshold = 4
 
 // NarrowingPasses is the number of decreasing re-iterations run after a
@@ -108,8 +139,66 @@ const WidenThreshold = 4
 // its executable predecessors, recovering precision the widening
 // overshot (bounds that a loop exit actually limits). Starting from a
 // sound post-fixpoint, re-application of monotone transfers stays sound,
-// and the fixed pass count bounds the work.
+// and the fixed pass count bounds the work. Problems may override it via
+// Tuner.
 const NarrowingPasses = 2
+
+// Tuner is optionally implemented by widening problems to override the
+// package defaults for the widening threshold and narrowing pass count.
+// Both solver backends (boxed and kernel) consult the same interface, so
+// an override keeps the two paths pointwise equal.
+type Tuner interface {
+	// WidenThreshold returns the per-node change count after which the
+	// solver widens instead of meeting. Negative values select the
+	// package default.
+	WidenThreshold() int
+	// NarrowingPasses returns the number of decreasing re-iterations run
+	// after convergence. Negative values select the package default; 0
+	// disables narrowing.
+	NarrowingPasses() int
+}
+
+// Tuning is a ready-made Tuner for embedding into problem structs: a nil
+// *Tuning yields the package defaults, so `SomeProblem{Tuning: nil}`
+// costs nothing until a caller opts in.
+type Tuning struct {
+	// Threshold overrides WidenThreshold (negative = default).
+	Threshold int
+	// Passes overrides NarrowingPasses (negative = default).
+	Passes int
+}
+
+// WidenThreshold implements Tuner.
+func (t *Tuning) WidenThreshold() int {
+	if t == nil {
+		return WidenThreshold
+	}
+	return t.Threshold
+}
+
+// NarrowingPasses implements Tuner.
+func (t *Tuning) NarrowingPasses() int {
+	if t == nil {
+		return NarrowingPasses
+	}
+	return t.Passes
+}
+
+// TuningOf resolves the effective widening threshold and narrowing pass
+// count for p: the Tuner override when implemented (negative fields fall
+// back per-field), the package defaults otherwise.
+func TuningOf(p any) (threshold, passes int) {
+	threshold, passes = WidenThreshold, NarrowingPasses
+	if t, ok := p.(Tuner); ok {
+		if v := t.WidenThreshold(); v >= 0 {
+			threshold = v
+		}
+		if v := t.NarrowingPasses(); v >= 0 {
+			passes = v
+		}
+	}
+	return threshold, passes
+}
 
 // Solution is the result of Solve.
 type Solution struct {
@@ -133,57 +222,147 @@ type Solution struct {
 // Solve runs the worklist algorithm on g, dispatching on the problem's
 // declared direction.
 func Solve(g *cfg.Graph, p Problem) *Solution {
-	if DirectionOf(p) == Backward {
-		return solveBackward(g, p)
+	s := newSolver(g, p)
+	s.run()
+	if s.widener != nil {
+		s.narrow()
 	}
-	return solveForward(g, p)
+	return s.sol
 }
 
-func solveForward(g *cfg.Graph, p Problem) *Solution {
-	sol := &Solution{
-		In:             make([]Fact, g.NumNodes()),
-		Reached:        make([]bool, g.NumNodes()),
-		EdgeExecutable: make([]bool, g.NumEdges()),
+// solver owns all iteration state for one Solve: the FIFO worklist (a
+// ring buffer — each node is enqueued at most once, so NumNodes+1 slots
+// suffice), the per-Transfer out-slot scratch, and the narrowing-pass
+// arena. Everything is allocated once up front; the hot loop allocates
+// nothing beyond what the problem's own Meet/Transfer allocate.
+type solver struct {
+	g   *cfg.Graph
+	p   Problem
+	dir Direction
+	sol *Solution
+
+	widener           Widener
+	threshold, passes int
+
+	inQueue      []bool
+	queue        []cfg.NodeID // ring buffer
+	qhead, qtail int
+
+	out []Fact // Transfer out-slot scratch, reused across iterations
+
+	// Widening / narrowing state (nil unless p implements Widener).
+	changes []int
+	widenAt []bool
+	dfs     *cfg.DFS
+	// Narrowing-pass cache of recomputed out-facts, one slot per edge
+	// (an edge belongs to exactly one node's slot list per direction),
+	// with per-node validity — hoisted here so repeated passes reuse
+	// the arena instead of reallocating per pass.
+	outFacts []Fact
+	outValid []bool
+}
+
+func newSolver(g *cfg.Graph, p Problem) *solver {
+	s := &solver{
+		g:   g,
+		p:   p,
+		dir: DirectionOf(p),
+		sol: &Solution{
+			In:             make([]Fact, g.NumNodes()),
+			Reached:        make([]bool, g.NumNodes()),
+			EdgeExecutable: make([]bool, g.NumEdges()),
+		},
+		inQueue: make([]bool, g.NumNodes()),
+		queue:   make([]cfg.NodeID, g.NumNodes()+1),
 	}
-	inQueue := make([]bool, g.NumNodes())
-	queue := make([]cfg.NodeID, 0, g.NumNodes())
-	push := func(n cfg.NodeID) {
-		if !inQueue[n] {
-			inQueue[n] = true
-			queue = append(queue, n)
-		}
-	}
-	widener, _ := p.(Widener)
-	var changes []int
-	var widenAt []bool
-	if widener != nil {
-		changes = make([]int, g.NumNodes())
+	s.sol.Direction = s.dir
+	s.widener, _ = p.(Widener)
+	if s.widener != nil {
+		s.threshold, s.passes = TuningOf(p)
+		s.changes = make([]int, g.NumNodes())
 		// Widen only at loop heads (targets of retreating edges):
-		// widening elsewhere needlessly destroys precision that
-		// branch refinement just established.
-		widenAt = make([]bool, g.NumNodes())
-		dfs := g.DepthFirst()
-		for e := range dfs.Retreating {
-			widenAt[g.Edge(e).To] = true
+		// widening elsewhere needlessly destroys precision that branch
+		// refinement just established. In the backward orientation facts
+		// cycle around a loop in the reverse direction, so the node that
+		// accumulates repeated merges is the *source* of a retreating
+		// edge (the latch), not its target. Every cycle contains a
+		// retreating edge, so widening there still cuts every infinite
+		// descent.
+		s.widenAt = make([]bool, g.NumNodes())
+		s.dfs = g.DepthFirst()
+		for e := range s.dfs.Retreating {
+			if s.dir == Backward {
+				s.widenAt[g.Edge(e).From] = true
+			} else {
+				s.widenAt[g.Edge(e).To] = true
+			}
 		}
 	}
+	return s
+}
 
-	sol.In[g.Entry] = p.Entry()
-	sol.Reached[g.Entry] = true
-	push(g.Entry)
+func (s *solver) push(n cfg.NodeID) {
+	if !s.inQueue[n] {
+		s.inQueue[n] = true
+		s.queue[s.qtail] = n
+		s.qtail++
+		if s.qtail == len(s.queue) {
+			s.qtail = 0
+		}
+	}
+}
 
-	var out []Fact
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		inQueue[n] = false
+func (s *solver) pop() cfg.NodeID {
+	n := s.queue[s.qhead]
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.qhead = 0
+	}
+	s.inQueue[n] = false
+	return n
+}
+
+// edgesOf returns the edges node facts leave through: out-edges forward,
+// in-edges backward.
+func (s *solver) edgesOf(nd *cfg.Node) []cfg.EdgeID {
+	if s.dir == Backward {
+		return nd.In
+	}
+	return nd.Out
+}
+
+// headOf returns the node a fact delivered along e is merged into.
+func (s *solver) headOf(e *cfg.Edge) cfg.NodeID {
+	if s.dir == Backward {
+		return e.From
+	}
+	return e.To
+}
+
+// run is the chaotic worklist iteration, shared by both orientations:
+// iteration starts at entry (exit backward) with p.Entry(), Transfer
+// fills one slot per departing edge, and each delivered fact is merged
+// into the node at the far end.
+func (s *solver) run() {
+	g, p, sol := s.g, s.p, s.sol
+	start := g.Entry
+	if s.dir == Backward {
+		start = g.Exit
+	}
+	sol.In[start] = p.Entry()
+	sol.Reached[start] = true
+	s.push(start)
+
+	for s.qhead != s.qtail {
+		n := s.pop()
 		sol.Iterations++
 
 		nd := g.Node(n)
-		if cap(out) < len(nd.Out) {
-			out = make([]Fact, len(nd.Out))
+		edges := s.edgesOf(nd)
+		if cap(s.out) < len(edges) {
+			s.out = make([]Fact, len(edges))
 		}
-		out = out[:len(nd.Out)]
+		out := s.out[:len(edges)]
 		for i := range out {
 			out[i] = nil
 		}
@@ -192,63 +371,99 @@ func solveForward(g *cfg.Graph, p Problem) *Solution {
 			if f == nil {
 				continue
 			}
-			eid := nd.Out[slot]
+			eid := edges[slot]
 			sol.EdgeExecutable[eid] = true
-			to := g.Edge(eid).To
+			to := s.headOf(g.Edge(eid))
 			if !sol.Reached[to] {
 				sol.Reached[to] = true
 				sol.In[to] = f
-				push(to)
+				s.push(to)
 				continue
 			}
 			merged := p.Meet(sol.In[to], f)
 			if !p.Equal(merged, sol.In[to]) {
-				if widener != nil && widenAt[to] {
-					changes[to]++
-					if changes[to] > WidenThreshold {
-						merged = widener.Widen(sol.In[to], merged)
+				if s.widener != nil && s.widenAt[to] {
+					s.changes[to]++
+					if s.changes[to] > s.threshold {
+						merged = s.widener.Widen(sol.In[to], merged)
 					}
 				}
 				sol.In[to] = merged
-				push(to)
+				s.push(to)
 			}
 		}
 	}
-	if widener != nil {
-		narrow(g, p, sol)
-	}
-	return sol
 }
 
-// narrow runs NarrowingPasses decreasing re-iterations over the reached
-// nodes in reverse postorder, replacing (not accumulating) each node's
-// fact with the meet over its executable predecessors' current outputs.
-func narrow(g *cfg.Graph, p Problem, sol *Solution) {
-	dfs := g.DepthFirst()
-	for pass := 0; pass < NarrowingPasses; pass++ {
-		// Per-pass cache of recomputed out-facts per node.
-		outs := make([][]Fact, g.NumNodes())
-		outsOf := func(n cfg.NodeID) []Fact {
-			if outs[n] == nil {
-				nd := g.Node(n)
-				o := make([]Fact, len(nd.Out))
-				p.Transfer(g, n, sol.In[n], o)
-				outs[n] = o
-			}
-			return outs[n]
+// recomputeOuts refreshes the narrowing arena's out-facts for node n:
+// one Transfer into the shared scratch, then one arena slot per edge
+// (nil marks a withheld fact).
+func (s *solver) recomputeOuts(n cfg.NodeID) {
+	nd := s.g.Node(n)
+	edges := s.edgesOf(nd)
+	if cap(s.out) < len(edges) {
+		s.out = make([]Fact, len(edges))
+	}
+	out := s.out[:len(edges)]
+	for i := range out {
+		out[i] = nil
+	}
+	s.p.Transfer(s.g, n, s.sol.In[n], out)
+	for i, eid := range edges {
+		s.outFacts[eid] = out[i]
+	}
+	s.outValid[n] = true
+}
+
+// narrow runs the configured number of decreasing re-iterations over the
+// reached nodes in reverse postorder (reverse RPO backward, i.e.
+// approximately exit-first), replacing (not accumulating) each node's
+// fact with the meet over the facts its executable neighbors currently
+// deliver along the connecting edges. Out-facts are cached lazily per
+// node and invalidated when the node's own fact narrows.
+func (s *solver) narrow() {
+	g, p, sol := s.g, s.p, s.sol
+	if s.passes > 0 && s.outFacts == nil {
+		s.outFacts = make([]Fact, g.NumEdges())
+		s.outValid = make([]bool, g.NumNodes())
+	}
+	stop := g.Entry
+	if s.dir == Backward {
+		stop = g.Exit
+	}
+	order := s.dfs.RPOOrder
+	for pass := 0; pass < s.passes; pass++ {
+		for i := range s.outValid {
+			s.outValid[i] = false
 		}
-		for _, n := range dfs.RPOOrder {
-			if n == g.Entry || !sol.Reached[n] {
+		for idx := range order {
+			n := order[idx]
+			if s.dir == Backward {
+				n = order[len(order)-1-idx]
+			}
+			if n == stop || !sol.Reached[n] {
 				continue
 			}
 			sol.Iterations++
 			var acc Fact
-			for _, eid := range g.Node(n).In {
+			nd := g.Node(n)
+			arrivals := nd.In
+			if s.dir == Backward {
+				arrivals = nd.Out
+			}
+			for _, eid := range arrivals {
 				e := g.Edge(eid)
-				if !sol.Reached[e.From] {
+				src := e.From
+				if s.dir == Backward {
+					src = e.To
+				}
+				if !sol.Reached[src] {
 					continue
 				}
-				f := outsOf(e.From)[e.Slot]
+				if !s.outValid[src] {
+					s.recomputeOuts(src)
+				}
+				f := s.outFacts[eid]
 				if f == nil {
 					continue
 				}
@@ -261,152 +476,7 @@ func narrow(g *cfg.Graph, p Problem, sol *Solution) {
 			if acc != nil && !p.Equal(acc, sol.In[n]) {
 				sol.In[n] = acc
 				// The node's own cached outs are stale now.
-				outs[n] = nil
-			}
-		}
-	}
-}
-
-// solveBackward is the mirror image of solveForward: iteration starts at
-// g.Exit with p.Entry(), Transfer fills one slot per in-edge, and each
-// delivered fact is merged into the *source* node of that edge. The
-// chaotic worklist makes no reducibility assumption, so the solver is
-// safe on hot path graphs, whose backward structure is as irreducible as
-// their forward one.
-func solveBackward(g *cfg.Graph, p Problem) *Solution {
-	sol := &Solution{
-		In:             make([]Fact, g.NumNodes()),
-		Reached:        make([]bool, g.NumNodes()),
-		EdgeExecutable: make([]bool, g.NumEdges()),
-		Direction:      Backward,
-	}
-	inQueue := make([]bool, g.NumNodes())
-	queue := make([]cfg.NodeID, 0, g.NumNodes())
-	push := func(n cfg.NodeID) {
-		if !inQueue[n] {
-			inQueue[n] = true
-			queue = append(queue, n)
-		}
-	}
-	widener, _ := p.(Widener)
-	var changes []int
-	var widenAt []bool
-	if widener != nil {
-		changes = make([]int, g.NumNodes())
-		// In the backward orientation facts cycle around a loop in the
-		// reverse direction, so the node that accumulates repeated
-		// merges is the *source* of a retreating edge (the latch), not
-		// its target. Every cycle contains a retreating edge, so
-		// widening there still cuts every infinite descent.
-		widenAt = make([]bool, g.NumNodes())
-		dfs := g.DepthFirst()
-		for e := range dfs.Retreating {
-			widenAt[g.Edge(e).From] = true
-		}
-	}
-
-	sol.In[g.Exit] = p.Entry()
-	sol.Reached[g.Exit] = true
-	push(g.Exit)
-
-	var out []Fact
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		inQueue[n] = false
-		sol.Iterations++
-
-		nd := g.Node(n)
-		if cap(out) < len(nd.In) {
-			out = make([]Fact, len(nd.In))
-		}
-		out = out[:len(nd.In)]
-		for i := range out {
-			out[i] = nil
-		}
-		p.Transfer(g, n, sol.In[n], out)
-		for slot, f := range out {
-			if f == nil {
-				continue
-			}
-			eid := nd.In[slot]
-			sol.EdgeExecutable[eid] = true
-			from := g.Edge(eid).From
-			if !sol.Reached[from] {
-				sol.Reached[from] = true
-				sol.In[from] = f
-				push(from)
-				continue
-			}
-			merged := p.Meet(sol.In[from], f)
-			if !p.Equal(merged, sol.In[from]) {
-				if widener != nil && widenAt[from] {
-					changes[from]++
-					if changes[from] > WidenThreshold {
-						merged = widener.Widen(sol.In[from], merged)
-					}
-				}
-				sol.In[from] = merged
-				push(from)
-			}
-		}
-	}
-	if widener != nil {
-		narrowBackward(g, p, sol)
-	}
-	return sol
-}
-
-// narrowBackward runs NarrowingPasses decreasing re-iterations over the
-// reached nodes in *reverse* reverse-postorder (approximately exit-first
-// order), replacing each node's fact with the meet over the facts its
-// executable successors currently deliver along the connecting edges.
-func narrowBackward(g *cfg.Graph, p Problem, sol *Solution) {
-	dfs := g.DepthFirst()
-	// inSlot[e] is edge e's index within its target's In list — the slot
-	// the target's backward transfer writes for e.
-	inSlot := make([]int, g.NumEdges())
-	for n := 0; n < g.NumNodes(); n++ {
-		for i, eid := range g.Node(cfg.NodeID(n)).In {
-			inSlot[eid] = i
-		}
-	}
-	for pass := 0; pass < NarrowingPasses; pass++ {
-		outs := make([][]Fact, g.NumNodes())
-		outsOf := func(n cfg.NodeID) []Fact {
-			if outs[n] == nil {
-				nd := g.Node(n)
-				o := make([]Fact, len(nd.In))
-				p.Transfer(g, n, sol.In[n], o)
-				outs[n] = o
-			}
-			return outs[n]
-		}
-		for i := len(dfs.RPOOrder) - 1; i >= 0; i-- {
-			n := dfs.RPOOrder[i]
-			if n == g.Exit || !sol.Reached[n] {
-				continue
-			}
-			sol.Iterations++
-			var acc Fact
-			for _, eid := range g.Node(n).Out {
-				e := g.Edge(eid)
-				if !sol.Reached[e.To] {
-					continue
-				}
-				f := outsOf(e.To)[inSlot[eid]]
-				if f == nil {
-					continue
-				}
-				if acc == nil {
-					acc = f
-				} else {
-					acc = p.Meet(acc, f)
-				}
-			}
-			if acc != nil && !p.Equal(acc, sol.In[n]) {
-				sol.In[n] = acc
-				outs[n] = nil
+				s.outValid[n] = false
 			}
 		}
 	}

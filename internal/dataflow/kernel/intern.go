@@ -1,0 +1,41 @@
+package kernel
+
+// Interner assigns dense small-integer IDs to values of a comparable
+// key type, in first-seen order. Packed domains address their arenas by
+// these IDs: registers are already dense, but derived entities
+// (canonical expressions, value tokens) need a per-function numbering
+// before they can live in a bitset or SoA row.
+type Interner[K comparable] struct {
+	ids  map[K]int32
+	keys []K
+}
+
+// NewInterner returns an empty interner.
+func NewInterner[K comparable]() *Interner[K] {
+	return &Interner[K]{ids: make(map[K]int32)}
+}
+
+// Intern returns k's ID, assigning the next dense ID on first sight.
+func (it *Interner[K]) Intern(k K) int {
+	if id, ok := it.ids[k]; ok {
+		return int(id)
+	}
+	id := int32(len(it.keys))
+	it.ids[k] = id
+	it.keys = append(it.keys, k)
+	return int(id)
+}
+
+// Lookup returns k's ID, or -1 if k was never interned.
+func (it *Interner[K]) Lookup(k K) int {
+	if id, ok := it.ids[k]; ok {
+		return int(id)
+	}
+	return -1
+}
+
+// Len returns the number of interned keys.
+func (it *Interner[K]) Len() int { return len(it.keys) }
+
+// Key returns the key with ID id.
+func (it *Interner[K]) Key(id int) K { return it.keys[id] }

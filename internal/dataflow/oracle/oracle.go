@@ -130,3 +130,43 @@ func Check(client, graph string, lat Lattice, base, derived *dataflow.Solution, 
 // Identity is the trivial projection for comparing two solutions over
 // the same graph (e.g. conditional vs. plain constant propagation).
 func Identity(n cfg.NodeID) cfg.NodeID { return n }
+
+// Differential verifies that two solutions of the *same* problem over
+// the same graph are pointwise identical — the kernel-vs-boxed gate:
+// the packed arena kernels claim to change representation, not
+// semantics, and this check makes the claim falsifiable. Unlike Check,
+// which asserts an inequality (⊒) across graphs, Differential asserts
+// equality on one graph: reachability, per-edge executability, and
+// facts must all agree. Disagreements are reported as Violations
+// (reachability mismatches as KindReachability, fact or edge mismatches
+// as KindFact on the owning node).
+func Differential(client, graph string, lat Lattice, base, derived *dataflow.Solution) *Report {
+	rep := &Report{Client: client, Graph: graph}
+	for n := range base.In {
+		nid := cfg.NodeID(n)
+		if base.Reached[n] != derived.Reached[n] {
+			rep.Violations = append(rep.Violations, Violation{Node: nid, Orig: nid, Kind: KindReachability})
+			continue
+		}
+		if !base.Reached[n] {
+			continue
+		}
+		rep.Checked++
+		if !lat.Equal(base.In[n], derived.In[n]) {
+			rep.Violations = append(rep.Violations, Violation{Node: nid, Orig: nid, Kind: KindFact})
+		}
+	}
+	if base.Iterations != derived.Iterations {
+		// Iteration counts feed the paper's analysis-effort metrics;
+		// kernels must replicate the boxed schedule exactly. Attribute
+		// the mismatch to the entry-most node for lack of a better site.
+		rep.Violations = append(rep.Violations, Violation{Node: 0, Orig: 0, Kind: KindFact})
+	}
+	for e := range base.EdgeExecutable {
+		if base.EdgeExecutable[e] != derived.EdgeExecutable[e] {
+			rep.Violations = append(rep.Violations, Violation{Node: 0, Orig: 0, Kind: KindFact})
+			break
+		}
+	}
+	return rep
+}

@@ -37,6 +37,7 @@ import (
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow"
 	"pathflow/internal/engine/diskcache"
 	"pathflow/internal/interp"
 	"pathflow/internal/trace"
@@ -157,7 +158,7 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	start := time.Now()
 	nv := fn.NumVars()
 
-	sol, err := e.baseline(ctx, fn, m)
+	sol, err := e.baseline(ctx, fn, o.Kernel, m)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +168,7 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	// they are the baseline the HPG/rHPG tiers are compared against, and
 	// the only tier at CA = 0.
 	if o.Clients != 0 {
-		in := ClientIn{G: fn.G, NumVars: nv, Guide: sol.Sol}
+		in := ClientIn{G: fn.G, NumVars: nv, Guide: sol.Sol, Kernel: o.Kernel}
 		if o.Clients.Has(ClientAvailExpr) {
 			in.U = availexpr.NewUniverse(fn.G, nv)
 			res.AvailU = in.U
@@ -202,7 +203,7 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	if err != nil {
 		return nil, err
 	}
-	hsol, err := e.analyzeStage(ctx, fn, train, hot, h, m)
+	hsol, err := e.analyzeStage(ctx, fn, train, hot, h, o.Kernel, m)
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +213,14 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	}
 	res.Auto, res.HPG, res.HPGSol, res.HPGProf = a, h, hsol, hprof
 
-	r, err := e.reduced(ctx, fn, train, hot, h, hsol, hprof, o.CR, m)
+	r, err := e.reduced(ctx, fn, train, hot, h, hsol, hprof, o.CR, o.Kernel, m)
 	if err != nil {
 		return nil, err
 	}
 	res.Red, res.RedSol = r.Red, r.RedSol
 
 	if o.Clients != 0 {
-		in := ClientIn{G: h.G, NumVars: nv, Guide: hsol.Sol, U: res.AvailU}
+		in := ClientIn{G: h.G, NumVars: nv, Guide: hsol.Sol, U: res.AvailU, Kernel: o.Kernel}
 		co, err := e.clientTier(ctx, fn, func() cacheKey {
 			return cacheKey{kind: kindClientsHPG, chain: e.cache.keyAnalyze(fn, train, hot).digest()}
 		}, in, o.Clients, m)
@@ -228,7 +229,7 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 		}
 		res.LiveHPG, res.AvailHPG = co.Live, co.Avail
 
-		in = ClientIn{G: r.Red.G, NumVars: nv, Guide: r.RedSol.Sol, U: res.AvailU}
+		in = ClientIn{G: r.Red.G, NumVars: nv, Guide: r.RedSol.Sol, U: res.AvailU, Kernel: o.Kernel}
 		co, err = e.clientTier(ctx, fn, func() cacheKey {
 			return cacheKey{kind: kindClientsRed, chain: e.cache.keyReduce(fn, train, hot, o.CR).digest()}
 		}, in, o.Clients, m)
@@ -345,8 +346,8 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 }
 
 // baseline computes (or fetches) the CA = 0 Wegman-Zadek solution.
-func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, m *Metrics) (*constprop.Result, error) {
-	in := AnalyzeIn{G: fn.G, NumVars: fn.NumVars()}
+func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, kern dataflow.Kernel, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: fn.G, NumVars: fn.NumVars(), Kernel: kern}
 	if e.cache == nil {
 		return runStage(ctx, BaselineStage, fn.Name, m, in)
 	}
@@ -443,8 +444,8 @@ func (e *Engine) traceStage(ctx context.Context, fn *cfg.Func, train *bl.Profile
 
 // analyzeStage computes (or fetches) the Wegman-Zadek solution on the
 // HPG. Pure chain key: its only input is the trace stage's output.
-func (e *Engine) analyzeStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, m *Metrics) (*constprop.Result, error) {
-	in := AnalyzeIn{G: h.G, NumVars: fn.NumVars()}
+func (e *Engine) analyzeStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, kern dataflow.Kernel, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: h.G, NumVars: fn.NumVars(), Kernel: kern}
 	if e.cache == nil {
 		return runStage(ctx, AnalyzeStage, fn.Name, m, in)
 	}
@@ -509,8 +510,8 @@ func (e *Engine) translateStage(ctx context.Context, fn *cfg.Func, train *bl.Pro
 
 // reduced computes (or fetches) the reduced HPG and its solution. Pure
 // chain key over the analyze and translate stages plus the CR knob.
-func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, hsol *constprop.Result, hprof *bl.Profile, cr float64, m *Metrics) (ReduceOut, error) {
-	in := ReduceIn{HPG: h, Sol: hsol, Prof: hprof, CR: cr, NumVars: fn.NumVars()}
+func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, hsol *constprop.Result, hprof *bl.Profile, cr float64, kern dataflow.Kernel, m *Metrics) (ReduceOut, error) {
+	in := ReduceIn{HPG: h, Sol: hsol, Prof: hprof, CR: cr, NumVars: fn.NumVars(), Kernel: kern}
 	if e.cache == nil {
 		return runStage(ctx, ReduceStage, fn.Name, m, in)
 	}

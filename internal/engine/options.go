@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"pathflow/internal/dataflow"
 )
 
 // ClientSet selects which additional data-flow clients the pipeline
@@ -99,6 +101,14 @@ type Options struct {
 	// Any violation fails the pipeline with a StageError for the
 	// "check" stage.
 	Verify bool
+	// Kernel selects the data-flow solver backend for every client
+	// analysis the pipeline runs (constant propagation on all tiers,
+	// liveness, available expressions). The zero value is
+	// dataflow.KernelPacked — the allocation-free arena kernels;
+	// dataflow.KernelBoxed is the reference implementation, kept as an
+	// escape hatch and differential baseline. Both produce pointwise
+	// identical solutions, so the choice never enters cache keys.
+	Kernel dataflow.Kernel
 }
 
 // DefaultOptions returns the configuration the paper recommends after its
@@ -128,8 +138,9 @@ func (e *InvalidOptionsError) Hint() string {
 	return fmt.Sprintf("pass -%s a fraction between 0 and 1 (e.g. -%s %.2f)", f, f, 0.95)
 }
 
-// Validate checks that both knobs are real fractions in [0, 1]. It
-// returns a *InvalidOptionsError naming the first offending field.
+// Validate checks that both knobs are real fractions in [0, 1] and the
+// kernel selector names a known backend. It returns a
+// *InvalidOptionsError naming the first offending field.
 func (o Options) Validate() error {
 	if math.IsNaN(o.CA) || o.CA < 0 || o.CA > 1 {
 		return &InvalidOptionsError{Field: "CA", Value: o.CA}
@@ -137,5 +148,36 @@ func (o Options) Validate() error {
 	if math.IsNaN(o.CR) || o.CR < 0 || o.CR > 1 {
 		return &InvalidOptionsError{Field: "CR", Value: o.CR}
 	}
+	if o.Kernel > dataflow.KernelBoxed {
+		return &UnknownKernelError{Name: fmt.Sprintf("%d", o.Kernel)}
+	}
 	return nil
+}
+
+// UnknownKernelError reports an unrecognized kernel backend name passed
+// to ParseKernel (or an out-of-range Options.Kernel).
+type UnknownKernelError struct {
+	Name string
+}
+
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("engine: unknown dataflow kernel %q", e.Name)
+}
+
+// Hint returns the remediation line the CLI and serving layer surface.
+func (e *UnknownKernelError) Hint() string {
+	return "valid kernels: packed (default), boxed"
+}
+
+// ParseKernel parses a solver-backend name: "packed" (or the empty
+// string) for the arena kernels, "boxed" for the reference path.
+func ParseKernel(s string) (dataflow.Kernel, error) {
+	switch strings.TrimSpace(s) {
+	case "", "packed":
+		return dataflow.KernelPacked, nil
+	case "boxed":
+		return dataflow.KernelBoxed, nil
+	default:
+		return 0, &UnknownKernelError{Name: strings.TrimSpace(s)}
+	}
 }

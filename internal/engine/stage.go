@@ -124,9 +124,11 @@ type TraceIn struct {
 }
 
 // AnalyzeIn feeds Wegman-Zadek constant propagation (baseline and HPG).
+// Kernel selects the solver backend (packed arenas by default).
 type AnalyzeIn struct {
 	G       *cfg.Graph
 	NumVars int
+	Kernel  dataflow.Kernel
 }
 
 // TranslateIn feeds profile translation onto an overlay graph.
@@ -143,6 +145,7 @@ type ReduceIn struct {
 	Prof    *bl.Profile
 	CR      float64
 	NumVars int
+	Kernel  dataflow.Kernel
 }
 
 // ReduceOut is the reduction artifact: the quotient graph and its
@@ -163,6 +166,7 @@ type ClientIn struct {
 	NumVars int
 	Guide   *dataflow.Solution
 	U       *availexpr.Universe
+	Kernel  dataflow.Kernel
 }
 
 // ClientOut bundles one tier's client-analysis results (fields are nil
@@ -184,7 +188,7 @@ type CheckIn struct {
 var BaselineStage = Stage[AnalyzeIn, *constprop.Result]{
 	Name: StageBaseline,
 	Run: func(in AnalyzeIn) (*constprop.Result, error) {
-		return constprop.Analyze(in.G, in.NumVars, true), nil
+		return constprop.AnalyzeWith(in.G, in.NumVars, true, in.Kernel), nil
 	},
 }
 
@@ -218,7 +222,7 @@ var TraceStage = Stage[TraceIn, *trace.HPG]{
 var AnalyzeStage = Stage[AnalyzeIn, *constprop.Result]{
 	Name: StageAnalyze,
 	Run: func(in AnalyzeIn) (*constprop.Result, error) {
-		return constprop.Analyze(in.G, in.NumVars, true), nil
+		return constprop.AnalyzeWith(in.G, in.NumVars, true, in.Kernel), nil
 	},
 }
 
@@ -238,7 +242,7 @@ var ReduceStage = Stage[ReduceIn, ReduceOut]{
 		if err != nil {
 			return ReduceOut{}, err
 		}
-		return ReduceOut{Red: red, RedSol: constprop.Analyze(red.G, in.NumVars, true)}, nil
+		return ReduceOut{Red: red, RedSol: constprop.AnalyzeWith(red.G, in.NumVars, true, in.Kernel)}, nil
 	},
 }
 
@@ -247,7 +251,7 @@ var ReduceStage = Stage[ReduceIn, ReduceOut]{
 var LivenessStage = Stage[ClientIn, *liveness.Result]{
 	Name: StageLiveness,
 	Run: func(in ClientIn) (*liveness.Result, error) {
-		return liveness.Analyze(in.G, in.NumVars, in.Guide), nil
+		return liveness.AnalyzeWith(in.G, in.NumVars, in.Guide, in.Kernel), nil
 	},
 }
 
@@ -256,7 +260,7 @@ var LivenessStage = Stage[ClientIn, *liveness.Result]{
 var AvailExprStage = Stage[ClientIn, *availexpr.Result]{
 	Name: StageAvailExpr,
 	Run: func(in ClientIn) (*availexpr.Result, error) {
-		return availexpr.Analyze(in.G, in.U, in.Guide), nil
+		return availexpr.AnalyzeWith(in.G, in.U, in.Guide, in.Kernel), nil
 	},
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"pathflow/internal/bench"
 	"pathflow/internal/constprop"
+	"pathflow/internal/dataflow"
 	"pathflow/internal/engine"
 )
 
@@ -70,6 +71,12 @@ type OptionsSpec struct {
 	// Verify runs the precision differential oracle as a final stage;
 	// any violation fails the job with a check-stage error.
 	Verify bool `json:"verify,omitempty"`
+	// Kernel selects the data-flow solver backend: "packed" (default,
+	// the allocation-free arena kernels) or "boxed" (the reference
+	// implementation) — the same syntax as the CLI's -kernel. Both
+	// produce identical results; the knob exists for differential
+	// testing and as an escape hatch.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 func (o OptionsSpec) engine() (engine.Options, error) {
@@ -77,13 +84,20 @@ func (o OptionsSpec) engine() (engine.Options, error) {
 	if err != nil {
 		return engine.Options{}, err
 	}
-	return engine.Options{CA: o.CA, CR: o.CR, Clients: cs, Verify: o.Verify}, nil
+	k, err := engine.ParseKernel(o.Kernel)
+	if err != nil {
+		return engine.Options{}, err
+	}
+	return engine.Options{CA: o.CA, CR: o.CR, Clients: cs, Verify: o.Verify, Kernel: k}, nil
 }
 
 func specOf(o engine.Options) OptionsSpec {
 	spec := OptionsSpec{CA: o.CA, CR: o.CR, Verify: o.Verify}
 	if o.Clients != 0 {
 		spec.Clients = o.Clients.String()
+	}
+	if o.Kernel != dataflow.KernelPacked {
+		spec.Kernel = o.Kernel.String()
 	}
 	return spec
 }
@@ -347,6 +361,10 @@ func errorBody(err error) ErrorBody {
 	var uc *engine.UnknownClientError
 	if errors.As(err, &uc) {
 		b.Hint = uc.Hint()
+	}
+	var uk *engine.UnknownKernelError
+	if errors.As(err, &uk) {
+		b.Hint = uk.Hint()
 	}
 	var se *engine.StageError
 	if errors.As(err, &se) {
