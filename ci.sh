@@ -15,7 +15,9 @@
 #                           -race — the persistent diskcache store,
 #                           the core compat shim, the bench harness
 #                           memo, the serving layer's job manager +
-#                           streams), plus the analysis clients and
+#                           streams, the distributed fabric's queue +
+#                           coordinator + worker loop), plus the
+#                           analysis clients and
 #                           the oracle, which the engine runs from
 #                           pooled workers (liveness, availexpr,
 #                           dataflow/oracle) — and the solver layers
@@ -48,6 +50,16 @@
 #                           daemon on the same -cachedir and assert the
 #                           repeat request warm-starts from disk
 #                           (pathflow_diskcache_hits_total in /metrics)
+#  11. fabric smoke         distributed analysis end-to-end: a `serve
+#                           -fabric` coordinator plus two `pathflow
+#                           worker` processes (private cache dirs, so
+#                           artifacts flow only through the coordinator's
+#                           bundle exchange); a distributed sweep's
+#                           result bytes must equal the same sweep run
+#                           in-process, and SIGKILLing a worker mid-job
+#                           must not lose it — the expired lease
+#                           requeues its tasks on the survivor and the
+#                           result bytes must still match
 #
 # Exit status is nonzero on the first failure. See README.md ("Verifying").
 set -e
@@ -71,6 +83,7 @@ go test ./...
 
 echo "== race"
 go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
+    ./internal/fabric/ \
     ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/ \
     ./internal/dataflow/ ./internal/dataflow/kernel/ ./internal/constprop/ ./internal/intervals/
 
@@ -97,6 +110,8 @@ echo "$kernels" | grep -Eq 'AnalyzeKernels/resolve.*[^0-9]0 B/op[[:space:]]+0 al
 tmpdir=$(mktemp -d)
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+    [ -n "$wa_pid" ] && kill "$wa_pid" 2>/dev/null
+    [ -n "$wb_pid" ] && kill "$wb_pid" 2>/dev/null
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -133,22 +148,25 @@ grep -Eq '^eval +none ' "$tmpdir/incr.txt" || {
 
 echo "== serve smoke"
 
-# start_serve <logfile>: launch the daemon with the shared cache dir and
-# set $serve_pid/$addr once it is listening.
+# start_serve <logfile> [flags...]: launch the daemon on an ephemeral
+# port with the given extra flags and set $serve_pid/$addr once it is
+# listening.
 start_serve() {
-    "$tmpdir/pathflow" serve -addr 127.0.0.1:0 -cachedir "$tmpdir/cache" >"$1" 2>&1 &
+    serve_log=$1
+    shift
+    "$tmpdir/pathflow" serve -addr 127.0.0.1:0 "$@" >"$serve_log" 2>&1 &
     serve_pid=$!
     addr=""
     i=0
     while [ $i -lt 100 ]; do
-        addr=$(sed -n 's|.*listening on http://||p' "$1")
+        addr=$(sed -n 's|.*listening on http://||p' "$serve_log")
         [ -n "$addr" ] && break
         sleep 0.1
         i=$((i + 1))
     done
     if [ -z "$addr" ]; then
         echo "serve smoke: daemon never listened" >&2
-        cat "$1" >&2
+        cat "$serve_log" >&2
         exit 1
     fi
 }
@@ -163,7 +181,7 @@ stop_serve() {
     serve_pid=""
 }
 
-start_serve "$tmpdir/serve.log"
+start_serve "$tmpdir/serve.log" -cachedir "$tmpdir/cache"
 curl -fsS "http://$addr/healthz" | grep -q '"status": "ok"' || {
     echo "serve smoke: /healthz not ok" >&2; exit 1; }
 curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
@@ -184,7 +202,7 @@ stop_serve "$tmpdir/serve.log"
 # Restart the daemon on the same -cachedir: the repeat request must
 # warm-start from the persistent tier, visible both in the job metrics
 # (stage_disk_hits) and the Prometheus disk-hit counter.
-start_serve "$tmpdir/serve2.log"
+start_serve "$tmpdir/serve2.log" -cachedir "$tmpdir/cache"
 curl -fsS -X POST "http://$addr/v1/analyze?wait=1" \
     -H 'Content-Type: application/json' \
     -d '{"program": "compress"}' >"$tmpdir/job2.json"
@@ -201,5 +219,99 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
     exit 1
 fi
 stop_serve "$tmpdir/serve2.log"
+
+echo "== fabric smoke"
+# Distributed analysis end to end. The coordinator gets a short lease
+# TTL so the worker-kill gate recovers in seconds; the workers get
+# private cache dirs so every artifact they share travels through the
+# coordinator's content-addressed bundle exchange, never a common
+# filesystem.
+start_serve "$tmpdir/fabric.log" -cachedir "$tmpdir/fabcache" -fabric -fabric-lease 2s
+
+"$tmpdir/pathflow" worker -join "http://$addr" -id wA -cachedir "$tmpdir/wA" >"$tmpdir/wA.log" 2>&1 &
+wa_pid=$!
+"$tmpdir/pathflow" worker -join "http://$addr" -id wB -cachedir "$tmpdir/wB" >"$tmpdir/wB.log" 2>&1 &
+wb_pid=$!
+
+# job_result <job json> <outfile>: follow a finished job to its
+# deterministic result payload.
+job_result() {
+    jid=$(sed -n 's/.*"\(job_\)\{0,1\}id": "\([^"]*\)".*/\2/p' "$1" | head -n 1)
+    [ -n "$jid" ] || { echo "fabric smoke: no job id in $1" >&2; cat "$1" >&2; exit 1; }
+    curl -fsS "http://$addr/v1/jobs/$jid/result" >"$2" || {
+        echo "fabric smoke: fetching result of $jid failed" >&2; exit 1; }
+}
+
+sweep1='"program": "compress", "points": [{"ca": 0.95, "cr": 0.95}, {"ca": 0.99, "cr": 0.95}]'
+
+# Gate 1: byte-identity. The same sweep in-process on the server's own
+# engine, then sharded over both workers — the result payloads must be
+# byte-for-byte equal.
+curl -fsS -X POST "http://$addr/v1/sweep?wait=1" -H 'Content-Type: application/json' \
+    -d "{$sweep1}" >"$tmpdir/r1.json"
+grep -q '"state": "done"' "$tmpdir/r1.json" || {
+    echo "fabric smoke: in-process reference sweep did not finish 'done'" >&2
+    cat "$tmpdir/r1.json" >&2; exit 1; }
+job_result "$tmpdir/r1.json" "$tmpdir/r1_result.json"
+curl -fsS -X POST "http://$addr/v1/sweep?wait=1" -H 'Content-Type: application/json' \
+    -d "{$sweep1, \"distributed\": true}" >"$tmpdir/d1.json"
+grep -q '"state": "done"' "$tmpdir/d1.json" || {
+    echo "fabric smoke: distributed sweep did not finish 'done'" >&2
+    cat "$tmpdir/d1.json" >&2
+    cat "$tmpdir/wA.log" "$tmpdir/wB.log" >&2; exit 1; }
+job_result "$tmpdir/d1.json" "$tmpdir/d1_result.json"
+cmp -s "$tmpdir/r1_result.json" "$tmpdir/d1_result.json" || {
+    echo "fabric smoke: distributed result differs from in-process result" >&2
+    diff "$tmpdir/r1_result.json" "$tmpdir/d1_result.json" >&2 || true; exit 1; }
+
+# Gate 2: worker-kill recovery. Shard a bigger sweep, SIGKILL one
+# worker while it is in flight (no drain, no goodbye), and require the
+# job to finish anyway — the dead worker's lease expires and its tasks
+# requeue on the survivor — with bytes still identical to in-process.
+sweep2='"program": "go", "points": [{"ca": 0.95, "cr": 0.95}, {"ca": 0.97, "cr": 0.95}, {"ca": 0.99, "cr": 0.95}]'
+curl -fsS -X POST "http://$addr/v1/sweep" -H 'Content-Type: application/json' \
+    -d "{$sweep2, \"distributed\": true}" >"$tmpdir/d2_submit.json"
+sleep 0.3
+kill -9 "$wb_pid" 2>/dev/null
+wb_pid=""
+d2_id=$(sed -n 's/.*"job_id": "\([^"]*\)".*/\1/p' "$tmpdir/d2_submit.json")
+[ -n "$d2_id" ] || { echo "fabric smoke: no job id for kill-recovery sweep" >&2
+    cat "$tmpdir/d2_submit.json" >&2; exit 1; }
+i=0
+while [ $i -lt 240 ]; do
+    curl -fsS "http://$addr/v1/jobs/$d2_id" >"$tmpdir/d2.json"
+    grep -q '"state": "done"' "$tmpdir/d2.json" && break
+    if grep -q '"state": "failed"' "$tmpdir/d2.json"; then
+        echo "fabric smoke: sweep failed after worker kill" >&2
+        cat "$tmpdir/d2.json" >&2; exit 1
+    fi
+    sleep 0.5
+    i=$((i + 1))
+done
+grep -q '"state": "done"' "$tmpdir/d2.json" || {
+    echo "fabric smoke: sweep never finished after worker kill" >&2
+    cat "$tmpdir/d2.json" >&2; cat "$tmpdir/wA.log" >&2; exit 1; }
+job_result "$tmpdir/d2.json" "$tmpdir/d2_result.json"
+curl -fsS -X POST "http://$addr/v1/sweep?wait=1" -H 'Content-Type: application/json' \
+    -d "{$sweep2}" >"$tmpdir/r2.json"
+grep -q '"state": "done"' "$tmpdir/r2.json" || {
+    echo "fabric smoke: second in-process reference sweep did not finish 'done'" >&2
+    cat "$tmpdir/r2.json" >&2; exit 1; }
+job_result "$tmpdir/r2.json" "$tmpdir/r2_result.json"
+cmp -s "$tmpdir/r2_result.json" "$tmpdir/d2_result.json" || {
+    echo "fabric smoke: post-kill distributed result differs from in-process result" >&2
+    diff "$tmpdir/r2_result.json" "$tmpdir/d2_result.json" >&2 || true; exit 1; }
+# The fabric surfaced in /metrics: every completed task counted,
+# whichever worker ended up running it.
+curl -fsS "http://$addr/metrics" >"$tmpdir/fabric_metrics.txt"
+done_n=$(sed -n 's/^pathflow_fabric_tasks_total{state="done"} //p' "$tmpdir/fabric_metrics.txt")
+if [ -z "$done_n" ] || [ "$done_n" -eq 0 ]; then
+    echo "fabric smoke: pathflow_fabric_tasks_total{state=\"done\"} is ${done_n:-missing}" >&2
+    exit 1
+fi
+
+kill "$wa_pid" 2>/dev/null
+wa_pid=""
+stop_serve "$tmpdir/fabric.log"
 
 echo "ci.sh: all gates passed"

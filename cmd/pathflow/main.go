@@ -14,6 +14,7 @@
 //	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95]
 //	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all
 //	pathflow serve   [-addr host:port] [-maxjobs n] [-workers n] [-timeout d]
+//	pathflow worker  -join http://host:port [-id name] [-cachedir dir]
 package main
 
 import (
@@ -65,6 +66,8 @@ func main() {
 		err = cmdExp(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -120,6 +123,9 @@ commands:
   serve   [-addr host:port] [...] run the long-running analysis service
                                  (shared artifact cache, job manager,
                                  live per-stage metrics; see README)
+  worker  -join http://host:port  join a serve -fabric coordinator and
+                                 run distributed sweep tasks (leases,
+                                 shared bundle cache; see README)
 `)
 }
 

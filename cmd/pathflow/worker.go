@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathflow/internal/engine"
+	"pathflow/internal/fabric"
+	"pathflow/internal/serve"
+)
+
+// cmdWorker joins a fabric coordinator (a `pathflow serve -fabric`
+// process) and runs its lease loop: lease a (target, function, point)
+// task, analyze it on a local engine, report the summary. The worker's
+// disk cache is wired to the coordinator's bundle endpoints, so stage
+// artifacts computed anywhere in the fleet are fetched instead of
+// recomputed. SIGINT/SIGTERM abandon the current lease (the coordinator
+// re-enqueues it on expiry) and exit.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	join := fs.String("join", "", "coordinator base URL, e.g. http://127.0.0.1:8372 (required)")
+	id := fs.String("id", "", "worker name in leases and metrics (default host-pid)")
+	workers := fs.Int("workers", 1, "parallel function analyses inside one task")
+	poll := fs.Duration("poll", 0, "idle poll interval (0 = default 200ms)")
+	cflags := addCacheFlags(fs, "512M")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("worker takes no positional arguments (got %q)", fs.Args())
+	}
+	if *join == "" {
+		return fmt.Errorf("worker requires -join http://coordinator:port")
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The bundle tier needs a disk cache to adopt fetched frames into.
+	// Without -cachedir, a private temp dir serves: artifacts still flow
+	// through the coordinator, they just don't persist across restarts.
+	dir := *cflags.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pathflow-worker-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	ecfg, err := cflags.engineConfig(*workers, true)
+	if err != nil {
+		return err
+	}
+	ecfg.CacheDir = dir
+	eng, err := engine.Open(ecfg)
+	if err != nil {
+		return err
+	}
+	remote := fabric.NewRemoteCache(ctx, *join, nil)
+	if store := eng.Disk(); store != nil {
+		store.SetRemote(remote)
+	}
+
+	w := &fabric.Worker{
+		ID:   *id,
+		Base: *join,
+		Run:  serve.NewTaskRunner(eng).WithProfileExchange(remote).Run,
+		Poll: *poll,
+	}
+	fmt.Printf("pathflow worker %s: joining %s (cache %s)\n", *id, *join, dir)
+	if err := w.Serve(ctx); err != nil {
+		return err
+	}
+	st := w.Stats()
+	fmt.Printf("pathflow worker %s: done, %d tasks, %s busy\n",
+		*id, st.Tasks, st.Busy.Round(time.Millisecond))
+	return nil
+}

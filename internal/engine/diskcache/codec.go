@@ -123,6 +123,33 @@ func unframe(kind Kind, data []byte) ([]byte, error) {
 	return body[headerLen:], nil
 }
 
+// CheckFrame validates a bundle frame whose expected kind is not known
+// from a typed Key — magic, version, a kind byte in range, and the
+// trailing checksum. This is the admission check for bundles arriving
+// from fabric peers, where the claimed kind comes from the untrusted
+// file name: a frame that passes still gets the full kind-matched
+// unframe (and the artifact decoder's structural validation) before any
+// payload is used, so CheckFrame only has to reject noise, truncation,
+// and version skew at the door.
+func CheckFrame(kind Kind, data []byte) error {
+	if kind == 0 || kind > KindReduced {
+		return ErrCorrupt
+	}
+	_, err := unframe(kind, data)
+	return err
+}
+
+// KindFromString maps a bundle-kind name (the file-name prefix) back to
+// its Kind, or 0 if unknown.
+func KindFromString(s string) Kind {
+	for k := KindBaseline; k <= KindReduced; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
 // --- Primitive writer -----------------------------------------------------
 
 // enc accumulates the varint-encoded payload.

@@ -1,0 +1,236 @@
+package diskcache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// fakeRemote is an in-memory fabric peer: a name → frame map with
+// recorded push history.
+type fakeRemote struct {
+	mu      sync.Mutex
+	bundles map[string][]byte
+	pushes  []string
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{bundles: map[string][]byte{}} }
+
+func (r *fakeRemote) Fetch(name string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.bundles[name]
+	return d, ok
+}
+
+func (r *fakeRemote) Push(name string, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bundles[name] = append([]byte(nil), data...)
+	r.pushes = append(r.pushes, name)
+}
+
+func TestRemoteTierFetchOnMissPushOnPut(t *testing.T) {
+	remote := newFakeRemote()
+	k := testKey(1)
+	good := frame(KindSelect, []byte("computed elsewhere"))
+	remote.bundles[k.filename()] = good
+
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+
+	// Local miss falls through to the remote and adopts the frame.
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, good) {
+		t.Fatalf("remote-backed Get: ok=%v", ok)
+	}
+	st := s.Stats()
+	if st.RemoteFetches != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want one remote fetch and no miss", st)
+	}
+
+	// A locally computed Put is offered to the remote.
+	k2 := testKey(2)
+	s.Put(k2, frame(KindSelect, []byte("computed here")))
+	s.WaitRemote() // pushes are async; drain before asserting
+	if _, ok := remote.Fetch(k2.filename()); !ok {
+		t.Fatal("Put did not push to the remote tier")
+	}
+	if st := s.Stats(); st.RemotePushes != 1 {
+		t.Fatalf("RemotePushes = %d, want 1", st.RemotePushes)
+	}
+}
+
+func TestRemoteChecksumCorruptBundleIsAMiss(t *testing.T) {
+	remote := newFakeRemote()
+	k := testKey(1)
+	bad := frame(KindSelect, []byte("payload"))
+	bad[len(bad)-1] ^= 0x80 // break the checksum
+	remote.bundles[k.filename()] = bad
+
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("checksum-corrupt remote bundle was served")
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want the corrupt fetch accounted as a miss", st.Misses)
+	}
+	// The poison was not adopted: a second Get re-fetches (and re-fails)
+	// instead of serving bad bytes from disk.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt bundle adopted locally")
+	}
+	if st := s.Stats(); st.RemoteFetches != 0 {
+		t.Fatalf("RemoteFetches = %d, corrupt fetches must not count as fetch hits", st.RemoteFetches)
+	}
+}
+
+// TestCorruptPeerBundleHeals exercises the full heal cycle for a bundle
+// whose frame checksum is intact but whose payload is semantically
+// garbage (a buggy peer published it): the decode layer rejects it,
+// Reject deletes it, and the recompute's Put republishes good bytes to
+// the remote — the corruption is healed fleet-wide instead of pinned.
+func TestCorruptPeerBundleHeals(t *testing.T) {
+	remote := newFakeRemote()
+	k := testKey(1)
+	name := k.filename()
+	// Valid frame, garbage payload: passes CheckFrame, fails decode.
+	poisoned := frame(KindSelect, []byte{0xff, 0xff, 0xff, 0xff})
+	remote.bundles[name] = poisoned
+
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+
+	data, ok := s.Get(k)
+	if !ok {
+		t.Fatal("frame-valid bundle should be served (corruption is caught at decode)")
+	}
+	if _, _, err := DecodeSelect(data, nil); err == nil {
+		t.Fatal("garbage payload decoded successfully?")
+	}
+	s.Reject(k)
+	if _, ok := s.entries[name]; ok {
+		t.Fatal("rejected bundle still indexed")
+	}
+
+	// The recompute republishes; the peer's copy is overwritten.
+	good := EncodeSelect(Meta{}, nil)
+	s.Put(k, good)
+	s.WaitRemote() // pushes are async; drain before asserting
+	peerCopy, ok := remote.Fetch(name)
+	if !ok || !bytes.Equal(peerCopy, good) {
+		t.Fatal("heal did not republish the recomputed bundle to the remote")
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, good) {
+		t.Fatal("healed bundle not served locally")
+	}
+	if st := s.Stats(); st.Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", st.Rejects)
+	}
+}
+
+// TestSharedDirConcurrentPublish is the cross-process race surface run
+// in-process: many stores (one per simulated worker) over ONE shared
+// directory, concurrently publishing the same fingerprints and reading
+// them back. The O_EXCL-temp + rename discipline must keep every read
+// either a clean miss or a fully written frame — run under -race in CI.
+func TestSharedDirConcurrentPublish(t *testing.T) {
+	dir := t.TempDir()
+	const workers = 4
+	const keys = 8
+	const rounds = 25
+
+	stores := make([]*Store, workers)
+	for i := range stores {
+		s, err := Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+	}
+	payload := func(i int) []byte {
+		return frame(KindSelect, bytes.Repeat([]byte{byte(i)}, 64))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					// Same key ⇒ same content: racing writers are
+					// byte-equivalent, so any winner is correct.
+					s.Put(testKey(i), payload(i))
+					if data, ok := s.Get(testKey(i)); ok {
+						if _, err := unframe(KindSelect, data); err != nil {
+							t.Errorf("read a torn frame for key %d: %v", i, err)
+							return
+						}
+						if !bytes.Equal(data, payload(i)) {
+							t.Errorf("key %d served wrong content", i)
+							return
+						}
+					}
+				}
+			}
+		}(stores[w])
+	}
+	wg.Wait()
+
+	// Every store ends with every key readable.
+	for wi, s := range stores {
+		for i := 0; i < keys; i++ {
+			data, ok := s.Get(testKey(i))
+			if !ok || !bytes.Equal(data, payload(i)) {
+				t.Fatalf("store %d: key %d unreadable after the race", wi, i)
+			}
+		}
+	}
+}
+
+// TestSharedDirAdoptVsReadRace drives AdoptBundle (the coordinator's PUT
+// path) against ReadBundle (its GET path) on one directory — the
+// coordinator's actual concurrency profile when one worker publishes
+// while another fetches.
+func TestSharedDirAdoptVsReadRace(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := testKey(1).filename()
+	data := EncodeSelect(Meta{}, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				if err := s.AdoptBundle(name, data); err != nil {
+					t.Errorf("AdoptBundle: %v", err)
+					return
+				}
+				if got, ok := s.ReadBundle(name); ok && !bytes.Equal(got, data) {
+					t.Error("ReadBundle returned torn bytes")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, ok := s.ReadBundle(name); !ok || !bytes.Equal(got, data) {
+		t.Fatal("bundle unreadable after the race")
+	}
+}

@@ -111,6 +111,17 @@ func Serial() *Engine { return New(Config{Workers: 1}) }
 // Workers returns the configured worker bound (0 = NumCPU).
 func (e *Engine) Workers() int { return e.workers }
 
+// Disk returns the persistent artifact store, or nil when the engine
+// runs without one. The fabric layers its bundle exchange on it: the
+// coordinator serves and adopts bundles through the store's name-based
+// endpoints, and workers hang a Remote off it.
+func (e *Engine) Disk() *diskcache.Store {
+	if e.cache == nil {
+		return nil
+	}
+	return e.cache.disk
+}
+
 // CacheStats reports artifact-cache counters (zero value when the cache
 // is disabled).
 func (e *Engine) CacheStats() CacheStats {

@@ -1,0 +1,207 @@
+// Package fabric is the distributed analysis layer: a coordinator that
+// shards work across a pool of worker processes, and the worker loop
+// that joins it.
+//
+// The fabric is payload-agnostic. A task is an opaque JSON spec plus a
+// scheduling priority and an affinity key; the serving layer defines
+// what a spec means (one function at one sweep grid point) and how to
+// run it. The coordinator owns a lease/heartbeat/retry queue:
+//
+//   - a worker leases the best ready task (affinity match first, then
+//     highest priority — LPT keeps the makespan balanced, affinity keeps
+//     a program's tasks on workers that already paid its training run);
+//   - leases carry a TTL and are kept alive by heartbeats; a worker
+//     that dies stops heartbeating, the lease expires, and the task is
+//     re-enqueued with jittered backoff;
+//   - retries are bounded — a task that keeps failing (worker errors
+//     and lease expiries both count) permanently fails its batch with
+//     the worker-side StageError provenance intact;
+//   - completion is idempotent: the first result wins, and a duplicate
+//     completion (a slow worker finishing after its lease expired and a
+//     sibling re-ran the task) is acknowledged and deduplicated by the
+//     result's fingerprint.
+//
+// Workers exchange artifacts as the engine's content-addressed .pfac
+// bundles: the coordinator serves GET/PUT bundle endpoints over its
+// disk store, and workers mount that as the diskcache Remote tier (or
+// simply share one -cachedir), so no shard recomputes what a sibling
+// already built. Determinism is preserved end to end — the fabric moves
+// *where* a pure stage function runs, never *what* it computes, so
+// distributed results are byte-identical to single-process runs.
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"pathflow/internal/engine"
+)
+
+// Config bounds the coordinator's queue discipline.
+type Config struct {
+	// LeaseTTL is how long a lease survives without a heartbeat before
+	// the task is re-enqueued. Default 10s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one task may be attempted
+	// (worker errors and lease expiries both consume an attempt) before
+	// it permanently fails its batch. Default 3.
+	MaxAttempts int
+	// RetryBase is the base of the exponential re-enqueue backoff.
+	// Default 100ms.
+	RetryBase time.Duration
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+func (c Config) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+// backoff returns the jittered exponential delay for the given retry
+// ordinal: base·2^n, capped at max, with ±25% jitter so a herd of
+// retries (or idle pollers) never synchronizes.
+func backoff(n int, base, max time.Duration) time.Duration {
+	d := base << min(n, 10)
+	if d <= 0 || d > max {
+		d = max
+	}
+	j := time.Duration(rand.Int64N(int64(d)/2+1)) - d/4
+	return d + j
+}
+
+// --- Wire types -----------------------------------------------------------
+
+// LeaseRequest asks for one task on behalf of a named worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one task, or — with TaskID empty — tells the
+// worker when to poll again.
+type LeaseResponse struct {
+	TaskID     string          `json:"task_id,omitempty"`
+	LeaseID    string          `json:"lease_id,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	Attempt    int             `json:"attempt,omitempty"`
+	LeaseTTLMS int64           `json:"lease_ttl_ms,omitempty"`
+	RetryMS    int64           `json:"retry_ms,omitempty"`
+}
+
+// HeartbeatRequest extends a lease. A 410 response means the lease is
+// gone (expired and re-assigned) and the worker should abandon the task.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteRequest reports one finished attempt: a result on success, a
+// TaskError on failure. DurationMS is the worker-measured compute time,
+// which feeds the per-worker task histogram.
+type CompleteRequest struct {
+	Worker     string          `json:"worker"`
+	TaskID     string          `json:"task_id"`
+	LeaseID    string          `json:"lease_id"`
+	DurationMS float64         `json:"duration_ms"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      *TaskError      `json:"error,omitempty"`
+}
+
+// Completion acknowledgement statuses.
+const (
+	CompleteAccepted  = "accepted"  // first completion of a live task
+	CompleteDuplicate = "duplicate" // task already done; result deduplicated
+	CompleteDropped   = "dropped"   // task no longer tracked (batch gone)
+	CompleteRequeued  = "requeued"  // failed attempt; task re-enqueued
+)
+
+// CompleteResponse acknowledges a completion with one of the statuses
+// above. Every status is terminal for the worker — there is nothing to
+// retry.
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// TaskError carries a worker-side failure across the wire with its
+// StageError provenance (which pipeline stage, which function) intact.
+type TaskError struct {
+	Message string `json:"message"`
+	Stage   string `json:"stage,omitempty"`
+	Func    string `json:"func,omitempty"`
+}
+
+// NewTaskError captures err for the wire. If the chain contains a
+// StageError its provenance fields are lifted out and Message keeps only
+// the inner cause, so Err can rebuild the identical error coordinator-
+// side.
+func NewTaskError(err error) *TaskError {
+	var se *engine.StageError
+	if errors.As(err, &se) {
+		return &TaskError{Message: se.Err.Error(), Stage: string(se.Stage), Func: se.Func}
+	}
+	return &TaskError{Message: err.Error()}
+}
+
+// Err rebuilds the worker-side error, as a *engine.StageError when
+// provenance was captured, so errors.As works on the coordinator exactly
+// as it would have on the worker.
+func (t *TaskError) Err() error {
+	if t == nil {
+		return nil
+	}
+	if t.Stage != "" {
+		return &engine.StageError{Stage: engine.StageName(t.Stage), Func: t.Func, Err: errors.New(t.Message)}
+	}
+	return errors.New(t.Message)
+}
+
+// TaskSpec is one unit of work submitted to the coordinator.
+type TaskSpec struct {
+	// Spec is the opaque payload handed to a worker's RunFunc.
+	Spec json.RawMessage
+	// Priority orders the queue (higher first). Submitters set it to the
+	// task's predicted cost — instruction count scaled by the delta
+	// machinery's dirty-stage count — so the heaviest work starts first
+	// (LPT) and an incremental edit fans out only its recompute frontier.
+	Priority int64
+	// Affinity groups tasks that share expensive worker-local state (in
+	// practice: the target program, whose training profile each worker
+	// memoizes). The scheduler prefers handing a worker tasks whose
+	// affinity it has already seen; idle workers steal across groups.
+	Affinity string
+}
+
+// TaskEvent describes one scheduling event on a batch, delivered to the
+// batch's observer (under no locks held by the caller beyond the
+// queue's own).
+type TaskEvent struct {
+	Index    int           // task's position in the submitted batch
+	Worker   string        // worker that reported the attempt
+	Duration time.Duration // worker-measured compute time
+	Requeued bool          // attempt failed or lease expired; task re-enqueued
+	Err      string        // failure message for requeue events
+}
+
+func (e TaskEvent) String() string {
+	if e.Requeued {
+		return fmt.Sprintf("task %d requeued (worker %s): %s", e.Index, e.Worker, e.Err)
+	}
+	return fmt.Sprintf("task %d done (worker %s, %s)", e.Index, e.Worker, e.Duration)
+}

@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"time"
+)
+
+// RemoteCache implements diskcache.Remote over the coordinator's bundle
+// endpoints: local cache misses fetch from the coordinator, local
+// computes push back, so the fleet shares one artifact namespace. Both
+// directions are best-effort — every call carries the worker's root
+// context plus a per-request deadline, transient failures retry with
+// jittered backoff, and a final failure is just a cache miss.
+type RemoteCache struct {
+	base    string
+	client  *http.Client
+	ctx     context.Context
+	timeout time.Duration
+	retries int
+}
+
+// NewRemoteCache builds the bundle tier client. ctx is the worker's
+// root context: cancelling it aborts in-flight transfers immediately,
+// so shutdown never waits on the network.
+func NewRemoteCache(ctx context.Context, base string, client *http.Client) *RemoteCache {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &RemoteCache{base: base, client: client, ctx: ctx, timeout: 15 * time.Second, retries: 2}
+}
+
+// Fetch gets one bundle frame from the coordinator. false means the
+// coordinator doesn't have it (or is unreachable) — either way a local
+// recompute follows and Push will heal the gap.
+func (r *RemoteCache) Fetch(name string) ([]byte, bool) {
+	url := r.base + "/fabric/v1/bundles/" + name
+	for attempt := 0; ; attempt++ {
+		data, code, err := r.roundTrip(http.MethodGet, url, nil)
+		switch {
+		case err == nil && code == http.StatusOK:
+			return data, true
+		case err == nil && code == http.StatusNotFound:
+			return nil, false
+		}
+		if attempt >= r.retries || r.ctx.Err() != nil {
+			return nil, false
+		}
+		sleep(r.ctx, backoff(attempt, 50*time.Millisecond, time.Second))
+	}
+}
+
+// Push publishes one locally computed bundle frame. Failures are
+// swallowed after bounded retries: the worst case is a sibling
+// recomputing the artifact.
+func (r *RemoteCache) Push(name string, data []byte) {
+	url := r.base + "/fabric/v1/bundles/" + name
+	for attempt := 0; ; attempt++ {
+		_, code, err := r.roundTrip(http.MethodPut, url, data)
+		if err == nil && (code == http.StatusNoContent || code == http.StatusBadRequest) {
+			// 400 means the coordinator rejected the frame as corrupt;
+			// retrying the same bytes cannot help.
+			return
+		}
+		if attempt >= r.retries || r.ctx.Err() != nil {
+			return
+		}
+		sleep(r.ctx, backoff(attempt, 50*time.Millisecond, time.Second))
+	}
+}
+
+// FetchProfile gets a shared training profile from the coordinator's
+// exchange. Implements ProfileStore.
+func (r *RemoteCache) FetchProfile(key string) ([]byte, bool) {
+	url := r.base + "/fabric/v1/profiles/" + neturl.PathEscape(key)
+	for attempt := 0; ; attempt++ {
+		data, code, err := r.roundTrip(http.MethodGet, url, nil)
+		switch {
+		case err == nil && code == http.StatusOK:
+			return data, true
+		case err == nil && code == http.StatusNotFound:
+			return nil, false
+		}
+		if attempt >= r.retries || r.ctx.Err() != nil {
+			return nil, false
+		}
+		sleep(r.ctx, backoff(attempt, 50*time.Millisecond, time.Second))
+	}
+}
+
+// PushProfile publishes a locally computed training profile.
+func (r *RemoteCache) PushProfile(key string, data []byte) {
+	url := r.base + "/fabric/v1/profiles/" + neturl.PathEscape(key)
+	for attempt := 0; ; attempt++ {
+		_, code, err := r.roundTrip(http.MethodPut, url, data)
+		if err == nil && (code == http.StatusNoContent || code == http.StatusBadRequest) {
+			return
+		}
+		if attempt >= r.retries || r.ctx.Err() != nil {
+			return
+		}
+		sleep(r.ctx, backoff(attempt, 50*time.Millisecond, time.Second))
+	}
+}
+
+func (r *RemoteCache) roundTrip(method, url string, body []byte) ([]byte, int, error) {
+	cctx, cancel := context.WithTimeout(r.ctx, r.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(cctx, method, url, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBundleBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return data, resp.StatusCode, nil
+}

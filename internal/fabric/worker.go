@@ -1,0 +1,239 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one leased task spec and returns its result payload.
+// A ctx error means the attempt was abandoned (worker shutdown or lease
+// loss) — the worker reports nothing and lets the lease expire.
+type RunFunc func(ctx context.Context, spec json.RawMessage) (json.RawMessage, error)
+
+// WorkerStats is a snapshot of one worker's completed work. Busy is the
+// summed task compute time — on an N-host fleet, max-over-workers Busy
+// is the schedule's makespan.
+type WorkerStats struct {
+	Tasks int64
+	Busy  time.Duration
+}
+
+// Worker is the lease-loop client: it polls the coordinator for tasks,
+// heartbeats while running them, and reports completions. Every HTTP
+// call carries the loop context plus a per-request deadline, and
+// transient failures back off with jitter, so a coordinator restart
+// costs retries, not a wedged worker.
+type Worker struct {
+	// ID names the worker in leases and metrics.
+	ID string
+	// Base is the coordinator's base URL (e.g. http://host:port).
+	Base string
+	// Run executes one task spec.
+	Run RunFunc
+	// Client is the HTTP client to use (http.DefaultClient if nil).
+	Client *http.Client
+	// Poll is the idle poll interval (default 200ms). The coordinator's
+	// retry hints can lengthen an individual wait but never past 2s.
+	Poll time.Duration
+	// RequestTimeout bounds each HTTP call (default 15s).
+	RequestTimeout time.Duration
+
+	mu    sync.Mutex
+	tasks int64
+	busy  time.Duration
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) timeout() time.Duration {
+	if w.RequestTimeout > 0 {
+		return w.RequestTimeout
+	}
+	return 15 * time.Second
+}
+
+// Stats returns the worker's completed-task counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStats{Tasks: w.tasks, Busy: w.busy}
+}
+
+// Serve runs the lease loop until ctx is done. It always returns nil on
+// a clean context shutdown; the loop itself retries every transient
+// failure.
+func (w *Worker) Serve(ctx context.Context) error {
+	failures := 0
+	for ctx.Err() == nil {
+		ran, retry, err := w.Step(ctx)
+		if err != nil {
+			failures++
+			sleep(ctx, backoff(failures, 100*time.Millisecond, 2*time.Second))
+			continue
+		}
+		failures = 0
+		if !ran {
+			wait := w.poll()
+			if retry > 0 && retry < 2*time.Second {
+				wait = retry
+			}
+			sleep(ctx, wait+backoff(0, 10*time.Millisecond, 50*time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// Step performs one full lease cycle: one lease attempt and, when a
+// task is granted, its run and completion report. It returns whether a
+// task ran, the coordinator's retry hint when none was ready, and any
+// transport error. Serve loops over Step; harnesses that need to
+// interleave workers deterministically (benchmarks, simulations) can
+// drive Step directly.
+func (w *Worker) Step(ctx context.Context) (ran bool, retry time.Duration, err error) {
+	var lr LeaseResponse
+	code, err := w.post(ctx, "/fabric/v1/lease", &LeaseRequest{Worker: w.ID}, &lr)
+	if err != nil {
+		return false, 0, err
+	}
+	if code != http.StatusOK {
+		return false, 0, fmt.Errorf("fabric: lease: HTTP %d", code)
+	}
+	if lr.TaskID == "" {
+		return false, time.Duration(lr.RetryMS) * time.Millisecond, nil
+	}
+	w.runTask(ctx, &lr)
+	return true, 0, nil
+}
+
+// runTask executes one leased task under a heartbeat and reports the
+// outcome.
+func (w *Worker) runTask(ctx context.Context, lr *LeaseResponse) {
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat at a third of the TTL; a 410 means the lease was reaped
+	// (we were presumed dead) so the attempt is abandoned — a sibling
+	// owns the task now, and first completion wins anyway.
+	ttl := time.Duration(lr.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-taskCtx.Done():
+				return
+			case <-tick.C:
+				code, err := w.post(taskCtx, "/fabric/v1/heartbeat",
+					&HeartbeatRequest{Worker: w.ID, LeaseID: lr.LeaseID}, nil)
+				if err == nil && code == http.StatusGone {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	result, err := w.Run(taskCtx, lr.Spec)
+	dur := time.Since(start)
+
+	if taskCtx.Err() != nil {
+		// Shutdown or lease loss mid-task: report nothing; the lease
+		// (if still ours) expires and the task is re-enqueued.
+		return
+	}
+
+	w.mu.Lock()
+	w.tasks++
+	w.busy += dur
+	w.mu.Unlock()
+
+	req := &CompleteRequest{
+		Worker:     w.ID,
+		TaskID:     lr.TaskID,
+		LeaseID:    lr.LeaseID,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	if err != nil {
+		req.Error = NewTaskError(err)
+	} else {
+		req.Result = result
+	}
+	// Completion is idempotent coordinator-side, so bounded retries are
+	// safe; if all fail, lease expiry re-enqueues the task.
+	for attempt := 0; attempt < 3; attempt++ {
+		var ack CompleteResponse
+		code, perr := w.post(ctx, "/fabric/v1/complete", req, &ack)
+		if perr == nil && code == http.StatusOK {
+			return
+		}
+		sleep(ctx, backoff(attempt, 100*time.Millisecond, time.Second))
+	}
+}
+
+// post sends one JSON request under the loop context plus the
+// per-request deadline. out may be nil to discard the body.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, w.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fabric: decode %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return resp.StatusCode, nil
+}
+
+// sleep waits for d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

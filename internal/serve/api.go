@@ -119,6 +119,18 @@ type SweepRequest struct {
 	TargetSpec
 	Points    []OptionsSpec `json:"points"`
 	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+	// Distributed shards the sweep — one task per (point, function) —
+	// across the fabric's worker pool instead of running it on the
+	// server's engine. Requires the server to run with -fabric; results
+	// are byte-identical either way.
+	Distributed bool `json:"distributed,omitempty"`
+	// BaselineSource, with Distributed, is a prior version of the
+	// target's source. The coordinator diffs it against the target and
+	// schedules each function's tasks with a priority scaled by its
+	// delta's dirty-stage count, so an edit's recompute frontier is
+	// fanned out first and untouched functions (pure cache replays)
+	// drain last.
+	BaselineSource string `json:"baseline_source,omitempty"`
 }
 
 // --- Results --------------------------------------------------------------
@@ -171,21 +183,7 @@ type AnalyzeResult struct {
 func buildResult(name string, o engine.Options, res *engine.ProgramResult) *AnalyzeResult {
 	out := &AnalyzeResult{Program: name, Options: specOf(o)}
 	for _, fname := range res.Prog.Order {
-		fr := res.Funcs[fname]
-		fs := FuncSummary{
-			Name:         fname,
-			Nodes:        fr.Fn.G.NumNodes(),
-			HPGNodes:     fr.Fn.G.NumNodes(),
-			ReducedNodes: fr.Fn.G.NumNodes(),
-			HotPaths:     len(fr.Hot),
-			Qualified:    fr.Qualified(),
-		}
-		if fr.Qualified() {
-			fs.HPGNodes = fr.HPG.G.NumNodes()
-			fs.ReducedNodes = fr.Red.G.NumNodes()
-			fs.AutomatonStates = fr.Auto.NumStates()
-			fs.Consts = collectConsts(fr)
-		}
+		fs := funcSummary(fname, res.Funcs[fname])
 		out.Totals.Consts += len(fs.Consts)
 		out.Functions = append(out.Functions, fs)
 	}
@@ -196,6 +194,27 @@ func buildResult(name string, o engine.Options, res *engine.ProgramResult) *Anal
 	out.Totals.HotPaths = st.HotPaths
 	out.Totals.TrainPaths = st.TrainPaths
 	return out
+}
+
+// funcSummary projects one function's result onto the wire form. It is
+// the unit of fabric task results: a worker computes exactly this struct,
+// so a distributed sweep assembles the same bytes buildResult produces.
+func funcSummary(fname string, fr *engine.FuncResult) FuncSummary {
+	fs := FuncSummary{
+		Name:         fname,
+		Nodes:        fr.Fn.G.NumNodes(),
+		HPGNodes:     fr.Fn.G.NumNodes(),
+		ReducedNodes: fr.Fn.G.NumNodes(),
+		HotPaths:     len(fr.Hot),
+		Qualified:    fr.Qualified(),
+	}
+	if fr.Qualified() {
+		fs.HPGNodes = fr.HPG.G.NumNodes()
+		fs.ReducedNodes = fr.Red.G.NumNodes()
+		fs.AutomatonStates = fr.Auto.NumStates()
+		fs.Consts = collectConsts(fr)
+	}
+	return fs
 }
 
 // collectConsts lists the non-local constants on the reduced graph — the
@@ -420,6 +439,14 @@ type Health struct {
 	JobsInFlight  int            `json:"jobs_in_flight"`
 	JobsAccepted  int64          `json:"jobs_accepted"`
 	EngineCache   CacheStatsJSON `json:"engine_cache"`
+	Fabric        *FabricHealth  `json:"fabric,omitempty"`
+}
+
+// FabricHealth is the coordinator's queue depth in the /healthz body
+// (present only when the fabric is enabled).
+type FabricHealth struct {
+	TasksPending int `json:"tasks_pending"`
+	TasksLeased  int `json:"tasks_leased"`
 }
 
 // ProgramInfo describes one built-in benchmark (GET /v1/programs).

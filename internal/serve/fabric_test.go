@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pathflow/internal/engine"
+	"pathflow/internal/fabric"
+)
+
+func sweepBody(t *testing.T, distributed bool) []byte {
+	t.Helper()
+	b, err := json.Marshal(SweepRequest{
+		TargetSpec:  TargetSpec{Source: testSrc, Args: []int64{120}},
+		Points:      []OptionsSpec{{CA: 0, CR: 0.95}, {CA: 0.97, CR: 0.95}},
+		Distributed: distributed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDistributedSweepRequiresFabric(t *testing.T) {
+	srv := mustNew(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Shutdown()
+
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", sweepBody(t, true))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("distributed sweep without -fabric = %d, want 400: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "-fabric") {
+		t.Fatalf("error body %s does not point at the -fabric flag", data)
+	}
+}
+
+// startFabricWorker runs one in-process `pathflow worker` equivalent: a
+// private engine (own cache dir), the coordinator's bundle endpoints as
+// its remote tier, and the serve task runner.
+func startFabricWorker(t *testing.T, ctx context.Context, id, base string) *fabric.Worker {
+	t.Helper()
+	eng, err := engine.Open(engine.Config{Workers: 1, Cache: true, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := fabric.NewRemoteCache(ctx, base, nil)
+	if store := eng.Disk(); store != nil {
+		store.SetRemote(remote)
+	}
+	w := &fabric.Worker{ID: id, Base: base,
+		Run: NewTaskRunner(eng).WithProfileExchange(remote).Run, Poll: 5 * time.Millisecond}
+	go w.Serve(ctx) //nolint:errcheck
+	return w
+}
+
+// TestDistributedSweepByteIdentical is the tentpole's acceptance lock at
+// test scale: the same sweep through the fabric (two workers, separate
+// caches bridged by the coordinator's bundle endpoints) must produce a
+// byte-identical deterministic result payload to a single-process run.
+func TestDistributedSweepByteIdentical(t *testing.T) {
+	// Reference: plain single-process server.
+	ref := mustNew(t, Config{})
+	tsRef := httptest.NewServer(ref.Handler())
+	defer tsRef.Close()
+	defer ref.jobs.Shutdown()
+
+	resp, data := postJSON(t, tsRef.URL+"/v1/sweep?wait=1", sweepBody(t, false))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep = %d: %s", resp.StatusCode, data)
+	}
+	refJob := decodeJob(t, data)
+	resp, refBytes := getBody(t, tsRef.URL+"/v1/jobs/"+refJob.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference result = %d: %s", resp.StatusCode, refBytes)
+	}
+
+	// Distributed: fabric coordinator plus two workers.
+	srv := mustNew(t, Config{Fabric: true, FabricLeaseTTL: 2 * time.Second, CacheDir: t.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := startFabricWorker(t, ctx, "w1", ts.URL)
+	w2 := startFabricWorker(t, ctx, "w2", ts.URL)
+
+	resp, data = postJSON(t, ts.URL+"/v1/sweep?wait=1", sweepBody(t, true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed sweep = %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.State != JobDone {
+		t.Fatalf("distributed job state = %q (%+v)", job.State, job.Error)
+	}
+	resp, distBytes := getBody(t, ts.URL+"/v1/jobs/"+job.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distributed result = %d: %s", resp.StatusCode, distBytes)
+	}
+	if !bytes.Equal(distBytes, refBytes) {
+		t.Fatalf("distributed result differs from single-process run:\n--- local ---\n%s\n--- distributed ---\n%s",
+			refBytes, distBytes)
+	}
+
+	// Both workers exist in the fleet; between them they ran every task.
+	total := w1.Stats().Tasks + w2.Stats().Tasks
+	if want := int64(2 * 3); total != want { // 2 points × 3 functions
+		t.Fatalf("workers completed %d tasks, want %d", total, want)
+	}
+
+	// The task events name their workers, and the fabric metrics and
+	// health surface are live.
+	resp, evData := getBody(t, ts.URL+job.EventsURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(evData), `"type":"task"`) {
+		t.Fatalf("no task events in distributed job stream:\n%s", evData)
+	}
+	resp, m := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(m), `pathflow_fabric_tasks_total{state="done"} 6`) {
+		t.Fatalf("fabric metrics missing done count:\n%s", m)
+	}
+	resp, h := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var health Health
+	if err := json.Unmarshal(h, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Fabric == nil {
+		t.Fatalf("healthz has no fabric section: %s", h)
+	}
+}
+
+func TestJobResultEndpointStates(t *testing.T) {
+	srv := mustNew(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Shutdown()
+
+	resp, _ := getBody(t, ts.URL+"/v1/jobs/job-999/result")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("result of unknown job = %d, want 404", resp.StatusCode)
+	}
+
+	// An analyze job's result endpoint returns the bare AnalyzeResult.
+	resp, data := postJSON(t, ts.URL+"/v1/analyze?wait=1", analyzeBody(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	resp, rdata := getBody(t, fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, job.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, rdata)
+	}
+	var ar AnalyzeResult
+	if err := json.Unmarshal(rdata, &ar); err != nil {
+		t.Fatalf("result payload is not an AnalyzeResult: %v\n%s", err, rdata)
+	}
+	if ar.Program == "" || len(ar.Functions) == 0 {
+		t.Fatalf("result payload empty: %s", rdata)
+	}
+}

@@ -1,0 +1,283 @@
+package serve
+
+// fabricrun.go wires the serving layer to the distributed fabric
+// (internal/fabric). The fabric itself is payload-agnostic; this file
+// defines the payloads — one task per (target, function, sweep point) —
+// plus the two sides that speak them:
+//
+//   - TaskRunner is the worker side: `pathflow worker` leases a task,
+//     resolves the same target the server validated, profiles it once
+//     per worker (memoized), runs the one function through its own
+//     engine, and returns the function's FuncSummary.
+//   - runPointsDistributed is the coordinator side: it fans a sweep out
+//     as tasks, schedules by predicted cost (instruction count scaled by
+//     the delta machinery's dirty-stage count when a baseline is given),
+//     and reassembles the per-function summaries into exactly the
+//     AnalyzeResult a local run builds.
+//
+// Determinism argument: funcSummary is a pure function of
+// engine.AnalyzeFunc's result, which is itself a pure function of
+// (function, training profile, options) — the engine's byte-identity
+// lock (PR 1) holds across processes because workers resolve targets
+// and training runs from the same deterministic sources the server
+// does. Assembly iterates prog.Order per point, and every total is a
+// sum of per-function values, so the final JSON is byte-identical to
+// buildResult's no matter which worker computed what, in what order,
+// or how many times a task was retried.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/engine"
+	"pathflow/internal/fabric"
+)
+
+// fabricTaskSpec is the wire payload of one fabric task: analyze one
+// function of one target at one parameter point.
+type fabricTaskSpec struct {
+	Target  TargetSpec  `json:"target"`
+	Func    string      `json:"func"`
+	Options OptionsSpec `json:"options"`
+}
+
+// fabricTaskResult is the corresponding result payload. TrainPaths is
+// the function's training-profile path count, shipped so the
+// coordinator can reproduce ResultTotals without running the training
+// profile itself.
+type fabricTaskResult struct {
+	Summary    FuncSummary `json:"summary"`
+	TrainPaths int         `json:"train_paths"`
+}
+
+// TaskRunner executes fabric task specs on a worker's engine. It keeps
+// its own program/profile memo, so a worker pays each target's training
+// run once no matter how many of its tasks it leases — the scheduler's
+// affinity preference exists to maximize that reuse. With a profile
+// exchange attached, only one worker in the fleet pays each training
+// run at all: the others fetch the serialized profile from the
+// coordinator and validate it against their own compiled program.
+type TaskRunner struct {
+	eng      *engine.Engine
+	memo     progMemo
+	profiles fabric.ProfileStore
+}
+
+// NewTaskRunner builds a runner over the worker's engine.
+func NewTaskRunner(eng *engine.Engine) *TaskRunner {
+	return &TaskRunner{eng: eng, memo: newProgMemo()}
+}
+
+// WithProfileExchange attaches the coordinator's training-profile
+// exchange (fabric.RemoteCache implements it). Returns the runner for
+// chaining.
+func (tr *TaskRunner) WithProfileExchange(ps fabric.ProfileStore) *TaskRunner {
+	tr.profiles = ps
+	return tr
+}
+
+// profileKey content-addresses a target's training profile for the
+// exchange: a hash of the memo key, which already folds in the program
+// identity and every training-input parameter.
+func profileKey(rt *resolvedTarget) string {
+	h := fnv.New64a()
+	io.WriteString(h, rt.key) //nolint:errcheck // fnv never fails
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// trainProfile resolves the target's training profile: worker memo,
+// then the coordinator exchange, then a local training run (whose
+// result is published back). A fetched profile that fails bl.Load's
+// validation against the worker's own program is discarded and the
+// recompute's push heals the exchange — same discipline as a corrupt
+// bundle.
+func (tr *TaskRunner) trainProfile(rt *resolvedTarget) (*bl.ProgramProfile, error) {
+	train, _, _, err := tr.memo.trainProfileVia(rt, func() (*bl.ProgramProfile, error) {
+		if tr.profiles != nil {
+			if data, ok := tr.profiles.FetchProfile(profileKey(rt)); ok {
+				if pp, err := bl.Load(bytes.NewReader(data), rt.prog); err == nil {
+					return pp, nil
+				}
+			}
+		}
+		pp, _, err := bl.ProfileProgram(rt.prog, rt.fresh())
+		if err != nil {
+			return nil, err
+		}
+		if tr.profiles != nil {
+			var buf bytes.Buffer
+			if err := pp.Save(&buf, rt.prog); err == nil {
+				tr.profiles.PushProfile(profileKey(rt), buf.Bytes())
+			}
+		}
+		return pp, nil
+	})
+	return train, err
+}
+
+// Run implements fabric.RunFunc: decode, resolve, profile (memoized),
+// analyze one function, encode. Errors keep their StageError provenance
+// — fabric.NewTaskError ships it to the coordinator, which rebuilds the
+// identical error for the failing job's error body.
+func (tr *TaskRunner) Run(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+	var spec fabricTaskSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("serve: bad fabric task spec: %w", err)
+	}
+	rt, err := resolveTarget(&spec.Target)
+	if err != nil {
+		return nil, err
+	}
+	o, err := spec.Options.engine()
+	if err == nil {
+		err = o.Validate()
+	}
+	if err != nil {
+		return nil, err
+	}
+	fn := rt.prog.Funcs[spec.Func]
+	if fn == nil {
+		return nil, fmt.Errorf("serve: fabric task names unknown function %q in %s", spec.Func, rt.name)
+	}
+	train, err := tr.trainProfile(rt)
+	if err != nil {
+		return nil, err
+	}
+	var tp *bl.Profile
+	if train != nil {
+		tp = train.Funcs[spec.Func]
+	}
+	fr, err := tr.eng.AnalyzeFunc(ctx, fn, tp, o)
+	if err != nil {
+		return nil, err
+	}
+	out := fabricTaskResult{Summary: funcSummary(spec.Func, fr)}
+	if tp != nil {
+		out.TrainPaths = tp.NumPaths()
+	}
+	return json.Marshal(&out)
+}
+
+// taskWeights predicts one relative cost per function: its static
+// instruction count scaled by its training-profile path count (path
+// explosion, not code size, dominates analysis cost — heaviest first
+// keeps N workers' makespans balanced, LPT-style), scaled up by how
+// many pipeline stages a baseline diff dirties. With a baseline,
+// untouched functions keep their base weight (their stages replay from
+// the shared cache in microseconds) while the edit's recompute frontier
+// is scheduled first. train may be nil (cost falls back to code size).
+func taskWeights(prog *cfg.Program, baseline *cfg.Program, train *bl.ProgramProfile) map[string]int64 {
+	weights := make(map[string]int64, len(prog.Order))
+	for _, fname := range prog.Order {
+		w := int64(prog.Funcs[fname].G.NumInstrs()) + 1
+		if train != nil {
+			if p := train.Funcs[fname]; p != nil {
+				w *= int64(1 + p.NumPaths())
+			}
+		}
+		weights[fname] = w
+	}
+	if baseline != nil {
+		for _, d := range engine.DiffPrograms(baseline, prog, nil, nil) {
+			weights[d.Func] *= int64(1 + len(d.DirtyStages()))
+		}
+	}
+	return weights
+}
+
+// runPointsDistributed is the distributed job body: fan out one task per
+// (point, function), wait, reassemble. Task events (who computed what,
+// requeues after failures or lease expiries) land in the job's event
+// stream as type "task".
+func (s *Server) runPointsDistributed(ctx context.Context, job *Job, rt *resolvedTarget, target TargetSpec, points []engine.Options, baseline *cfg.Program) error {
+	t0 := time.Now()
+	order := rt.prog.Order
+
+	// Train once on the coordinator (memoized across jobs): the path
+	// counts drive cost prediction, and seeding the exchange means no
+	// worker pays a training run. Training is a fraction of a percent of
+	// the fan-out's compute; if it fails here it would fail identically
+	// on every worker, so surface the error now.
+	train, _, _, err := s.memo.trainProfile(rt)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := train.Save(&buf, rt.prog); err == nil {
+		s.fabric.SeedProfile(profileKey(rt), buf.Bytes())
+	}
+	weights := taskWeights(rt.prog, baseline, train)
+
+	specs := make([]fabric.TaskSpec, 0, len(points)*len(order))
+	for _, o := range points {
+		os := specOf(o)
+		for _, fname := range order {
+			raw, err := json.Marshal(&fabricTaskSpec{Target: target, Func: fname, Options: os})
+			if err != nil {
+				return fmt.Errorf("serve: encoding fabric task: %w", err)
+			}
+			// Affinity is per (target, function): a function's stage
+			// bundles are shared across sweep points, so the worker that
+			// computed point one serves the rest from its local cache
+			// instead of re-fetching (or recomputing) through the
+			// coordinator. Training-profile reuse survives the finer key
+			// via the coordinator's profile exchange.
+			specs = append(specs, fabric.TaskSpec{
+				Spec:     raw,
+				Priority: weights[fname],
+				Affinity: rt.key + "\x00" + fname,
+			})
+		}
+	}
+
+	batch := s.fabric.Submit(specs, func(ev fabric.TaskEvent) {
+		job.events.append(Event{
+			Type:       "task",
+			Job:        job.id,
+			Time:       time.Now(),
+			Point:      ev.Index / len(order),
+			Func:       order[ev.Index%len(order)],
+			Worker:     ev.Worker,
+			DurationMS: durMS(ev.Duration),
+			Requeued:   ev.Requeued,
+			Error:      ev.Err,
+		})
+	})
+	raws, err := batch.Wait(ctx)
+	if err != nil {
+		return err
+	}
+
+	results := make([]*AnalyzeResult, 0, len(points))
+	for pi, o := range points {
+		out := &AnalyzeResult{Program: rt.name, Options: specOf(o)}
+		for fi, fname := range order {
+			var tres fabricTaskResult
+			if err := json.Unmarshal(raws[pi*len(order)+fi], &tres); err != nil {
+				return fmt.Errorf("serve: decoding fabric result for %s: %w", fname, err)
+			}
+			out.Functions = append(out.Functions, tres.Summary)
+			out.Totals.OrigNodes += tres.Summary.Nodes
+			out.Totals.HPGNodes += tres.Summary.HPGNodes
+			out.Totals.ReducedNodes += tres.Summary.ReducedNodes
+			out.Totals.HotPaths += tres.Summary.HotPaths
+			out.Totals.TrainPaths += tres.TrainPaths
+			out.Totals.Consts += len(tres.Summary.Consts)
+		}
+		results = append(results, out)
+	}
+
+	jm := &JobMetrics{
+		WallMS:      durMS(time.Since(t0)),
+		EngineCache: cacheJSON(s.eng.CacheStats()),
+	}
+	job.setResult(nil, results, jm)
+	return nil
+}

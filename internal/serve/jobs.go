@@ -61,6 +61,12 @@ type Event struct {
 	Replayed   bool    `json:"replayed,omitempty"`
 	Source     string  `json:"source,omitempty"`
 
+	// With type=task (distributed sweeps): which fabric worker finished
+	// (or lost) one (point, function) task. Requeued marks attempts the
+	// coordinator re-enqueued after a failure or lease expiry.
+	Worker   string `json:"worker,omitempty"`
+	Requeued bool   `json:"requeued,omitempty"`
+
 	Error string `json:"error,omitempty"` // with type=end, failed/canceled
 }
 
@@ -172,6 +178,21 @@ func (j *Job) setResult(r *AnalyzeResult, rs []*AnalyzeResult, m *JobMetrics) {
 	j.mu.Lock()
 	j.result, j.results, j.metrics = r, rs, m
 	j.mu.Unlock()
+}
+
+// resultPayload returns the deterministic result payload of a job that
+// finished done: the single result for analyze jobs, the result list for
+// sweeps. false for any other state.
+func (j *Job) resultPayload() (any, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil, false
+	}
+	if j.kind == "sweep" {
+		return j.results, true
+	}
+	return j.result, true
 }
 
 // finish moves the job to its terminal state, seals the event log and

@@ -420,11 +420,11 @@ func TestGracefulShutdownCancelsInFlight(t *testing.T) {
 	// The shared cache survives the drain: failed computations are
 	// evicted, so the engine still produces correct results.
 	srv.hookStage = nil
-	rt, err := srv.resolveTarget(&TargetSpec{Source: testSrc, Args: []int64{120}})
+	rt, err := resolveTarget(&TargetSpec{Source: testSrc, Args: []int64{120}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, _, _, err := srv.trainProfile(rt)
+	train, _, _, err := srv.memo.trainProfile(rt)
 	if err != nil {
 		t.Fatal(err)
 	}

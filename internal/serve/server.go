@@ -17,6 +17,7 @@ import (
 	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/engine"
+	"pathflow/internal/fabric"
 	"pathflow/internal/interp"
 	"pathflow/internal/lang"
 )
@@ -47,6 +48,16 @@ type Config struct {
 	// DefaultTimeout is the per-job deadline applied when a request
 	// does not set timeout_ms; 0 means no deadline.
 	DefaultTimeout time.Duration
+	// Fabric mounts the distributed-analysis coordinator (the
+	// /fabric/v1/* endpoints) and enables "distributed": true sweeps.
+	// Workers join with `pathflow worker -join`.
+	Fabric bool
+	// FabricLeaseTTL is how long a worker lease survives without a
+	// heartbeat (0 means the fabric default, 10s).
+	FabricLeaseTTL time.Duration
+	// FabricMaxAttempts bounds per-task attempts (0 means the fabric
+	// default, 3).
+	FabricMaxAttempts int
 }
 
 // Server is the long-running analysis service. One engine — and
@@ -61,11 +72,12 @@ type Server struct {
 	mux     *http.ServeMux
 	reqSeq  atomic.Int64
 
-	// progMu guards the program/profile memo: compiled programs and
-	// training profiles keyed by the full target spec, single-flight so
-	// overlapping requests share one training run.
-	progMu   sync.Mutex
-	programs map[string]*progEntry
+	// memo is the program/profile memo shared by every job.
+	memo progMemo
+
+	// fabric is the distributed-analysis coordinator, or nil when
+	// Config.Fabric is off.
+	fabric *fabric.Coordinator
 
 	// hookStage, when non-nil, observes every engine StageEvent after
 	// the server's own bookkeeping. Test seam; set before serving.
@@ -82,6 +94,18 @@ type progEntry struct {
 	err       error
 }
 
+// progMemo memoizes training profiles keyed by the full target spec,
+// single-flight so overlapping requests share one training run. It is
+// used by the server and, independently, by each fabric worker's
+// TaskRunner — a worker pays each program's training run once, which is
+// exactly what the scheduler's affinity preference optimizes for.
+type progMemo struct {
+	mu       sync.Mutex
+	programs map[string]*progEntry
+}
+
+func newProgMemo() progMemo { return progMemo{programs: map[string]*progEntry{}} }
+
 // New returns a server with a fresh engine. It fails only when a
 // configured CacheDir cannot be opened.
 func New(cfg Config) (*Server, error) {
@@ -96,10 +120,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: opening cache dir: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		eng:      eng,
-		metrics:  newServerMetrics(),
-		programs: map[string]*progEntry{},
+		cfg:     cfg,
+		eng:     eng,
+		metrics: newServerMetrics(),
+		memo:    newProgMemo(),
 	}
 	s.jobs = newManager(cfg.MaxJobs, s.metrics)
 	s.mux = http.NewServeMux()
@@ -107,13 +131,24 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Fabric {
+		s.fabric = fabric.NewCoordinator(fabric.Config{
+			LeaseTTL:    cfg.FabricLeaseTTL,
+			MaxAttempts: cfg.FabricMaxAttempts,
+		}, eng.Disk())
+		s.fabric.Mount(s.mux)
+	}
 	return s, nil
 }
+
+// Fabric exposes the coordinator (nil when Config.Fabric is off).
+func (s *Server) Fabric() *fabric.Coordinator { return s.fabric }
 
 // Engine exposes the shared engine (cumulative CacheStats and friends).
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -204,10 +239,11 @@ type resolvedTarget struct {
 }
 
 // resolveTarget validates the spec and compiles (or looks up) the
-// program. It is called synchronously at submit time so bad requests
-// fail with 400/404 before a job is created; the expensive training run
-// happens later, inside the job.
-func (s *Server) resolveTarget(spec *TargetSpec) (*resolvedTarget, error) {
+// program. The server calls it synchronously at submit time so bad
+// requests fail with 400/404 before a job is created (the expensive
+// training run happens later, inside the job); fabric workers call it
+// per leased task.
+func resolveTarget(spec *TargetSpec) (*resolvedTarget, error) {
 	switch {
 	case spec.Program != "" && spec.Source != "":
 		return nil, errors.New(`serve: "program" and "source" are mutually exclusive`)
@@ -265,27 +301,37 @@ func (s *Server) resolveTarget(spec *TargetSpec) (*resolvedTarget, error) {
 // most once per distinct target (single-flight: overlapping jobs for the
 // same target share one training run). The second return is the compute
 // cost in milliseconds; the third reports a memo hit.
-func (s *Server) trainProfile(rt *resolvedTarget) (*bl.ProgramProfile, float64, bool, error) {
-	s.progMu.Lock()
-	e, ok := s.programs[rt.key]
+func (m *progMemo) trainProfile(rt *resolvedTarget) (*bl.ProgramProfile, float64, bool, error) {
+	return m.trainProfileVia(rt, func() (*bl.ProgramProfile, error) {
+		pp, _, err := bl.ProfileProgram(rt.prog, rt.fresh())
+		return pp, err
+	})
+}
+
+// trainProfileVia is trainProfile with the compute step swapped out —
+// the fabric worker path consults the coordinator's profile exchange
+// before falling back to a local training run.
+func (m *progMemo) trainProfileVia(rt *resolvedTarget, compute func() (*bl.ProgramProfile, error)) (*bl.ProgramProfile, float64, bool, error) {
+	m.mu.Lock()
+	e, ok := m.programs[rt.key]
 	if ok {
-		s.progMu.Unlock()
+		m.mu.Unlock()
 		<-e.ready
 		return e.train, e.profileMS, true, e.err
 	}
 	e = &progEntry{ready: make(chan struct{}), prog: rt.prog}
-	s.programs[rt.key] = e
-	s.progMu.Unlock()
+	m.programs[rt.key] = e
+	m.mu.Unlock()
 
 	t0 := time.Now()
-	e.train, _, e.err = bl.ProfileProgram(rt.prog, rt.fresh())
+	e.train, e.err = compute()
 	e.profileMS = durMS(time.Since(t0))
 	close(e.ready)
 	if e.err != nil {
 		// Evict failures so a later identical request can retry.
-		s.progMu.Lock()
-		delete(s.programs, rt.key)
-		s.progMu.Unlock()
+		m.mu.Lock()
+		delete(m.programs, rt.key)
+		m.mu.Unlock()
 		return nil, e.profileMS, false, e.err
 	}
 	return e.train, e.profileMS, false, nil
@@ -322,7 +368,7 @@ func (s *Server) observer(job *Job, point int) func(engine.StageEvent) {
 // accumulating deterministic results and nondeterministic metrics.
 func (s *Server) runPoints(ctx context.Context, job *Job, rt *resolvedTarget, points []engine.Options) error {
 	t0 := time.Now()
-	train, profMS, memoHit, err := s.trainProfile(rt)
+	train, profMS, memoHit, err := s.memo.trainProfile(rt)
 	if err != nil {
 		return err
 	}
@@ -383,7 +429,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, requestID(r), http.StatusBadRequest, err)
 		return
 	}
-	rt, err := s.resolveTarget(&req.TargetSpec)
+	rt, err := resolveTarget(&req.TargetSpec)
 	if err != nil {
 		writeError(w, requestID(r), statusFor(err), err)
 		return
@@ -417,7 +463,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			errors.New(`serve: "points" must list at least one {ca, cr} pair`))
 		return
 	}
-	rt, err := s.resolveTarget(&req.TargetSpec)
+	rt, err := resolveTarget(&req.TargetSpec)
 	if err != nil {
 		writeError(w, requestID(r), statusFor(err), err)
 		return
@@ -434,10 +480,50 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Distributed {
+		if s.fabric == nil {
+			writeError(w, requestID(r), http.StatusBadRequest,
+				errors.New(`serve: "distributed" requires the fabric coordinator; start serve with -fabric`))
+			return
+		}
+		var baseline *cfg.Program
+		if req.BaselineSource != "" {
+			baseline, err = lang.Compile(req.BaselineSource)
+			if err != nil {
+				writeError(w, requestID(r), http.StatusBadRequest,
+					fmt.Errorf("serve: compiling baseline_source: %w", err))
+				return
+			}
+		}
+		target := req.TargetSpec
+		job := s.jobs.Submit("sweep", rt.name, s.timeoutFor(req.TimeoutMS), func(ctx context.Context, job *Job) error {
+			return s.runPointsDistributed(ctx, job, rt, target, points, baseline)
+		})
+		s.respondSubmitted(w, r, job)
+		return
+	}
 	job := s.jobs.Submit("sweep", rt.name, s.timeoutFor(req.TimeoutMS), func(ctx context.Context, job *Job) error {
 		return s.runPoints(ctx, job, rt, points)
 	})
 	s.respondSubmitted(w, r, job)
+}
+
+// handleJobResult serves only the deterministic result payload of a
+// finished job — no timings, no cache counters, no job envelope — so two
+// runs of the same request (local or distributed) can be compared
+// byte-for-byte with cmp.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job := s.jobOr404(w, r)
+	if job == nil {
+		return
+	}
+	payload, ok := job.resultPayload()
+	if !ok {
+		writeError(w, requestID(r), http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s, not done", job.id, job.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // respondSubmitted answers a submission: 202 + job reference, or — with
@@ -557,16 +643,24 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	inFlight, accepted := s.metrics.snapshot()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		JobsInFlight:  inFlight,
 		JobsAccepted:  accepted,
 		EngineCache:   cacheJSON(s.eng.CacheStats()),
-	})
+	}
+	if s.fabric != nil {
+		pending, leased := s.fabric.Depth()
+		h.Fabric = &FabricHealth{TasksPending: pending, TasksLeased: leased}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, s.eng.CacheStats())
+	if s.fabric != nil {
+		s.fabric.WriteMetrics(w)
+	}
 }
