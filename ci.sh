@@ -28,17 +28,24 @@
 #                           (FuzzDiskcacheCodec: corrupt cache files
 #                           never panic; FuzzDelta: dirty-set
 #                           predictions stay sound on random edits;
-#                           FuzzKernelEquivalence: the packed arena
-#                           kernels match the boxed reference pointwise
-#                           on full pipeline runs over random programs),
+#                           FuzzKernelEquivalence: the packed and sparse
+#                           arena kernels match the boxed reference on
+#                           full pipeline runs over random programs —
+#                           packed pointwise, sparse facts-only),
 #                           seeded from testdata/fuzz corpora
 #   7. kernel gate          BenchmarkAnalyzeKernels/resolve — the packed
 #                           solvers' steady-state Run() loop — must
-#                           report exactly 0 allocs/op (BENCH_kernels.json)
+#                           report exactly 0 allocs/op (BENCH_kernels.json);
+#                           likewise BenchmarkAnalyzeSparse/sparse-resolve,
+#                           the sparse def-use kernels' steady-state loop
+#                           (BENCH_sparse.json)
 #   8. check smoke          `pathflow check` over examples/hotpath.pf
 #                           and two benchmarks: the precision
 #                           differential oracle must report zero
-#                           violations (exit status is the gate)
+#                           violations (exit status is the gate) — then
+#                           `check -kernel=sparse` over all seven
+#                           benchmarks, so the sparse kernels clear the
+#                           same oracle end to end
 #   9. baseline smoke       end-to-end incremental re-analysis:
 #                           `analyze -baseline` on a one-block constant
 #                           edit must classify the edited function as a
@@ -106,6 +113,16 @@ kernels=$(go test -run '^$' -bench '^BenchmarkAnalyzeKernels$' -benchmem -bencht
 echo "$kernels"
 echo "$kernels" | grep -Eq 'AnalyzeKernels/resolve.*[^0-9]0 B/op[[:space:]]+0 allocs/op' || {
     echo "kernel gate: resolve path is not allocation-free" >&2; exit 1; }
+# Same bar for the sparse def-use kernels: their steady-state Run() —
+# dirty bitsets, masked meets, the priority ring — must also stay inside
+# the arena. Every sparse-resolve line must report exactly 0 allocs/op.
+sparse=$(go test -run '^$' -bench '^BenchmarkAnalyzeSparse$' -benchmem -benchtime 20x .)
+echo "$sparse"
+sparse_lines=$(echo "$sparse" | grep -Ec 'AnalyzeSparse/.*/sparse-resolve')
+sparse_clean=$(echo "$sparse" | grep -Ec 'AnalyzeSparse/.*/sparse-resolve.*[^0-9]0 B/op[[:space:]]+0 allocs/op')
+if [ "$sparse_lines" -eq 0 ] || [ "$sparse_lines" -ne "$sparse_clean" ]; then
+    echo "kernel gate: sparse-resolve path is not allocation-free" >&2; exit 1
+fi
 
 tmpdir=$(mktemp -d)
 cleanup() {
@@ -127,6 +144,13 @@ echo "== check smoke"
 for b in compress m88ksim; do
     "$tmpdir/pathflow" check -q "$b" || {
         echo "check smoke: oracle violation in benchmark $b" >&2; exit 1; }
+done
+# The sparse kernels run the same precision oracle over every benchmark:
+# def-use seeded propagation must land on exactly the facts the dense
+# solve reaches, so the HPG/rHPG-vs-CFG differential holds unchanged.
+for b in compress go ijpeg li m88ksim perl vortex; do
+    "$tmpdir/pathflow" check -q -kernel=sparse "$b" || {
+        echo "check smoke: oracle violation in benchmark $b (-kernel=sparse)" >&2; exit 1; }
 done
 
 echo "== baseline smoke"

@@ -21,6 +21,7 @@ func cmdCheck(args []string) error {
 	ca := fs.Float64("ca", 0.97, "hot-path coverage CA")
 	cr := fs.Float64("cr", 0.95, "reduction benefit cutoff CR")
 	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
+	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels), boxed (reference), or sparse (def-use chains)")
 	quiet := fs.Bool("q", false, "print only violations and the final verdict")
 	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
@@ -37,7 +38,11 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := engine.Options{CA: *ca, CR: *cr, Clients: engine.ClientsAll}
+	kern, err := engine.ParseKernel(*kernelFlag)
+	if err != nil {
+		return err
+	}
+	o := engine.Options{CA: *ca, CR: *cr, Clients: engine.ClientsAll, Kernel: kern}
 	if err := o.Validate(); err != nil {
 		return err
 	}

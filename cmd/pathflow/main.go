@@ -295,7 +295,7 @@ func cmdAnalyze(args []string) error {
 	showConsts := fs.Bool("consts", false, "list discovered non-local constants")
 	profFile := fs.String("profile", "", "use a saved profile instead of running the training input")
 	clientsFlag := fs.String("clients", "none", "extra data-flow clients to run: none, liveness, availexpr, all")
-	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels) or boxed (reference)")
+	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels), boxed (reference), or sparse (def-use chains)")
 	verify := fs.Bool("verify", false, "run the precision differential oracle as a final stage")
 	baseFile := fs.String("baseline", "", "previous source version: warm the cache with its analysis, classify the edit per function, and report which stages replayed vs recomputed")
 	cflags := addCacheFlags(fs, "")

@@ -22,11 +22,14 @@
 // else (optimistic ⊤ start, per-edge executability, Widener hooks, the
 // narrowing passes, irreducibility tolerance) carries over unchanged.
 //
-// Two solver backends share this contract: the boxed reference path in
-// this file (facts as interface values) and the packed kernels under
-// dataflow/kernel (facts as rows of preallocated arenas). The boxed path
-// is the semantic reference; the kernels must reproduce its solutions —
-// including iteration counts — exactly.
+// Three solver backends share this contract: the boxed reference path
+// in this file (facts as interface values) and, under dataflow/kernel,
+// the packed dense kernels and the sparse def-use-chain solver (facts
+// as rows of preallocated arenas). The boxed path is the semantic
+// reference; the dense kernels must reproduce its solutions — including
+// iteration counts — exactly, while the sparse solver must match its
+// facts, reachability, and edge executability but may (and does) spend
+// fewer transfers getting there.
 package dataflow
 
 import "pathflow/internal/cfg"
@@ -67,9 +70,9 @@ func DirectionOf(p Problem) Direction {
 }
 
 // Kernel selects the fact representation a client analysis solves on.
-// Both backends compute identical solutions (the differential oracle and
-// FuzzKernelEquivalence enforce pointwise equality); they differ only in
-// memory layout and speed.
+// All backends compute identical facts (the differential oracle and
+// FuzzKernelEquivalence enforce pointwise equality); they differ only
+// in memory layout, propagation strategy, and speed.
 type Kernel uint8
 
 const (
@@ -80,12 +83,23 @@ const (
 	// KernelBoxed solves on the boxed reference implementation in this
 	// package (facts as interface values).
 	KernelBoxed
+	// KernelSparse solves on the packed arenas with sparse def-use
+	// propagation (dataflow/kernel's sparse solver): facts travel only
+	// along the chains the graph's defs and uses induce, and nodes
+	// transparent to a change forward it without re-running their
+	// transfer. Solutions are pointwise equal to the other backends'
+	// but iteration counts legitimately differ (see
+	// oracle.DifferentialFacts).
+	KernelSparse
 )
 
-// String returns "packed" or "boxed".
+// String returns "packed", "boxed" or "sparse".
 func (k Kernel) String() string {
-	if k == KernelBoxed {
+	switch k {
+	case KernelBoxed:
 		return "boxed"
+	case KernelSparse:
+		return "sparse"
 	}
 	return "packed"
 }
@@ -215,6 +229,12 @@ type Solution struct {
 	// Iterations counts node transfers, a measure of analysis effort
 	// (used by the paper's Figure 12-style analysis-time experiment).
 	Iterations int
+	// Pops counts fixpoint worklist pops. For the dense backends every
+	// pop transfers, so Pops equals the worklist share of Iterations;
+	// the sparse kernel also pops transparent nodes it forwards through
+	// without transferring, so there Pops >= Iterations. Narrowing-pass
+	// transfers count toward Iterations but not Pops.
+	Pops int
 	// Direction records the orientation the solution was computed in.
 	Direction Direction
 }
@@ -230,10 +250,14 @@ func Solve(g *cfg.Graph, p Problem) *Solution {
 	return s.sol
 }
 
-// solver owns all iteration state for one Solve: the FIFO worklist (a
-// ring buffer — each node is enqueued at most once, so NumNodes+1 slots
-// suffice), the per-Transfer out-slot scratch, and the narrowing-pass
-// arena. Everything is allocated once up front; the hot loop allocates
+// solver owns all iteration state for one Solve: the worklist, the
+// per-Transfer out-slot scratch, and the narrowing-pass arena.
+// Non-widening problems iterate in reverse-postorder priority (a
+// PriorityRing over the graph's RPO — reverse RPO for backward
+// problems); widening problems keep the FIFO ring, because widening is
+// order-sensitive and its trajectory is part of the cross-backend
+// contract. Either way a node is enqueued at most once while pending,
+// and everything is allocated once up front; the hot loop allocates
 // nothing beyond what the problem's own Meet/Transfer allocate.
 type solver struct {
 	g   *cfg.Graph
@@ -244,8 +268,9 @@ type solver struct {
 	widener           Widener
 	threshold, passes int
 
-	inQueue      []bool
-	queue        []cfg.NodeID // ring buffer
+	ring         *PriorityRing // non-widening problems
+	inQueue      []bool        // widening problems: FIFO membership …
+	queue        []cfg.NodeID  // … and ring buffer, NumNodes+1 slots
 	qhead, qtail int
 
 	out []Fact // Transfer out-slot scratch, reused across iterations
@@ -272,11 +297,16 @@ func newSolver(g *cfg.Graph, p Problem) *solver {
 			Reached:        make([]bool, g.NumNodes()),
 			EdgeExecutable: make([]bool, g.NumEdges()),
 		},
-		inQueue: make([]bool, g.NumNodes()),
-		queue:   make([]cfg.NodeID, g.NumNodes()+1),
 	}
 	s.sol.Direction = s.dir
 	s.widener, _ = p.(Widener)
+	s.dfs = g.DepthFirst()
+	if s.widener == nil {
+		s.ring = NewPriorityRing(g.NumNodes(), s.dfs.RPOOrder, s.dir == Backward)
+	} else {
+		s.inQueue = make([]bool, g.NumNodes())
+		s.queue = make([]cfg.NodeID, g.NumNodes()+1)
+	}
 	if s.widener != nil {
 		s.threshold, s.passes = TuningOf(p)
 		s.changes = make([]int, g.NumNodes())
@@ -289,7 +319,6 @@ func newSolver(g *cfg.Graph, p Problem) *solver {
 		// retreating edge, so widening there still cuts every infinite
 		// descent.
 		s.widenAt = make([]bool, g.NumNodes())
-		s.dfs = g.DepthFirst()
 		for e := range s.dfs.Retreating {
 			if s.dir == Backward {
 				s.widenAt[g.Edge(e).From] = true
@@ -302,6 +331,10 @@ func newSolver(g *cfg.Graph, p Problem) *solver {
 }
 
 func (s *solver) push(n cfg.NodeID) {
+	if s.ring != nil {
+		s.ring.Push(n)
+		return
+	}
 	if !s.inQueue[n] {
 		s.inQueue[n] = true
 		s.queue[s.qtail] = n
@@ -313,6 +346,9 @@ func (s *solver) push(n cfg.NodeID) {
 }
 
 func (s *solver) pop() cfg.NodeID {
+	if s.ring != nil {
+		return s.ring.Pop()
+	}
 	n := s.queue[s.qhead]
 	s.qhead++
 	if s.qhead == len(s.queue) {
@@ -320,6 +356,13 @@ func (s *solver) pop() cfg.NodeID {
 	}
 	s.inQueue[n] = false
 	return n
+}
+
+func (s *solver) empty() bool {
+	if s.ring != nil {
+		return s.ring.Empty()
+	}
+	return s.qhead == s.qtail
 }
 
 // edgesOf returns the edges node facts leave through: out-edges forward,
@@ -353,9 +396,10 @@ func (s *solver) run() {
 	sol.Reached[start] = true
 	s.push(start)
 
-	for s.qhead != s.qtail {
+	for !s.empty() {
 		n := s.pop()
 		sol.Iterations++
+		sol.Pops++
 
 		nd := g.Node(n)
 		edges := s.edgesOf(nd)

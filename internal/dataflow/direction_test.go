@@ -146,3 +146,112 @@ func TestBackwardWideningTerminates(t *testing.T) {
 		t.Error("entry unreached")
 	}
 }
+
+// maxDistProblem computes the length of the longest executable path
+// from entry to each node (capped): meet is max, so a merge node's fact
+// changes every time a longer arm delivers. On a FIFO worklist that
+// makes unequal-arm diamonds expensive — the short arm reaches the
+// merge first, the merge transfers its whole tail, then the long arm
+// arrives and the tail is re-transferred. The RPO priority worklist
+// never pops the merge before both arms are done.
+type maxDistProblem struct{ backward bool }
+
+func (p *maxDistProblem) Direction() Direction {
+	if p.backward {
+		return Backward
+	}
+	return Forward
+}
+func (p *maxDistProblem) Entry() Fact { return 0 }
+func (p *maxDistProblem) Meet(a, b Fact) Fact {
+	if a.(int) > b.(int) {
+		return a
+	}
+	return b
+}
+func (p *maxDistProblem) Equal(a, b Fact) bool { return a.(int) == b.(int) }
+func (p *maxDistProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in Fact, out []Fact) {
+	d := in.(int) + 1
+	if d > distCap {
+		d = distCap
+	}
+	for i := range out {
+		out[i] = d
+	}
+}
+
+// buildUnequalDiamond returns a DAG with two arms of different length
+// into a merge node m followed by a straight tail:
+//
+//	entry -> a ----------------> m -> t1 -> t2 -> t3 -> exit
+//	entry -> b1 -> b2 -> b3 ---> m
+func buildUnequalDiamond(t *testing.T) *cfg.Graph {
+	t.Helper()
+	g := cfg.New("diamond")
+	a := g.AddNode("a")
+	b1 := g.AddNode("b1")
+	b2 := g.AddNode("b2")
+	b3 := g.AddNode("b3")
+	m := g.AddNode("m")
+	t1 := g.AddNode("t1")
+	t2 := g.AddNode("t2")
+	t3 := g.AddNode("t3")
+	g.Node(g.Entry).Kind = cfg.TermBranch
+	g.Node(g.Entry).Cond = 0
+	g.AddEdge(g.Entry, a)
+	g.AddEdge(g.Entry, b1)
+	g.AddEdge(b1, b2)
+	g.AddEdge(b2, b3)
+	g.AddEdge(a, m)
+	g.AddEdge(b3, m)
+	g.AddEdge(m, t1)
+	g.AddEdge(t1, t2)
+	g.AddEdge(t2, t3)
+	g.AddEdge(t3, g.Exit)
+	if err := g.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPriorityWorklistMinimizesPops pins the scheduling upgrade: with
+// the RPO priority worklist (and its pending-membership bitset) every
+// node of an acyclic graph is popped exactly once per direction —
+// predecessors always drain first, so no node is visited before its
+// inputs are final. The FIFO worklist this replaced popped the merge
+// node and its three-node tail twice on this same graph (the short arm
+// delivers first, the tail transfers, then the long arm forces a
+// re-pop): 15 pops forward where the priority ring needs 10.
+func TestPriorityWorklistMinimizesPops(t *testing.T) {
+	g := buildUnequalDiamond(t)
+	for _, dir := range []struct {
+		name     string
+		backward bool
+	}{{"forward", false}, {"backward", true}} {
+		sol := Solve(g, &maxDistProblem{backward: dir.backward})
+		reached := 0
+		for _, r := range sol.Reached {
+			if r {
+				reached++
+			}
+		}
+		if reached != g.NumNodes() {
+			t.Fatalf("%s: reached %d of %d nodes", dir.name, reached, g.NumNodes())
+		}
+		if sol.Pops != reached {
+			t.Errorf("%s: %d pops for %d reachable nodes, want exactly one pop per node",
+				dir.name, sol.Pops, reached)
+		}
+		if sol.Iterations != sol.Pops {
+			t.Errorf("%s: iterations %d != pops %d (dense pops all transfer)",
+				dir.name, sol.Iterations, sol.Pops)
+		}
+	}
+	// The longest-path facts confirm both arms were merged before the
+	// tail transferred: the long arm entry->b1->b2->b3->m->t1->t2->t3
+	// crosses 8 transfers before reaching exit.
+	sol := Solve(g, &maxDistProblem{})
+	if got := sol.In[g.Exit].(int); got != 8 {
+		t.Errorf("longest path to exit = %d, want 8", got)
+	}
+}

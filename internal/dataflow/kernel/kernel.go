@@ -9,8 +9,10 @@
 // words for set lattices, parallel struct-of-arrays slices for value
 // lattices), identified by a dense small integer. The solver then runs
 // the exact same chaotic worklist discipline as dataflow.Solve — same
-// FIFO order, same widening/narrowing schedule, same iteration counts —
-// but every lattice operation is an in-place loop over primitive slices.
+// worklist order (RPO priority for non-widening problems, FIFO for
+// widening ones), same widening/narrowing schedule, same iteration
+// counts — but every lattice operation is an in-place loop over
+// primitive slices.
 // Solutions are bit-for-bit equal to the boxed reference's (the
 // differential oracle and FuzzKernelEquivalence enforce this), which is
 // what lets golden metrics stay byte-identical while the representation
@@ -98,10 +100,19 @@ type Solver struct {
 	EdgeExecutable []bool
 	Iterations     int
 
-	inQueue      []bool
-	queue        []int32 // FIFO ring buffer, NumNodes+1 slots
+	ring         *dataflow.PriorityRing // non-widening problems
+	inQueue      []bool                 // widening problems: FIFO membership …
+	queue        []int32                // … and ring buffer, NumNodes+1 slots
 	qhead, qtail int
 	slots        []int8 // Transfer slot scratch, sized to max degree
+
+	// Pops counts worklist pops. For the dense solver Pops equals
+	// Iterations (every pop runs one transfer); the sparse solver keeps
+	// the two apart, because pass-through pops forward a delta without
+	// re-running the node's transfer.
+	Pops int
+
+	sp *sparse // non-nil for solvers built by NewSparseSolver
 
 	scratch int // first Transfer scratch row
 	spare   int // widening save / narrowing accumulator row
@@ -124,8 +135,6 @@ func NewSolver(g *cfg.Graph, d Domain) *Solver {
 		dir:            d.Direction(),
 		Reached:        make([]bool, n),
 		EdgeExecutable: make([]bool, ne),
-		inQueue:        make([]bool, n),
-		queue:          make([]int32, n+1),
 		scratch:        n,
 		spare:          n + 3,
 	}
@@ -142,12 +151,12 @@ func NewSolver(g *cfg.Graph, d Domain) *Solver {
 	}
 	s.slots = make([]int8, maxDeg)
 	rows := n + 4
+	dfs := g.DepthFirst()
 	if wd, ok := d.(WidenDomain); ok {
 		s.wd = wd
 		s.threshold, s.passes = wd.Tune()
 		s.changes = make([]int32, n)
 		s.widenAt = make([]bool, n)
-		dfs := g.DepthFirst()
 		for e := range dfs.Retreating {
 			if s.dir == dataflow.Backward {
 				s.widenAt[g.Edge(e).From] = true
@@ -160,6 +169,10 @@ func NewSolver(g *cfg.Graph, d Domain) *Solver {
 		rows += ne
 		s.outValid = make([]bool, n)
 		s.outLive = make([]bool, ne)
+		s.inQueue = make([]bool, n)
+		s.queue = make([]int32, n+1)
+	} else {
+		s.ring = dataflow.NewPriorityRing(n, dfs.RPOOrder, s.dir == dataflow.Backward)
 	}
 	d.Grow(rows)
 	return s
@@ -169,20 +182,12 @@ func NewSolver(g *cfg.Graph, d Domain) *Solver {
 // domain's per-node rows and the reachability view on the solver. It
 // performs no allocations.
 func (s *Solver) Run() {
+	s.reset()
+	if s.sp != nil {
+		s.runSparse()
+		return
+	}
 	g, d := s.g, s.d
-	for i := range s.Reached {
-		s.Reached[i] = false
-		s.inQueue[i] = false
-	}
-	for i := range s.EdgeExecutable {
-		s.EdgeExecutable[i] = false
-	}
-	for i := range s.changes {
-		s.changes[i] = 0
-	}
-	s.Iterations = 0
-	s.qhead, s.qtail = 0, 0
-
 	start := g.Entry
 	if s.dir == dataflow.Backward {
 		start = g.Exit
@@ -191,9 +196,10 @@ func (s *Solver) Run() {
 	s.Reached[start] = true
 	s.push(start)
 
-	for s.qhead != s.qtail {
+	for !s.empty() {
 		n := s.pop()
 		s.Iterations++
+		s.Pops++
 
 		nd := g.Node(n)
 		edges := nd.Out
@@ -245,7 +251,52 @@ func (s *Solver) Run() {
 	}
 }
 
+// reset clears all per-Run iteration state without allocating.
+// SetFIFO replaces the RPO priority ring with the plain FIFO worklist
+// the dense kernels used before the scheduling upgrade. The fixpoint of
+// a non-widening problem is order-independent, so results are identical
+// — only the visit order and pop counts change. Kept so the kernel
+// benchmarks can measure the scheduling win (FIFO → RPO priority) and
+// the sparsity win (flood → def-use chains) separately. No-op on
+// widening solvers, which already run FIFO.
+func (s *Solver) SetFIFO() {
+	if s.ring == nil {
+		return
+	}
+	s.ring = nil
+	s.inQueue = make([]bool, s.g.NumNodes())
+	s.queue = make([]int32, s.g.NumNodes()+1)
+}
+
+func (s *Solver) reset() {
+	for i := range s.Reached {
+		s.Reached[i] = false
+	}
+	for i := range s.inQueue {
+		s.inQueue[i] = false
+	}
+	for i := range s.EdgeExecutable {
+		s.EdgeExecutable[i] = false
+	}
+	for i := range s.changes {
+		s.changes[i] = 0
+	}
+	s.Iterations = 0
+	s.Pops = 0
+	s.qhead, s.qtail = 0, 0
+	if s.ring != nil {
+		s.ring.Reset()
+	}
+	if s.sp != nil {
+		s.sp.reset()
+	}
+}
+
 func (s *Solver) push(n cfg.NodeID) {
+	if s.ring != nil {
+		s.ring.Push(n)
+		return
+	}
 	if !s.inQueue[n] {
 		s.inQueue[n] = true
 		s.queue[s.qtail] = int32(n)
@@ -257,6 +308,9 @@ func (s *Solver) push(n cfg.NodeID) {
 }
 
 func (s *Solver) pop() cfg.NodeID {
+	if s.ring != nil {
+		return s.ring.Pop()
+	}
 	n := cfg.NodeID(s.queue[s.qhead])
 	s.qhead++
 	if s.qhead == len(s.queue) {
@@ -264,6 +318,13 @@ func (s *Solver) pop() cfg.NodeID {
 	}
 	s.inQueue[n] = false
 	return n
+}
+
+func (s *Solver) empty() bool {
+	if s.ring != nil {
+		return s.ring.Empty()
+	}
+	return s.qhead == s.qtail
 }
 
 // recomputeOuts refreshes the narrowing cache rows for node n: one
@@ -360,6 +421,7 @@ func (s *Solver) Materialize(fact func(row int) dataflow.Fact) *dataflow.Solutio
 		Reached:        append([]bool(nil), s.Reached...),
 		EdgeExecutable: append([]bool(nil), s.EdgeExecutable...),
 		Iterations:     s.Iterations,
+		Pops:           s.Pops,
 		Direction:      s.dir,
 	}
 	for n := range sol.In {

@@ -1,0 +1,114 @@
+package dataflow
+
+import (
+	"math/bits"
+
+	"pathflow/internal/cfg"
+)
+
+// PriorityRing is a worklist that always pops the pending node with the
+// smallest priority, where priority is the node's position in a fixed
+// visit order (reverse postorder for forward problems, reverse RPO for
+// backward ones). Compared with the FIFO ring it replaces for
+// non-widening problems, RPO popping drains a node's predecessors
+// before the node itself whenever the pending set allows it, so join
+// points on deep hot-path graphs see their incoming facts merged once
+// instead of being re-transferred per arrival.
+//
+// The pending set is a bitset over priority slots with a running
+// minimum-word hint, so Push and Pop are O(1) amortized and the whole
+// structure is three flat slices — it allocates only at construction
+// and both solver backends (boxed and packed) share it, which is what
+// keeps their iteration counts in lockstep.
+//
+// The pending bitset doubles as the worklist's membership set: Push of
+// an already-pending node is a no-op, so a node is never queued twice
+// and every pop does real work.
+type PriorityRing struct {
+	pos     []int32  // pos[node] = priority slot
+	nodeAt  []int32  // nodeAt[slot] = node
+	pending []uint64 // bitset over priority slots
+	minWord int      // no pending bit lives in a word below this one
+	n       int      // pending count
+}
+
+// NewPriorityRing builds a ring for a graph of numNodes nodes visited
+// in order (a DFS reverse postorder; reversed when reverse is true,
+// the backward-problem orientation). Nodes absent from order — possible
+// on graphs with vertices unreachable from the entry — sort after every
+// ordered node, in ID order.
+func NewPriorityRing(numNodes int, order []cfg.NodeID, reverse bool) *PriorityRing {
+	r := &PriorityRing{
+		pos:     make([]int32, numNodes),
+		nodeAt:  make([]int32, numNodes),
+		pending: make([]uint64, (numNodes+63)/64),
+	}
+	for i := range r.pos {
+		r.pos[i] = -1
+	}
+	next := int32(0)
+	place := func(n cfg.NodeID) {
+		r.pos[n] = next
+		r.nodeAt[next] = int32(n)
+		next++
+	}
+	if reverse {
+		for i := len(order) - 1; i >= 0; i-- {
+			place(order[i])
+		}
+	} else {
+		for _, n := range order {
+			place(n)
+		}
+	}
+	for id := 0; id < numNodes; id++ {
+		if r.pos[id] < 0 {
+			place(cfg.NodeID(id))
+		}
+	}
+	r.minWord = len(r.pending)
+	return r
+}
+
+// Reset empties the ring without allocating.
+func (r *PriorityRing) Reset() {
+	for i := range r.pending {
+		r.pending[i] = 0
+	}
+	r.minWord = len(r.pending)
+	r.n = 0
+}
+
+// Empty reports whether no node is pending.
+func (r *PriorityRing) Empty() bool { return r.n == 0 }
+
+// Push marks n pending and reports whether it was newly added (false
+// when n is already waiting — the membership dedup).
+func (r *PriorityRing) Push(n cfg.NodeID) bool {
+	p := r.pos[n]
+	w, b := int(p>>6), uint64(1)<<(uint32(p)&63)
+	if r.pending[w]&b != 0 {
+		return false
+	}
+	r.pending[w] |= b
+	r.n++
+	if w < r.minWord {
+		r.minWord = w
+	}
+	return true
+}
+
+// Pop removes and returns the pending node with the smallest priority.
+// It must not be called on an empty ring.
+func (r *PriorityRing) Pop() cfg.NodeID {
+	w := r.minWord
+	for r.pending[w] == 0 {
+		w++
+	}
+	word := r.pending[w]
+	tz := bits.TrailingZeros64(word)
+	r.pending[w] = word &^ (1 << uint(tz))
+	r.minWord = w
+	r.n--
+	return cfg.NodeID(r.nodeAt[w*64+tz])
+}

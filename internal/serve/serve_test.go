@@ -217,6 +217,22 @@ func TestClientsAndVerifyOverHTTP(t *testing.T) {
 	if eb.Hint != wantHint {
 		t.Errorf("hint = %q, want the CLI's %q", eb.Hint, wantHint)
 	}
+
+	// Unknown kernel → 400 carrying engine.UnknownKernelError's hint,
+	// verbatim the line the CLI prints.
+	resp, data = postJSON(t, ts.URL+"/v1/analyze",
+		[]byte(`{"program": "compress", "options": {"ca": 0.97, "cr": 0.95, "kernel": "dense"}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kernel status = %d, body %s", resp.StatusCode, data)
+	}
+	eb = ErrorBody{}
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, data)
+	}
+	wantHint = (&engine.UnknownKernelError{Name: "dense"}).Hint()
+	if eb.Hint != wantHint {
+		t.Errorf("kernel hint = %q, want the CLI's %q", eb.Hint, wantHint)
+	}
 }
 
 // --- Satellite: concurrent requests share the cache, byte-identically ----
