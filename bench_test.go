@@ -269,6 +269,42 @@ func BenchmarkAblationSigns(b *testing.B) {
 	}
 }
 
+// BenchmarkFeasible regenerates the two-axis precision ablation behind
+// `exp feasible`: per benchmark and client, the original CFG vertices
+// whose facts are strictly improved by the frequency axis alone
+// (unmasked reduced HPG), the feasibility axis alone (infeasible-edge
+// pruning on the CFG, no profile), and the combined configuration —
+// plus the correlation-detection and masked re-solve cost.
+func BenchmarkFeasible(b *testing.B) {
+	ins := suite(b)
+	var rows []bench.FeasibleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Feasible(benchCtx, ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var detect, solve time.Duration
+	var freq, feas, both int
+	for _, r := range rows {
+		detect += r.DetectTime
+		solve += r.SolveTime
+		for _, c := range r.Clients {
+			freq += c.FreqOnly
+			feas += c.FeasOnly
+			both += c.Both
+			b.Logf("Feasible %-9s %-9s freq=%d feas=%d both=%d edges=%d/%d",
+				r.Name, c.Client, c.FreqOnly, c.FeasOnly, c.Both, r.InfeasibleCFG, r.InfeasibleRed)
+		}
+	}
+	b.ReportMetric(float64(freq), "freq-improved")
+	b.ReportMetric(float64(feas), "feas-improved")
+	b.ReportMetric(float64(both), "both-improved")
+	b.ReportMetric(float64(detect.Milliseconds()), "detect-ms")
+	b.ReportMetric(float64(solve.Milliseconds()), "masked-solve-ms")
+}
+
 // BenchmarkTracingVsTupling compares the two qualification methods of
 // §4.3 on every benchmark function: Holley-Rosen data-flow tracing
 // (expand the graph, then solve) versus context tupling (solve a tupled

@@ -5,9 +5,13 @@
 #   1. go build ./...       every package compiles
 #   2. gofmt -l             no unformatted files
 #   3. go vet ./...         static checks
-#   4. go test ./...        the full test suite (incl. the golden gate
+#   4. lint                 the hand-rolled drift linter (internal/lint):
+#                           Unknown*Error hints must enumerate the full
+#                           current option sets (kernels, clients,
+#                           benchmarks)
+#   5. go test ./...        the full test suite (incl. the golden gate
 #                           internal/bench/testdata/metrics.golden.json)
-#   5. go test -race        the concurrency-bearing packages under the
+#   6. go test -race        the concurrency-bearing packages under the
 #                           race detector (engine scheduler + two-tier
 #                           cache — including the incremental
 #                           differential test in internal/engine, so
@@ -24,40 +28,50 @@
 #                           themselves (dataflow, dataflow/kernel,
 #                           constprop, intervals), whose packed-vs-boxed
 #                           differential tests then hold under -race
-#   6. fuzz smoke           10s of coverage-guided fuzzing per target
+#                           — and the feasibility detector + drift
+#                           linter (feasible, lint), which the engine
+#                           also runs from pooled workers
+#   7. fuzz smoke           10s of coverage-guided fuzzing per target
 #                           (FuzzDiskcacheCodec: corrupt cache files
 #                           never panic; FuzzDelta: dirty-set
 #                           predictions stay sound on random edits;
 #                           FuzzKernelEquivalence: the packed and sparse
 #                           arena kernels match the boxed reference on
 #                           full pipeline runs over random programs —
-#                           packed pointwise, sparse facts-only),
+#                           packed pointwise, sparse facts-only;
+#                           FuzzFeasibleSoundness: no trace-observed
+#                           edge is ever marked infeasible on random
+#                           correlated-branch programs),
 #                           seeded from testdata/fuzz corpora
-#   7. kernel gate          BenchmarkAnalyzeKernels/resolve — the packed
+#   8. kernel gate          BenchmarkAnalyzeKernels/resolve — the packed
 #                           solvers' steady-state Run() loop — must
 #                           report exactly 0 allocs/op (BENCH_kernels.json);
 #                           likewise BenchmarkAnalyzeSparse/sparse-resolve,
 #                           the sparse def-use kernels' steady-state loop
 #                           (BENCH_sparse.json)
-#   8. check smoke          `pathflow check` over examples/hotpath.pf
+#   9. check smoke          `pathflow check` over examples/hotpath.pf
 #                           and two benchmarks: the precision
 #                           differential oracle must report zero
 #                           violations (exit status is the gate) — then
 #                           `check -kernel=sparse` over all seven
 #                           benchmarks, so the sparse kernels clear the
-#                           same oracle end to end
-#   9. baseline smoke       end-to-end incremental re-analysis:
+#                           same oracle end to end — then `check
+#                           -feasible` over all seven (packed) plus
+#                           boxed/sparse on m88ksim: the extended gate
+#                           (masked facts pointwise >= unmasked on
+#                           every tier, no executed edge pruned)
+#  10. baseline smoke       end-to-end incremental re-analysis:
 #                           `analyze -baseline` on a one-block constant
 #                           edit must classify the edited function as a
 #                           body delta and replay >= 3 of its stages
-#  10. serve smoke          end-to-end: start `pathflow serve` with a
+#  11. serve smoke          end-to-end: start `pathflow serve` with a
 #                           persistent -cachedir on an ephemeral port,
 #                           run one analyze round-trip over HTTP, check
 #                           /healthz, SIGINT-drain it — then restart the
 #                           daemon on the same -cachedir and assert the
 #                           repeat request warm-starts from disk
 #                           (pathflow_diskcache_hits_total in /metrics)
-#  11. fabric smoke         distributed analysis end-to-end: a `serve
+#  12. fabric smoke         distributed analysis end-to-end: a `serve
 #                           -fabric` coordinator plus two `pathflow
 #                           worker` processes (private cache dirs, so
 #                           artifacts flow only through the coordinator's
@@ -85,6 +99,14 @@ fi
 echo "== vet"
 go vet ./...
 
+echo "== lint"
+# Hand-rolled drift linter (internal/lint): every option name the
+# engine's parsers accept must appear in the Unknown*Error hint the CLI
+# and serving layer quote verbatim, and the benchmark hint must track
+# the registry. Runs inside `go test ./...` too; this explicit early
+# step fails the build before the slow suites when a hint drifts.
+go test -count=1 ./internal/lint/
+
 echo "== test"
 go test ./...
 
@@ -92,7 +114,8 @@ echo "== race"
 go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
     ./internal/fabric/ \
     ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/ \
-    ./internal/dataflow/ ./internal/dataflow/kernel/ ./internal/constprop/ ./internal/intervals/
+    ./internal/dataflow/ ./internal/dataflow/kernel/ ./internal/constprop/ ./internal/intervals/ \
+    ./internal/feasible/ ./internal/lint/
 
 echo "== fuzz smoke"
 # Short coverage-guided runs on top of the checked-in seed corpora: the
@@ -103,6 +126,9 @@ echo "== fuzz smoke"
 go test -run '^$' -fuzz '^FuzzDiskcacheCodec$' -fuzztime 10s ./internal/engine/diskcache/
 go test -run '^$' -fuzz '^FuzzDelta$' -fuzztime 10s ./internal/engine/
 go test -run '^$' -fuzz '^FuzzKernelEquivalence$' -fuzztime 10s ./internal/engine/
+# The branch-correlation detector must never prune an edge a real
+# execution traverses, over programs biased toward correlated re-tests.
+go test -run '^$' -fuzz '^FuzzFeasibleSoundness$' -fuzztime 10s ./internal/feasible/
 
 echo "== kernel gate"
 # The packed kernels' steady-state loop must be allocation-free: every
@@ -151,6 +177,21 @@ done
 for b in compress go ijpeg li m88ksim perl vortex; do
     "$tmpdir/pathflow" check -q -kernel=sparse "$b" || {
         echo "check smoke: oracle violation in benchmark $b (-kernel=sparse)" >&2; exit 1; }
+done
+# The feasibility axis runs its extended soundness gate over every
+# benchmark: masked (infeasible-edge-pruned) facts pointwise at least
+# as precise as unmasked on every tier, and no edge the training run
+# executed marked infeasible. Once on the default packed kernels for
+# the whole suite, then the other two backends on the benchmark with
+# the most detected correlations (m88ksim) so all three kernels clear
+# the masked solve end to end.
+for b in compress go ijpeg li m88ksim perl vortex; do
+    "$tmpdir/pathflow" check -q -feasible "$b" || {
+        echo "check smoke: feasibility gate violation in benchmark $b" >&2; exit 1; }
+done
+for k in boxed sparse; do
+    "$tmpdir/pathflow" check -q -feasible -kernel=$k m88ksim || {
+        echo "check smoke: feasibility gate violation in m88ksim (-kernel=$k)" >&2; exit 1; }
 done
 
 echo "== baseline smoke"

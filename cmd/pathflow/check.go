@@ -23,6 +23,7 @@ func cmdCheck(args []string) error {
 	workers := fs.Int("workers", 0, "parallel function analyses (0 = NumCPU)")
 	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels), boxed (reference), or sparse (def-use chains)")
 	quiet := fs.Bool("q", false, "print only violations and the final verdict")
+	feasible := fs.Bool("feasible", false, "also run feasible-path qualification and its extended soundness gates (masked ⊒ unmasked per tier, plus the executed-edge trace gate)")
 	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
 	if err != nil {
@@ -42,7 +43,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := engine.Options{CA: *ca, CR: *cr, Clients: engine.ClientsAll, Kernel: kern}
+	o := engine.Options{CA: *ca, CR: *cr, Clients: engine.ClientsAll, Kernel: kern, Feasible: *feasible}
 	if err := o.Validate(); err != nil {
 		return err
 	}

@@ -33,7 +33,7 @@ func cmdExp(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] [-cachedir dir] [-cachemax size] [-kernel packed|boxed|sparse] [-cpuprofile f] [-memprofile f] [-v] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|all>")
+		return fmt.Errorf("usage: pathflow exp [-workers n] [-nocache] [-cachedir dir] [-cachemax size] [-kernel packed|boxed|sparse] [-cpuprofile f] [-memprofile f] [-v] <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|feasible|all>")
 	}
 	what := fs.Arg(0)
 	kern, err := engine.ParseKernel(*kernelFlag)
@@ -93,12 +93,12 @@ func cmdExp(args []string) error {
 		"table1": expTable1, "table2": expTable2, "fig7": expFig7,
 		"fig9": expFig9, "fig10": expFig10, "fig11": expFig11,
 		"fig12": expFig12, "ablation": expAblation, "clients": expClients,
-		"kernels": expKernels,
+		"kernels": expKernels, "feasible": expFeasible,
 	}
 	switch {
 	case what == "all":
 		for _, f := range []func(context.Context, []*bench.Instance) error{
-			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation, expClients, expKernels,
+			expTable1, expFig7, expFig9, expFig10, expFig11, expFig12, expTable2, expAblation, expClients, expKernels, expFeasible,
 		} {
 			if err := f(ctx, ins); err != nil {
 				return err
@@ -226,6 +226,41 @@ func expClients(ctx context.Context, ins []*bench.Instance) error {
 	for _, r := range rows {
 		fmt.Printf("%-10s %12d %12d %12d %12d\n",
 			r.Name, r.LiveBaseDyn, r.LiveQualDyn, r.AvailBaseDyn, r.AvailQualDyn)
+	}
+	return nil
+}
+
+// expFeasible runs the two-axis precision ablation: for every client,
+// the number of original CFG vertices about which an axis combination
+// learned something strictly more precise than the plain CFG solution —
+// the frequency axis alone (unmasked rHPG), the feasibility axis alone
+// (infeasible-edge-masked CFG — no profile), and both composed (the
+// combined configuration's artifacts: masked CFG plus masked rHPG).
+// All three columns count on the shared CFG-vertex universe, so they
+// compare directly; see bench.FeasibleClient.
+func expFeasible(ctx context.Context, ins []*bench.Instance) error {
+	rows, err := bench.Feasible(ctx, ins)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Feasible-path qualification: CFG vertices with strictly improved facts")
+	fmt.Println("(per client; freq = unmasked reduced HPG at CA=0.97/CR=0.95, feas =")
+	fmt.Println(" infeasible-edge pruning on the original CFG — no profile, both =")
+	fmt.Println(" masked CFG + masked reduced HPG combined; all columns count")
+	fmt.Println(" original CFG vertices; 'edges' = infeasible edges found cfg/rhpg)")
+	fmt.Printf("%-10s %-10s %8s %8s %8s %12s %11s\n",
+		"Program", "client", "freq", "feas", "both", "edges", "detect")
+	for _, r := range rows {
+		for i, c := range r.Clients {
+			name, edges, det := "", "", ""
+			if i == 0 {
+				name = r.Name
+				edges = fmt.Sprintf("%d/%d", r.InfeasibleCFG, r.InfeasibleRed)
+				det = r.DetectTime.Round(10 * time.Microsecond).String()
+			}
+			fmt.Printf("%-10s %-10s %8d %8d %8d %12s %11s\n",
+				name, c.Client, c.FreqOnly, c.FeasOnly, c.Both, edges, det)
+		}
 	}
 	return nil
 }

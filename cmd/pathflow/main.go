@@ -9,10 +9,10 @@
 //	pathflow source  <benchmark>
 //	pathflow run     <benchmark>|-src file [-ref] [-args a,b,...] [-seed n]
 //	pathflow profile <benchmark>|-src file [-ref] [-top n]
-//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-clients all] [-verify] [-baseline prev.pf]
+//	pathflow analyze <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-clients all] [-verify] [-feasible] [-baseline prev.pf]
 //	pathflow opt     <benchmark>|-src file [-ref]
-//	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95]
-//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|all
+//	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-feasible]
+//	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|feasible|all
 //	pathflow serve   [-addr host:port] [-maxjobs n] [-workers n] [-timeout d]
 //	pathflow worker  -join http://host:port [-id name] [-cachedir dir]
 package main
@@ -118,7 +118,7 @@ commands:
   opt     <bench>|-src f [...]   optimize and compare modeled run time
   check   <bench>|-src f [...]   run the precision differential oracle
                                  (every client, every graph tier)
-  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|all>
+  exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|feasible|all>
                                  regenerate the paper's tables and figures
   serve   [-addr host:port] [...] run the long-running analysis service
                                  (shared artifact cache, job manager,
@@ -297,6 +297,7 @@ func cmdAnalyze(args []string) error {
 	clientsFlag := fs.String("clients", "none", "extra data-flow clients to run: none, liveness, availexpr, all")
 	kernelFlag := fs.String("kernel", "packed", "data-flow solver backend: packed (arena kernels), boxed (reference), or sparse (def-use chains)")
 	verify := fs.Bool("verify", false, "run the precision differential oracle as a final stage")
+	feasible := fs.Bool("feasible", false, "run the feasible-path qualification pass: detect branch correlations, prune infeasible edges, and analyze every client on the pruned graphs")
 	baseFile := fs.String("baseline", "", "previous source version: warm the cache with its analysis, classify the edit per function, and report which stages replayed vs recomputed")
 	cflags := addCacheFlags(fs, "")
 	tg, err := parseTarget(fs, args)
@@ -321,7 +322,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := engine.Options{CA: *ca, CR: *cr, Clients: clients, Verify: *verify, Kernel: kern}
+	o := engine.Options{CA: *ca, CR: *cr, Clients: clients, Verify: *verify, Kernel: kern, Feasible: *feasible}
 	if err := o.Validate(); err != nil {
 		return err
 	}

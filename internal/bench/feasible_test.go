@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestFeasibleAblation gates the two-axis precision table. All three
+// columns count improved original-CFG vertices (see FeasibleClient), so
+// they compare directly, and Both is a union count — monotonicity over
+// the single-axis columns is a hard invariant, not a hope. On top of
+// that the suite must actually demonstrate the second precision axis:
+// at least one benchmark where feasibility alone (no profile) strictly
+// improves facts over the CFG baseline, and at least one where the
+// combined configuration strictly beats either axis alone on the same
+// client — i.e. each axis reached vertices the other could not.
+func TestFeasibleAblation(t *testing.T) {
+	ins := loadSuite(t)
+	rows, err := Feasible(testCtx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasWin, comboWin := false, false
+	for _, r := range rows {
+		if len(r.Clients) != len(FeasibleClients) {
+			t.Fatalf("%s: %d client rows, want %d", r.Name, len(r.Clients), len(FeasibleClients))
+		}
+		for _, c := range r.Clients {
+			if c.Both < c.FeasOnly {
+				t.Errorf("%s/%s: Both (%d) below FeasOnly (%d) — union count must dominate",
+					r.Name, c.Client, c.Both, c.FeasOnly)
+			}
+			if c.Both < c.FreqOnly {
+				t.Errorf("%s/%s: Both (%d) below FreqOnly (%d) — masking may only raise facts",
+					r.Name, c.Client, c.Both, c.FreqOnly)
+			}
+			feasWin = feasWin || c.FeasOnly > 0
+			comboWin = comboWin || (c.Both > c.FeasOnly && c.Both > c.FreqOnly)
+		}
+	}
+	if !feasWin {
+		t.Error("no benchmark shows a strict feasibility-only win over the CFG baseline")
+	}
+	if !comboWin {
+		t.Error("no benchmark shows frequency+feasibility strictly beating either axis alone")
+	}
+}

@@ -92,7 +92,7 @@ func Load(b *Benchmark, eng *engine.Engine) (*Instance, error) {
 // Analyze runs (or returns the memoized) pipeline at the given options.
 func (in *Instance) Analyze(ctx context.Context, o engine.Options) (*engine.ProgramResult, error) {
 	o.Kernel = in.Kernel
-	key := fmt.Sprintf("%.6f/%.6f/%d/%t/%s", o.CA, o.CR, o.Clients, o.Verify, o.Kernel)
+	key := fmt.Sprintf("%.6f/%.6f/%d/%t/%s/%t", o.CA, o.CR, o.Clients, o.Verify, o.Kernel, o.Feasible)
 	in.mu.Lock()
 	if r, ok := in.analyses[key]; ok {
 		in.mu.Unlock()

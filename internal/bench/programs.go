@@ -280,18 +280,35 @@ func step(op, reg) {
 		width = 4;
 		cycles = 1;
 		mode = 2;
+		// Correlated re-test of the opcode class inside the ALU handler
+		// (real decoders re-check the group before picking an issue
+		// port). op is an opaque argument, so no lattice decides this;
+		// the branch-correlation detector proves the else leg infeasible
+		// and pins issue = 2 — on the original CFG with no profile
+		// (the feasibility axis alone), and again on the reduced graph's
+		// residual region, where hot-path duplication never reaches and
+		// the frequency axis is blind.
+		if (op < 9) {
+			port = 1;
+		} else {
+			port = input() % 5;
+		}
+		issue = port * 2;
 	} else if (op < 12) {
 		width = 8;
 		cycles = 3;
 		mode = input() % 4;
+		issue = 3;
 	} else if (op < 14) {
 		width = 2;
 		cycles = 2;
 		mode = 1;
+		issue = 4;
 	} else {
 		width = (input() % 8) + 1;
 		cycles = (input() % 5) + 1;
 		mode = input() % 4;
+		issue = input() % 6;
 	}
 	// Path-dead spill: the hot ALU leg pins mode = 2, so on the hot path
 	// graph the guided liveness proves this store dead — its only use
@@ -313,7 +330,7 @@ func step(op, reg) {
 	penalty = 64 / width + cycles * cycles;
 	scale = 4096 / (width * cycles + 1);
 	val = (reg << mode) & ((1 << span) - 1);
-	return val + cost + align + penalty % 9 + scale % 11;
+	return val + cost + align + penalty % 9 + scale % 11 + issue % 7;
 }
 func main() {
 	n = arg(0);
@@ -476,9 +493,23 @@ func main() {
 		if (quality < 88) {
 			q = 16;
 			s = 2;
+			// Correlated re-test of the block's quality mode: real codecs
+			// re-check configuration flags inside the leg that set them.
+			// quality is opaque input, so no lattice folds this — but the
+			// branch-correlation detector proves the inner else infeasible
+			// on the *original CFG*, pinning sharp = 4 with no profile at
+			// all: the feasibility axis standing alone.
+			if (quality < 88) {
+				sharp = 4;
+			} else {
+				sharp = input() % 3;
+			}
+			qbias = sharp * 3;
 		} else {
 			q = (input() % 31) + 1;
 			s = (input() % 3) + 1;
+			sharp = 1;
+			qbias = 1;
 		}
 		qhalf = q / 2;
 		bias = s * 3 + 1;
@@ -496,7 +527,7 @@ func main() {
 			p = p + 1;
 		}
 		if (acc > 255) { acc = 255; }
-		out = out + acc + (z & 31) + dim / 64 + jc % 3;
+		out = out + acc + (z & 31) + dim / 64 + jc % 3 + qbias % 7;
 		b = b + 1;
 	}
 	if (arg(9) == 424242) {

@@ -204,6 +204,13 @@ type Problem struct {
 	// EntryEnv optionally overrides the environment at function entry;
 	// nil uses ⊥ for parameters and ⊥ for all other registers.
 	EntryEnv Env
+	// Infeasible, when non-nil, marks edges (indexed by cfg.EdgeID) a
+	// prior feasibility analysis proved no execution can take. Transfer
+	// withholds facts along them, so the solve prunes their targets the
+	// same way Wegman-Zadek prunes constant-condition legs. The solver
+	// never delivers along a withheld edge, so the mask works identically
+	// under the boxed, packed and sparse backends.
+	Infeasible []bool
 }
 
 var _ dataflow.Problem = (*Problem)(nil)
@@ -255,6 +262,13 @@ func (p *Problem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []d
 	case cfg.TermHalt:
 		// no successors
 	}
+	if p.Infeasible != nil {
+		for i, eid := range nd.Out {
+			if i < len(out) && int(eid) < len(p.Infeasible) && p.Infeasible[eid] {
+				out[i] = nil
+			}
+		}
+	}
 }
 
 // Result bundles a solved constant-propagation problem with its graph.
@@ -267,6 +281,13 @@ type Result struct {
 // Wegman-Zadek algorithm (true) or plain iterative propagation (false).
 func Analyze(g *cfg.Graph, numVars int, conditional bool) *Result {
 	p := &Problem{NumVars: numVars, Conditional: conditional}
+	return &Result{G: g, Sol: dataflow.Solve(g, p)}
+}
+
+// AnalyzeBoxedMasked runs boxed constant propagation with the given
+// infeasible-edge mask (nil behaves like Analyze).
+func AnalyzeBoxedMasked(g *cfg.Graph, numVars int, conditional bool, infeasible []bool) *Result {
+	p := &Problem{NumVars: numVars, Conditional: conditional, Infeasible: infeasible}
 	return &Result{G: g, Sol: dataflow.Solve(g, p)}
 }
 

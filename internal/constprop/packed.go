@@ -36,6 +36,7 @@ import (
 type packedDomain struct {
 	g           *cfg.Graph
 	conditional bool
+	infeasible  []bool // optional per-EdgeID feasibility mask; masked slots stay -1
 	cells       *kernel.KV
 	nodeRows    int      // rows [0, nodeRows) are per-node rows
 	bot         []uint64 // nodeRows × cw cells-at-⊥ bitsets; nil in dense mode
@@ -227,6 +228,13 @@ func (d *packedDomain) Transfer(n cfg.NodeID, in, scratch int, slots []int8) {
 		}
 	case cfg.TermHalt:
 		// no successors
+	}
+	if d.infeasible != nil {
+		for i, eid := range nd.Out {
+			if i < len(slots) && int(eid) < len(d.infeasible) && d.infeasible[eid] {
+				slots[i] = -1
+			}
+		}
 	}
 }
 
@@ -456,4 +464,31 @@ func AnalyzeWith(g *cfg.Graph, numVars int, conditional bool, k dataflow.Kernel)
 		return AnalyzeSparse(g, numVars, conditional)
 	}
 	return AnalyzePacked(g, numVars, conditional)
+}
+
+// AnalyzeMasked dispatches constant propagation on the requested kernel
+// backend with an infeasible-edge mask: Transfer withholds facts along
+// masked edges, so their targets see fewer meets (or become unreached).
+// A nil mask is exactly AnalyzeWith. All backends produce pointwise
+// identical masked facts: the dense solvers skip withheld slots, and
+// the sparse solver's pass-through only forwards along edges Transfer
+// has already marked executable — which a masked edge never is.
+func AnalyzeMasked(g *cfg.Graph, numVars int, conditional bool, k dataflow.Kernel, infeasible []bool) *Result {
+	if infeasible == nil {
+		return AnalyzeWith(g, numVars, conditional, k)
+	}
+	switch k {
+	case dataflow.KernelBoxed:
+		return AnalyzeBoxedMasked(g, numVars, conditional, infeasible)
+	case dataflow.KernelSparse:
+		d := newSparseDomain(g, numVars, conditional)
+		d.infeasible = infeasible
+		s := kernel.NewSparseSolver(g, d)
+		s.Run()
+		return &Result{G: g, Sol: s.Materialize(func(row int) dataflow.Fact { return d.env(row) })}
+	}
+	d := &packedDomain{g: g, conditional: conditional, infeasible: infeasible, cells: kernel.NewKV(numVars)}
+	s := kernel.NewSolver(g, d)
+	s.Run()
+	return &Result{G: g, Sol: s.Materialize(func(row int) dataflow.Fact { return d.env(row) })}
 }

@@ -38,32 +38,62 @@ const (
 	KindReachability Kind = iota
 	// KindFact: the derived vertex's fact is not ⊒ the original's.
 	KindFact
+	// KindTrace: an edge a recorded execution actually traversed was
+	// marked infeasible — the empirical refutation of a feasibility
+	// mask's soundness claim (see CheckTraces).
+	KindTrace
 )
 
 func (k Kind) String() string {
-	if k == KindReachability {
+	switch k {
+	case KindReachability:
 		return "reachability"
+	case KindTrace:
+		return "trace"
 	}
 	return "fact"
 }
 
 // Violation is one vertex at which the derived solution is *not* at
-// least as precise as the original one.
+// least as precise as the original one — or, for KindTrace, one edge
+// whose infeasibility claim a recorded execution refuted (Edge holds
+// the offending edge; Node/Orig are unused).
 type Violation struct {
 	Node cfg.NodeID // vertex of the derived graph
 	Orig cfg.NodeID // its original CFG vertex
+	Edge cfg.EdgeID // offending edge (KindTrace only)
 	Kind Kind
 }
 
 func (v Violation) String() string {
+	if v.Kind == KindTrace {
+		return fmt.Sprintf("trace violation: executed edge %d marked infeasible", v.Edge)
+	}
 	return fmt.Sprintf("%s violation at derived node %d (orig %d)", v.Kind, v.Node, v.Orig)
 }
 
 // Report is the outcome of one oracle run.
 type Report struct {
-	Client     string // e.g. "constprop", "liveness"
-	Graph      string // e.g. "hpg", "rhpg"
-	Checked    int    // reached derived vertices compared
+	Client  string // e.g. "constprop", "liveness"
+	Graph   string // e.g. "hpg", "rhpg"
+	Checked int    // reached derived vertices compared
+	// Improved counts the vertices at which the derived solution is
+	// *strictly* more precise than the base: a strictly higher fact, or
+	// a vertex the derived analysis proved dead that the base reached.
+	// It is the oracle's free byproduct — the ⊒ comparison already
+	// distinguishes "equal" from "strictly above" — and what the
+	// precision ablations report as facts improved.
+	Improved int
+	// ImprovedAt marks, per *base*-graph vertex, whether at least one
+	// derived vertex projecting to it improved. It is the deduplicated,
+	// projection-side view of Improved: a hot-path graph may hold many
+	// copies of one CFG vertex, and Improved counts each copy, while
+	// ImprovedAt answers "did the derived analysis learn something new
+	// about this original location at all?" — the form two solutions
+	// over *different* derived graphs can be compared or unioned in
+	// (the two-axis precision ablation does both). Populated by Check;
+	// nil for the other entry points.
+	ImprovedAt []bool
 	Violations []Violation
 }
 
@@ -101,10 +131,16 @@ func (r *Report) String() string {
 // precise as base (the solution over the original CFG). Vertices the
 // derived analysis left unreached are trivially at ⊤ and always pass.
 func Check(client, graph string, lat Lattice, base, derived *dataflow.Solution, orig func(cfg.NodeID) cfg.NodeID) *Report {
-	rep := &Report{Client: client, Graph: graph}
+	rep := &Report{Client: client, Graph: graph, ImprovedAt: make([]bool, len(base.In))}
 	for n := range derived.In {
 		nid := cfg.NodeID(n)
 		if !derived.Reached[n] {
+			if base.Reached[orig(nid)] {
+				// Derived proved the vertex dead; the base reached it.
+				// Trivially ⊒ (the derived fact is ⊤) and strictly so.
+				rep.Improved++
+				rep.ImprovedAt[orig(nid)] = true
+			}
 			continue
 		}
 		v := orig(nid)
@@ -122,6 +158,29 @@ func Check(client, graph string, lat Lattice, base, derived *dataflow.Solution, 
 		// a ⊒ b ⟺ a ∧ b = b.
 		if !lat.Equal(lat.Meet(a, b), b) {
 			rep.Violations = append(rep.Violations, Violation{Node: nid, Orig: v, Kind: KindFact})
+		} else if !lat.Equal(a, b) {
+			rep.Improved++
+			rep.ImprovedAt[v] = true
+		}
+	}
+	return rep
+}
+
+// CheckTraces is the empirical soundness gate for a feasibility mask:
+// no edge a recorded execution traversed (counts[e] > 0, indexed by
+// cfg.EdgeID) may be marked infeasible. The static gates certify the
+// mask against the analyses' own semantics; this one certifies it
+// against actual runs, so a detector bug that fools every lattice
+// still trips on the first real execution through a pruned edge.
+func CheckTraces(client, graph string, counts []int64, infeasible []bool) *Report {
+	rep := &Report{Client: client, Graph: graph}
+	for e, n := range counts {
+		if e >= len(infeasible) {
+			break
+		}
+		rep.Checked++
+		if n > 0 && infeasible[e] {
+			rep.Violations = append(rep.Violations, Violation{Edge: cfg.EdgeID(e), Kind: KindTrace})
 		}
 	}
 	return rep

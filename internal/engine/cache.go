@@ -14,6 +14,7 @@ import (
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow"
 	"pathflow/internal/engine/diskcache"
+	"pathflow/internal/feasible"
 	"pathflow/internal/liveness"
 	"pathflow/internal/trace"
 )
@@ -27,6 +28,7 @@ const (
 	kindAnalyze   = "analyze"   // Wegman-Zadek on the HPG
 	kindTranslate = "translate" // training profile translated onto the HPG
 	kindReduced   = "reduced"   // reduced HPG + its solution
+	kindFeasible  = "feasible"  // infeasible-edge set of one graph tier
 
 	// Client-analysis bundles (ClientOut), one per graph tier. Memory
 	// tier only: clients are cheap to recompute relative to their encoded
@@ -366,6 +368,8 @@ func approxSize(v any) int64 {
 		return n
 	case *bl.Profile:
 		return sizeProfile(x)
+	case *feasible.Edges:
+		return 48 + int64(len(x.Infeasible))
 	case ClientOut:
 		var n int64 = 32
 		if x.Live != nil {
@@ -533,6 +537,14 @@ func (c *Cache) profileFP(pr *bl.Profile) profPrints {
 //	analyze    —                        trace key             —
 //	translate  shape + prof             automaton key         —
 //	reduce     —                        analyze+translate     CR
+//	feasible   shape + body (CFG tier)  trace key (HPG tier)  —
+//
+// The Options.Feasible flag has no knob dimension of its own — it rides
+// the Merkle chains instead: a masked baseline or CFG client bundle
+// chains keyFeasibleCFG, a masked analyze bundle chains keyFeasibleHPG,
+// and the feasible-aware reduce key (and through it the reduced client
+// bundles) folds keyFeasibleHPG into its chain, so feasible-on and
+// feasible-off runs can never collide on an artifact that differs.
 //
 // The automaton chains the *hot-set fingerprint* rather than the select
 // key: the hot set is the select stage's output, so addressing by it
@@ -596,6 +608,44 @@ func (c *Cache) keyReduce(fn *cfg.Func, train *bl.Profile, hot []bl.Path, cr flo
 			c.keyTranslate(fn, train, hot).digest()),
 		knob: knobBits(cr),
 	}
+}
+
+// keyFeasibleCFG keys the CFG tier's infeasible-edge set: detection
+// reads the whole function (shape + bodies) and nothing else.
+func (c *Cache) keyFeasibleCFG(fn *cfg.Func) cacheKey {
+	return cacheKey{kind: kindFeasible, slice: c.funcFP(fn).full()}
+}
+
+// keyFeasibleHPG keys the HPG tier's infeasible-edge set: detection's
+// only input is the traced graph, so a pure chain key over the trace
+// stage suffices.
+func (c *Cache) keyFeasibleHPG(fn *cfg.Func, train *bl.Profile, hot []bl.Path) cacheKey {
+	return cacheKey{kind: kindFeasible, chain: c.keyTrace(fn, train, hot).digest()}
+}
+
+// keyAnalyzeMasked is the analyze-stage key under Options.Feasible:
+// when the HPG tier's mask is non-empty the solution differs from the
+// unmasked one, so the key chains the feasibility artifact (whose own
+// chain already covers the trace stage). An empty mask produces the
+// identical solution, so those runs deliberately share the unmasked
+// bundle.
+func (c *Cache) keyAnalyzeMasked(fn *cfg.Func, train *bl.Profile, hot []bl.Path, masked bool) cacheKey {
+	if !masked {
+		return c.keyAnalyze(fn, train, hot)
+	}
+	return cacheKey{kind: kindAnalyze, chain: c.keyFeasibleHPG(fn, train, hot).digest()}
+}
+
+// keyReduceFeasible is the reduce-stage key under Options.Feasible. The
+// reduce stage itself re-detects on the quotient graph, so its output
+// depends on the flag even when the HPG mask is empty — the chain folds
+// in the feasibility key whenever the flag is set.
+func (c *Cache) keyReduceFeasible(fn *cfg.Func, train *bl.Profile, hot []bl.Path, cr float64, feas bool) cacheKey {
+	k := c.keyReduce(fn, train, hot, cr)
+	if feas {
+		k.chain = hash2(k.chain, c.keyFeasibleHPG(fn, train, hot).digest())
+	}
+	return k
 }
 
 // FingerprintFunc hashes the full structure of a function: CFG shape,

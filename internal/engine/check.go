@@ -2,11 +2,14 @@ package engine
 
 import (
 	"pathflow/internal/availexpr"
+	"pathflow/internal/bl"
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/feasible"
 	"pathflow/internal/intervals"
 	"pathflow/internal/liveness"
+	"pathflow/internal/profile"
 )
 
 // CheckFuncResult runs the precision differential oracle over every
@@ -53,7 +56,7 @@ func CheckFuncResult(fr *FuncResult) []*oracle.Report {
 			avail: fr.AvailRed,
 		})
 	}
-	if len(tiers) == 0 {
+	if len(tiers) == 0 && !fr.Opt.Feasible {
 		return nil
 	}
 
@@ -106,6 +109,104 @@ func CheckFuncResult(fr *FuncResult) []*oracle.Report {
 		}
 		reports = append(reports,
 			oracle.Check("availexpr", t.name, avLat, baseAvail.Sol, avail.Sol, t.orig))
+	}
+
+	if fr.Opt.Feasible {
+		reports = append(reports, checkFeasible(fr, nv, thr, u, cpLat, ivLat, lvLat, avLat)...)
+	}
+	return reports
+}
+
+// checkFeasible certifies the feasibility masks of a Options.Feasible
+// run, per graph tier, on two independent axes:
+//
+//   - The pruning soundness gate: the masked solution of every client
+//     must be pointwise at least as precise as the unmasked solution of
+//     the same graph (Identity projection — withholding facts along
+//     edges can only raise the fixpoint, never lower it, so any
+//     violation means the mask leaked into a transfer incorrectly).
+//     The reports' Improved counters are the precision the feasibility
+//     axis bought on that tier.
+//
+//   - The trace gate (oracle.CheckTraces): no edge the recorded
+//     training run traversed may be marked infeasible — checked on the
+//     CFG against the training profile, on the HPG against its
+//     translation, and on the reduced graph against a fresh
+//     translation of the training profile.
+func checkFeasible(fr *FuncResult, nv int, thr []int64,
+	u *availexpr.Universe,
+	cpLat *constprop.Problem, ivLat *intervals.ClampedProblem,
+	lvLat *liveness.Problem, avLat *availexpr.Problem) []*oracle.Report {
+
+	type ftier struct {
+		name   string
+		g      *cfg.Graph
+		mask   *feasible.Edges
+		masked *constprop.Result // the pipeline's (masked) solution
+		live   *liveness.Result
+		avail  *availexpr.Result
+		prof   *bl.Profile
+	}
+	tiers := []ftier{{
+		name: "cfg", g: fr.Fn.G, mask: fr.FeasCFG, masked: fr.OrigSol,
+		live: fr.LiveCFG, avail: fr.AvailCFG, prof: fr.Train,
+	}}
+	if fr.HPG != nil && fr.HPGSol != nil {
+		tiers = append(tiers, ftier{
+			name: "hpg", g: fr.HPG.G, mask: fr.FeasHPG, masked: fr.HPGSol,
+			live: fr.LiveHPG, avail: fr.AvailHPG, prof: fr.HPGProf,
+		})
+	}
+	if fr.Red != nil && fr.RedSol != nil {
+		// The reduced tier's mask is not retained by the pipeline;
+		// Detect is deterministic, so recomputing reproduces exactly the
+		// mask the reduce stage solved through.
+		t := ftier{
+			name: "rhpg", g: fr.Red.G, mask: feasible.Detect(fr.Red.G, nv), masked: fr.RedSol,
+			live: fr.LiveRed, avail: fr.AvailRed,
+		}
+		if fr.Train != nil {
+			if rp, err := fr.TranslateEval(fr.Train); err == nil {
+				t.prof = rp
+			}
+		}
+		tiers = append(tiers, t)
+	}
+
+	var reports []*oracle.Report
+	for _, t := range tiers {
+		mask := t.mask.Mask()
+		graph := t.name + "/feasible"
+
+		unmasked := constprop.AnalyzeWith(t.g, nv, true, fr.Opt.Kernel)
+		reports = append(reports,
+			oracle.Check("constprop", graph, cpLat, unmasked.Sol, t.masked.Sol, oracle.Identity))
+
+		ivMasked := intervals.AnalyzeClampedMasked(t.g, nv, thr, true, mask)
+		ivUnmasked := intervals.AnalyzeClamped(t.g, nv, thr, true)
+		reports = append(reports,
+			oracle.Check("intervals", graph, ivLat, ivUnmasked.Sol, ivMasked.Sol, oracle.Identity))
+
+		live := t.live
+		if live == nil {
+			live = liveness.Analyze(t.g, nv, t.masked.Sol)
+		}
+		liveUnmasked := liveness.Analyze(t.g, nv, unmasked.Sol)
+		reports = append(reports,
+			oracle.Check("liveness", graph, lvLat, liveUnmasked.Sol, live.Sol, oracle.Identity))
+
+		avail := t.avail
+		if avail == nil {
+			avail = availexpr.Analyze(t.g, u, t.masked.Sol)
+		}
+		availUnmasked := availexpr.Analyze(t.g, u, unmasked.Sol)
+		reports = append(reports,
+			oracle.Check("availexpr", graph, avLat, availUnmasked.Sol, avail.Sol, oracle.Identity))
+
+		if t.prof != nil && t.mask != nil {
+			reports = append(reports,
+				oracle.CheckTraces("traces", graph, profile.EdgeCounts(t.prof, t.g), t.mask.Infeasible))
+		}
 	}
 	return reports
 }

@@ -720,3 +720,41 @@ func DecodeReduced(data []byte, h *trace.HPG) (Meta, *reduce.Reduced, *constprop
 	}
 	return meta, red, sol, nil
 }
+
+// --- Feasibility masks ----------------------------------------------------
+
+// EncodeFeasible frames one graph tier's infeasible-edge mask (indexed
+// by cfg.EdgeID). The graph itself is not stored: the decoder validates
+// the mask's length against the live graph it re-attaches to.
+func EncodeFeasible(meta Meta, mask []bool) []byte {
+	var e enc
+	encodeMeta(&e, meta)
+	e.u64(uint64(len(mask)))
+	for _, b := range mask {
+		e.bool(b)
+	}
+	return frame(KindFeasible, e.b)
+}
+
+// DecodeFeasible decodes a feasibility bundle against the tier's graph;
+// a mask whose length disagrees with the graph's edge count is corrupt.
+func DecodeFeasible(data []byte, g *cfg.Graph) (Meta, []bool, error) {
+	payload, err := unframe(KindFeasible, data)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	d := &dec{b: payload}
+	meta := decodeMeta(d)
+	n := d.sliceLen()
+	if d.err != nil || n != g.NumEdges() {
+		return Meta{}, nil, ErrCorrupt
+	}
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = d.bool()
+	}
+	if err := d.done(); err != nil {
+		return Meta{}, nil, err
+	}
+	return meta, mask, nil
+}

@@ -71,6 +71,7 @@ const (
 	KindAnalyze
 	KindTranslate
 	KindReduced
+	KindFeasible
 )
 
 func (k Kind) String() string {
@@ -89,6 +90,8 @@ func (k Kind) String() string {
 		return "translate"
 	case KindReduced:
 		return "reduced"
+	case KindFeasible:
+		return "feasible"
 	}
 	return "unknown"
 }
@@ -132,7 +135,7 @@ func unframe(kind Kind, data []byte) ([]byte, error) {
 // payload is used, so CheckFrame only has to reject noise, truncation,
 // and version skew at the door.
 func CheckFrame(kind Kind, data []byte) error {
-	if kind == 0 || kind > KindReduced {
+	if kind == 0 || kind > KindFeasible {
 		return ErrCorrupt
 	}
 	_, err := unframe(kind, data)
@@ -142,7 +145,7 @@ func CheckFrame(kind Kind, data []byte) error {
 // KindFromString maps a bundle-kind name (the file-name prefix) back to
 // its Kind, or 0 if unknown.
 func KindFromString(s string) Kind {
-	for k := KindBaseline; k <= KindReduced; k++ {
+	for k := KindBaseline; k <= KindFeasible; k++ {
 		if k.String() == s {
 			return k
 		}

@@ -39,6 +39,7 @@ import (
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow"
 	"pathflow/internal/engine/diskcache"
+	"pathflow/internal/feasible"
 	"pathflow/internal/interp"
 	"pathflow/internal/trace"
 )
@@ -169,7 +170,21 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	start := time.Now()
 	nv := fn.NumVars()
 
-	sol, err := e.baseline(ctx, fn, o.Kernel, m)
+	// Feasibility runs before the baseline so the CFG tier (and every
+	// client on it) already analyzes through the pruned view.
+	var feasCFG *feasible.Edges
+	if o.Feasible {
+		var err error
+		feasCFG, err = e.feasibleTier(ctx, fn, fn.G, nv, m, func() cacheKey {
+			return e.cache.keyFeasibleCFG(fn)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.FeasCFG = feasCFG
+	}
+
+	sol, err := e.baseline(ctx, fn, o.Kernel, feasCFG, m)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +200,11 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 			res.AvailU = in.U
 		}
 		co, err := e.clientTier(ctx, fn, func() cacheKey {
-			return cacheKey{kind: kindClientsCFG, slice: e.cache.funcFP(fn).full()}
+			key := cacheKey{kind: kindClientsCFG, slice: e.cache.funcFP(fn).full()}
+			if feasCFG.Mask() != nil {
+				key.chain = e.cache.keyFeasibleCFG(fn).digest()
+			}
+			return key
 		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
@@ -214,7 +233,17 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	if err != nil {
 		return nil, err
 	}
-	hsol, err := e.analyzeStage(ctx, fn, train, hot, h, o.Kernel, m)
+	var feasHPG *feasible.Edges
+	if o.Feasible {
+		feasHPG, err = e.feasibleTier(ctx, fn, h.G, nv, m, func() cacheKey {
+			return e.cache.keyFeasibleHPG(fn, train, hot)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.FeasHPG = feasHPG
+	}
+	hsol, err := e.analyzeStage(ctx, fn, train, hot, h, o.Kernel, feasHPG, m)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +253,7 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	}
 	res.Auto, res.HPG, res.HPGSol, res.HPGProf = a, h, hsol, hprof
 
-	r, err := e.reduced(ctx, fn, train, hot, h, hsol, hprof, o.CR, o.Kernel, m)
+	r, err := e.reduced(ctx, fn, train, hot, h, hsol, hprof, o, m)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +262,8 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 	if o.Clients != 0 {
 		in := ClientIn{G: h.G, NumVars: nv, Guide: hsol.Sol, U: res.AvailU, Kernel: o.Kernel}
 		co, err := e.clientTier(ctx, fn, func() cacheKey {
-			return cacheKey{kind: kindClientsHPG, chain: e.cache.keyAnalyze(fn, train, hot).digest()}
+			return cacheKey{kind: kindClientsHPG,
+				chain: e.cache.keyAnalyzeMasked(fn, train, hot, feasHPG.Mask() != nil).digest()}
 		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
@@ -242,7 +272,8 @@ func (e *Engine) analyzeFuncHot(ctx context.Context, fn *cfg.Func, train *bl.Pro
 
 		in = ClientIn{G: r.Red.G, NumVars: nv, Guide: r.RedSol.Sol, U: res.AvailU, Kernel: o.Kernel}
 		co, err = e.clientTier(ctx, fn, func() cacheKey {
-			return cacheKey{kind: kindClientsRed, chain: e.cache.keyReduce(fn, train, hot, o.CR).digest()}
+			return cacheKey{kind: kindClientsRed,
+				chain: e.cache.keyReduceFeasible(fn, train, hot, o.CR, o.Feasible).digest()}
 		}, in, o.Clients, m)
 		if err != nil {
 			return nil, err
@@ -356,13 +387,49 @@ func (e *Engine) selectHot(ctx context.Context, fn *cfg.Func, train *bl.Profile,
 	return v.([]bl.Path), nil
 }
 
-// baseline computes (or fetches) the CA = 0 Wegman-Zadek solution.
-func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, kern dataflow.Kernel, m *Metrics) (*constprop.Result, error) {
-	in := AnalyzeIn{G: fn.G, NumVars: fn.NumVars(), Kernel: kern}
+// feasibleTier computes (or fetches) the infeasible-edge set of one
+// graph tier. mkKey builds the tier's cache key (deferred so the
+// cache-disabled path never touches fingerprint machinery).
+func (e *Engine) feasibleTier(ctx context.Context, fn *cfg.Func, g *cfg.Graph, nv int, m *Metrics, mkKey func() cacheKey) (*feasible.Edges, error) {
+	in := FeasibleIn{G: g, NumVars: nv}
+	if e.cache == nil {
+		return runStage(ctx, FeasibleStage, fn.Name, m, in)
+	}
+	key := mkKey()
+	ops := e.diskOps(ctx, key, diskcache.KindFeasible,
+		func(v any, meta diskcache.Meta) []byte {
+			return diskcache.EncodeFeasible(meta, v.(*feasible.Edges).Infeasible)
+		},
+		func(data []byte) (any, map[StageName]time.Duration, error) {
+			meta, mask, err := diskcache.DecodeFeasible(data, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			return feasible.FromMask(mask), costsFromDisk(meta.Costs), nil
+		})
+	v, cost, src, dec, err := e.cache.do(key, ops, func() (any, map[StageName]time.Duration, error) {
+		mm := NewMetrics()
+		ed, err := runStage(ctx, FeasibleStage, fn.Name, mm, in)
+		return ed, costs(mm), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.merge(cost, src, dec)
+	return v.(*feasible.Edges), nil
+}
+
+// baseline computes (or fetches) the CA = 0 Wegman-Zadek solution,
+// masked by the CFG tier's feasibility artifact when one was computed.
+func (e *Engine) baseline(ctx context.Context, fn *cfg.Func, kern dataflow.Kernel, feas *feasible.Edges, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: fn.G, NumVars: fn.NumVars(), Kernel: kern, Infeasible: feas.Mask()}
 	if e.cache == nil {
 		return runStage(ctx, BaselineStage, fn.Name, m, in)
 	}
 	key := e.cache.keyBaseline(fn)
+	if in.Infeasible != nil {
+		key.chain = e.cache.keyFeasibleCFG(fn).digest()
+	}
 	ops := e.diskOps(ctx, key, diskcache.KindBaseline,
 		func(v any, meta diskcache.Meta) []byte {
 			return diskcache.EncodeBaseline(meta, v.(*constprop.Result))
@@ -455,12 +522,12 @@ func (e *Engine) traceStage(ctx context.Context, fn *cfg.Func, train *bl.Profile
 
 // analyzeStage computes (or fetches) the Wegman-Zadek solution on the
 // HPG. Pure chain key: its only input is the trace stage's output.
-func (e *Engine) analyzeStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, kern dataflow.Kernel, m *Metrics) (*constprop.Result, error) {
-	in := AnalyzeIn{G: h.G, NumVars: fn.NumVars(), Kernel: kern}
+func (e *Engine) analyzeStage(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, kern dataflow.Kernel, feas *feasible.Edges, m *Metrics) (*constprop.Result, error) {
+	in := AnalyzeIn{G: h.G, NumVars: fn.NumVars(), Kernel: kern, Infeasible: feas.Mask()}
 	if e.cache == nil {
 		return runStage(ctx, AnalyzeStage, fn.Name, m, in)
 	}
-	key := e.cache.keyAnalyze(fn, train, hot)
+	key := e.cache.keyAnalyzeMasked(fn, train, hot, in.Infeasible != nil)
 	ops := e.diskOps(ctx, key, diskcache.KindAnalyze,
 		func(v any, meta diskcache.Meta) []byte {
 			return diskcache.EncodeAnalyze(meta, v.(*constprop.Result))
@@ -521,12 +588,12 @@ func (e *Engine) translateStage(ctx context.Context, fn *cfg.Func, train *bl.Pro
 
 // reduced computes (or fetches) the reduced HPG and its solution. Pure
 // chain key over the analyze and translate stages plus the CR knob.
-func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, hsol *constprop.Result, hprof *bl.Profile, cr float64, kern dataflow.Kernel, m *Metrics) (ReduceOut, error) {
-	in := ReduceIn{HPG: h, Sol: hsol, Prof: hprof, CR: cr, NumVars: fn.NumVars(), Kernel: kern}
+func (e *Engine) reduced(ctx context.Context, fn *cfg.Func, train *bl.Profile, hot []bl.Path, h *trace.HPG, hsol *constprop.Result, hprof *bl.Profile, o Options, m *Metrics) (ReduceOut, error) {
+	in := ReduceIn{HPG: h, Sol: hsol, Prof: hprof, CR: o.CR, NumVars: fn.NumVars(), Kernel: o.Kernel, Feasible: o.Feasible}
 	if e.cache == nil {
 		return runStage(ctx, ReduceStage, fn.Name, m, in)
 	}
-	key := e.cache.keyReduce(fn, train, hot, cr)
+	key := e.cache.keyReduceFeasible(fn, train, hot, o.CR, o.Feasible)
 	ops := e.diskOps(ctx, key, diskcache.KindReduced,
 		func(v any, meta diskcache.Meta) []byte {
 			r := v.(ReduceOut)

@@ -101,6 +101,14 @@ type Options struct {
 	// Any violation fails the pipeline with a StageError for the
 	// "check" stage.
 	Verify bool
+	// Feasible enables feasible-path qualification, the second precision
+	// axis: a branch-correlation static analysis (internal/feasible)
+	// computes a sound infeasible-edge set per graph tier, and every
+	// client analysis solves through the pruned view. Orthogonal to the
+	// frequency axis (CA/CR): it refines the CFG tier even at CA = 0,
+	// and on the HPG it prunes residual cold legs that duplication
+	// exposed but frequency alone cannot remove.
+	Feasible bool
 	// Kernel selects the data-flow solver backend for every client
 	// analysis the pipeline runs (constant propagation on all tiers,
 	// liveness, available expressions). The zero value is

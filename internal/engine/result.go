@@ -9,6 +9,7 @@ import (
 	"pathflow/internal/cfg"
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/feasible"
 	"pathflow/internal/liveness"
 	"pathflow/internal/opt"
 	"pathflow/internal/profile"
@@ -35,6 +36,12 @@ type FuncResult struct {
 	HPGProf *bl.Profile // training profile translated onto the HPG
 	Red     *reduce.Reduced
 	RedSol  *constprop.Result
+
+	// Feasibility artifacts (Options.Feasible): the infeasible-edge sets
+	// of the CFG and HPG tiers. The reduced tier's mask is recomputed on
+	// demand (feasible.Detect is deterministic) rather than stored.
+	FeasCFG *feasible.Edges
+	FeasHPG *feasible.Edges
 
 	// Client analyses (Options.Clients), one result per graph tier; HPG
 	// and Red entries are nil when qualification did not run, and every

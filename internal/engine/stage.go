@@ -12,6 +12,7 @@ import (
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow"
 	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/feasible"
 	"pathflow/internal/liveness"
 	"pathflow/internal/profile"
 	"pathflow/internal/reduce"
@@ -35,6 +36,11 @@ const (
 	StageAnalyze   StageName = "analyze"
 	StageTranslate StageName = "translate"
 	StageReduce    StageName = "reduce"
+	// StageFeasible is the branch-correlation feasibility analysis
+	// (Options.Feasible), run once per graph tier that needs a fresh
+	// infeasible-edge set (CFG and HPG; the reduced tier recomputes its
+	// mask inside the reduce stage).
+	StageFeasible StageName = "feasible"
 	// StageLiveness and StageAvailExpr are the optional client analyses
 	// (Options.Clients), each run on every graph tier the pipeline
 	// produced; StageCheck is the opt-in precision differential oracle
@@ -51,7 +57,7 @@ const (
 var StageOrder = []StageName{
 	StageBaseline, StageSelect, StageAutomaton, StageTrace,
 	StageAnalyze, StageTranslate, StageReduce,
-	StageLiveness, StageAvailExpr, StageCheck,
+	StageFeasible, StageLiveness, StageAvailExpr, StageCheck,
 }
 
 // PipelineStages is the prefix of StageOrder that forms the cached
@@ -125,10 +131,20 @@ type TraceIn struct {
 
 // AnalyzeIn feeds Wegman-Zadek constant propagation (baseline and HPG).
 // Kernel selects the solver backend (packed arenas by default).
+// Infeasible, when non-nil, is the tier's feasibility mask: the solve
+// withholds facts along marked edges (Options.Feasible).
 type AnalyzeIn struct {
+	G          *cfg.Graph
+	NumVars    int
+	Kernel     dataflow.Kernel
+	Infeasible []bool
+}
+
+// FeasibleIn feeds the branch-correlation feasibility analysis for one
+// graph tier.
+type FeasibleIn struct {
 	G       *cfg.Graph
 	NumVars int
-	Kernel  dataflow.Kernel
 }
 
 // TranslateIn feeds profile translation onto an overlay graph.
@@ -138,14 +154,19 @@ type TranslateIn struct {
 	Overlay profile.Overlay
 }
 
-// ReduceIn feeds reduction; NumVars is needed to re-analyze the quotient.
+// ReduceIn feeds reduction; NumVars is needed to re-analyze the
+// quotient. Feasible re-runs feasibility detection on the quotient
+// graph and re-analyzes through the pruned view (the reduced tier's
+// mask is recomputed rather than projected — Detect is deterministic
+// and the quotient is a different graph than the HPG it came from).
 type ReduceIn struct {
-	HPG     *trace.HPG
-	Sol     *constprop.Result
-	Prof    *bl.Profile
-	CR      float64
-	NumVars int
-	Kernel  dataflow.Kernel
+	HPG      *trace.HPG
+	Sol      *constprop.Result
+	Prof     *bl.Profile
+	CR       float64
+	NumVars  int
+	Kernel   dataflow.Kernel
+	Feasible bool
 }
 
 // ReduceOut is the reduction artifact: the quotient graph and its
@@ -188,7 +209,15 @@ type CheckIn struct {
 var BaselineStage = Stage[AnalyzeIn, *constprop.Result]{
 	Name: StageBaseline,
 	Run: func(in AnalyzeIn) (*constprop.Result, error) {
-		return constprop.AnalyzeWith(in.G, in.NumVars, true, in.Kernel), nil
+		return constprop.AnalyzeMasked(in.G, in.NumVars, true, in.Kernel, in.Infeasible), nil
+	},
+}
+
+// FeasibleStage detects infeasible edges on one graph tier.
+var FeasibleStage = Stage[FeasibleIn, *feasible.Edges]{
+	Name: StageFeasible,
+	Run: func(in FeasibleIn) (*feasible.Edges, error) {
+		return feasible.Detect(in.G, in.NumVars), nil
 	},
 }
 
@@ -222,7 +251,7 @@ var TraceStage = Stage[TraceIn, *trace.HPG]{
 var AnalyzeStage = Stage[AnalyzeIn, *constprop.Result]{
 	Name: StageAnalyze,
 	Run: func(in AnalyzeIn) (*constprop.Result, error) {
-		return constprop.AnalyzeWith(in.G, in.NumVars, true, in.Kernel), nil
+		return constprop.AnalyzeMasked(in.G, in.NumVars, true, in.Kernel, in.Infeasible), nil
 	},
 }
 
@@ -242,7 +271,11 @@ var ReduceStage = Stage[ReduceIn, ReduceOut]{
 		if err != nil {
 			return ReduceOut{}, err
 		}
-		return ReduceOut{Red: red, RedSol: constprop.AnalyzeWith(red.G, in.NumVars, true, in.Kernel)}, nil
+		var mask []bool
+		if in.Feasible {
+			mask = feasible.Detect(red.G, in.NumVars).Mask()
+		}
+		return ReduceOut{Red: red, RedSol: constprop.AnalyzeMasked(red.G, in.NumVars, true, in.Kernel, mask)}, nil
 	},
 }
 

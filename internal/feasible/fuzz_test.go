@@ -1,0 +1,73 @@
+package feasible_test
+
+import (
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/dataflow/oracle"
+	"pathflow/internal/feasible"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/profile"
+	"pathflow/internal/progen"
+)
+
+func fuzzInput(seed uint64) *interp.SliceInput {
+	vals := make([]ir.Value, 64)
+	x := seed*0x9e3779b97f4a7c15 + 1
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = ir.Value(x & 0xffff)
+	}
+	return &interp.SliceInput{Values: vals}
+}
+
+// FuzzFeasibleSoundness is the empirical falsifier for the
+// branch-correlation detector: over random generated programs — biased
+// toward the correlated nested re-tests the detector exists to prove
+// (progen.Config.Correlated) — no edge a recorded training run actually
+// traversed may ever be marked infeasible. The static gates certify the
+// mask against the analyses' own semantics; this one certifies it
+// against real executions, so a detector bug that fools every lattice
+// still trips on the first run through a pruned edge.
+func FuzzFeasibleSoundness(f *testing.F) {
+	f.Add(uint64(1), uint64(5))
+	f.Add(uint64(2), uint64(3))
+	f.Add(uint64(7), uint64(9))
+	f.Add(uint64(19), uint64(1))
+	f.Add(uint64(42), uint64(17))
+	f.Add(uint64(301), uint64(11))
+	f.Add(uint64(138), uint64(5))
+
+	f.Fuzz(func(t *testing.T, seed, inputSeed uint64) {
+		cfgc := progen.DefaultConfig(seed)
+		cfgc.Correlated = 60
+		src := progen.Generate(cfgc)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v", seed, err)
+		}
+		train, _, err := bl.ProfileProgram(prog, interp.Options{
+			Args:     []ir.Value{3, 7, 11},
+			Input:    fuzzInput(inputSeed),
+			MaxSteps: 2_000_000,
+		})
+		if err != nil {
+			t.Skip("training run did not terminate in budget")
+		}
+		for name, fn := range prog.Funcs {
+			feas := feasible.Detect(fn.G, fn.NumVars())
+			pr := train.Funcs[name]
+			if pr == nil || feas.Count == 0 {
+				continue
+			}
+			counts := profile.EdgeCounts(pr, fn.G)
+			if err := oracle.CheckTraces("feasible", name, counts, feas.Infeasible).Err(); err != nil {
+				t.Errorf("seed %d func %s: %v", seed, name, err)
+			}
+		}
+	})
+}

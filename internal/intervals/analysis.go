@@ -94,6 +94,10 @@ type Problem struct {
 	// pass count (promoted dataflow.Tuner methods; nil keeps the
 	// package defaults). Both solver backends honor the same override.
 	*dataflow.Tuning
+	// Infeasible, when non-nil, marks edges (indexed by cfg.EdgeID) a
+	// prior feasibility analysis proved no execution can take; Transfer
+	// withholds refined environments along them.
+	Infeasible []bool
 }
 
 var (
@@ -145,6 +149,13 @@ func (p *Problem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, out []d
 			out[1] = fall
 		}
 	case cfg.TermHalt:
+	}
+	if p.Infeasible != nil {
+		for i, eid := range nd.Out {
+			if i < len(out) && int(eid) < len(p.Infeasible) && p.Infeasible[eid] {
+				out[i] = nil
+			}
+		}
 	}
 }
 

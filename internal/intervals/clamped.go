@@ -84,12 +84,16 @@ type ClampedProblem struct {
 	// T is the sorted threshold set (see Thresholds); it must contain
 	// NegInf and PosInf.
 	T []int64
+	// Infeasible, when non-nil, marks edges a prior feasibility analysis
+	// proved no execution can take; the delegated Transfer withholds
+	// facts along them (see Problem.Infeasible).
+	Infeasible []bool
 }
 
 var _ dataflow.Problem = (*ClampedProblem)(nil)
 
 func (p *ClampedProblem) inner() *Problem {
-	return &Problem{NumVars: p.NumVars, Conditional: p.Conditional}
+	return &Problem{NumVars: p.NumVars, Conditional: p.Conditional, Infeasible: p.Infeasible}
 }
 
 // Entry returns the all-⊥ (full-range) environment.
@@ -121,5 +125,12 @@ func (p *ClampedProblem) Transfer(g *cfg.Graph, n cfg.NodeID, in dataflow.Fact, 
 // same threshold set to every tier.
 func AnalyzeClamped(g *cfg.Graph, numVars int, thresholds []int64, conditional bool) *Result {
 	p := &ClampedProblem{NumVars: numVars, Conditional: conditional, T: thresholds}
+	return &Result{G: g, Sol: dataflow.Solve(g, p), n: numVars}
+}
+
+// AnalyzeClampedMasked is AnalyzeClamped with an infeasible-edge mask
+// (nil behaves like AnalyzeClamped).
+func AnalyzeClampedMasked(g *cfg.Graph, numVars int, thresholds []int64, conditional bool, infeasible []bool) *Result {
+	p := &ClampedProblem{NumVars: numVars, Conditional: conditional, T: thresholds, Infeasible: infeasible}
 	return &Result{G: g, Sol: dataflow.Solve(g, p), n: numVars}
 }

@@ -20,6 +20,7 @@ type packedDomain struct {
 	g                 *cfg.Graph
 	nv                int
 	conditional       bool
+	infeasible        []bool // optional per-EdgeID feasibility mask; masked slots stay -1
 	spans             *kernel.Span
 	threshold, passes int
 
@@ -42,6 +43,7 @@ func newPackedDomain(g *cfg.Graph, p *Problem) *packedDomain {
 		g:           g,
 		nv:          p.NumVars,
 		conditional: p.Conditional,
+		infeasible:  p.Infeasible,
 		spans:       kernel.NewSpan(p.NumVars),
 		tokens:      make([]int32, p.NumVars),
 		as:          make([]int32, 0, p.NumVars),
@@ -171,6 +173,13 @@ func (d *packedDomain) Transfer(n cfg.NodeID, in, scratch int, slots []int8) {
 			slots[1] = 2
 		}
 	case cfg.TermHalt:
+	}
+	if d.infeasible != nil {
+		for i, eid := range nd.Out {
+			if i < len(slots) && int(eid) < len(d.infeasible) && d.infeasible[eid] {
+				slots[i] = -1
+			}
+		}
 	}
 }
 

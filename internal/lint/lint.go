@@ -1,0 +1,155 @@
+// Package lint is the repo's hand-rolled drift linter. The CLI and the
+// serving layer quote each Unknown*Error's Hint() verbatim as the
+// remediation line, so a hint that falls out of sync with the option
+// set its parser actually accepts sends users chasing names that don't
+// exist (or hides ones that do). The registries that are derived at
+// runtime (bench.UnknownBenchmarkError builds its list from All()) are
+// immune; the hand-written ones in internal/engine are not — they have
+// drifted before. Hints parses those sources with go/ast (stdlib only,
+// no new dependencies) and cross-checks every case literal a Parse*
+// switch accepts against the string its paired Hint() returns.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// pairs maps each parser function to the error type whose Hint() must
+// enumerate the parser's accepted names.
+var pairs = []struct{ parse, errType string }{
+	{"ParseClients", "UnknownClientError"},
+	{"ParseKernel", "UnknownKernelError"},
+}
+
+// Hints lints the package rooted at dir (non-test .go files): every
+// non-empty case literal accepted by a registered Parse* function must
+// appear verbatim in the string returned by its paired Unknown*Error's
+// Hint method. It returns one problem line per violation; an empty
+// slice means clean. Structural failures (a pair's function or hint not
+// found, a hint that is not a plain string literal) are reported as
+// problems too, so a refactor can't silently disarm the check.
+func Hints(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	cases := map[string][]string{}
+	hints := map[string]string{}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil {
+				cases[fd.Name.Name] = append(cases[fd.Name.Name], caseLiterals(fd.Body)...)
+				continue
+			}
+			if fd.Name.Name == "Hint" {
+				if recv := receiverName(fd.Recv); recv != "" {
+					hints[recv] = returnedString(fd.Body)
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, p := range pairs {
+		lits := cases[p.parse]
+		hint, ok := hints[p.errType]
+		switch {
+		case len(lits) == 0:
+			problems = append(problems, fmt.Sprintf("%s: no case literals found in %s (moved or rewritten? update internal/lint)", dir, p.parse))
+		case !ok:
+			problems = append(problems, fmt.Sprintf("%s: no Hint method found on %s", dir, p.errType))
+		case hint == "":
+			problems = append(problems, fmt.Sprintf("%s: %s.Hint does not return a plain string literal", dir, p.errType))
+		default:
+			for _, name := range lits {
+				if name == "" {
+					continue // the empty string is the flag default, not a user-facing name
+				}
+				if !strings.Contains(hint, name) {
+					problems = append(problems, fmt.Sprintf("%s: %s accepts %q but %s.Hint() (%q) does not mention it", dir, p.parse, name, p.errType, hint))
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// caseLiterals collects every string literal used as a case value in
+// any switch statement of the body.
+func caseLiterals(body *ast.BlockStmt) []string {
+	var lits []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			bl, ok := e.(*ast.BasicLit)
+			if !ok || bl.Kind != token.STRING {
+				continue
+			}
+			if s, err := strconv.Unquote(bl.Value); err == nil {
+				lits = append(lits, s)
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// receiverName returns the bare type name of a method receiver
+// ("UnknownKernelError" for *UnknownKernelError).
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// returnedString returns the string literal of the body's sole
+// single-value return, or "" when the return value is computed (which
+// Hints treats as a structural problem for registered pairs — a
+// computed hint should derive from the registry and be exempted here
+// instead, like bench.UnknownBenchmarkError).
+func returnedString(body *ast.BlockStmt) string {
+	if len(body.List) != 1 {
+		return ""
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return ""
+	}
+	bl, ok := ret.Results[0].(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathflow/internal/bench"
+)
+
+// TestEngineHints is the ci.sh lint gate: every option name the engine's
+// parsers accept must appear in the hint the CLI and serving layer quote
+// for the matching Unknown*Error.
+func TestEngineHints(t *testing.T) {
+	problems, err := Hints(filepath.Join("..", "engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestBenchmarkHint covers the registry-derived hint the AST check
+// exempts: bench.UnknownBenchmarkError builds its list from All() at
+// runtime, so drift there would mean the derivation broke.
+func TestBenchmarkHint(t *testing.T) {
+	hint := (&bench.UnknownBenchmarkError{Name: "nope"}).Hint()
+	for _, b := range bench.All() {
+		if !strings.Contains(hint, b.Name) {
+			t.Errorf("benchmark %q missing from UnknownBenchmarkError.Hint() (%q)", b.Name, hint)
+		}
+	}
+}
+
+// TestHintsCatchesDrift feeds Hints a synthetic package whose hint
+// omits an accepted name, proving the linter actually fires.
+func TestHintsCatchesDrift(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fake
+
+type UnknownKernelError struct{ Name string }
+
+func (e *UnknownKernelError) Hint() string {
+	return "valid kernels: packed, boxed"
+}
+
+type UnknownClientError struct{ Name string }
+
+func (e *UnknownClientError) Hint() string {
+	return "valid clients: none, liveness, availexpr, all"
+}
+
+func ParseKernel(s string) int {
+	switch s {
+	case "", "packed":
+		return 0
+	case "boxed":
+		return 1
+	case "sparse": // missing from the hint above
+		return 2
+	}
+	return -1
+}
+
+func ParseClients(s string) int {
+	switch s {
+	case "none", "liveness", "availexpr", "all":
+		return 1
+	}
+	return -1
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fake.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Hints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"sparse"`) {
+		t.Fatalf("want exactly one problem naming \"sparse\", got %v", problems)
+	}
+}

@@ -22,6 +22,16 @@ type Config struct {
 	MaxDepth int
 	// MaxVars bounds the live scalar variables per function.
 	MaxVars int
+	// Correlated is the percentage (0–100) of generated if statements
+	// that take the correlated form instead: a pure condition over an
+	// existing variable, re-tested inside each leg of its own branch
+	// with the tested variable unmodified in between. On every path
+	// reaching such an inner branch the predicate's truth is already
+	// decided, so one inner leg is statically infeasible — the pattern
+	// internal/feasible's branch-correlation detector proves, which is
+	// what FuzzFeasibleSoundness exercises. Zero (the default) leaves
+	// the generator's output unchanged.
+	Correlated int
 }
 
 // DefaultConfig returns moderate bounds.
@@ -124,6 +134,9 @@ func (g *gen) genStmt(indent int, vars []string, depth int) []string {
 		fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, name, g.expr(vars, 3))
 		return vars
 	case kind < 8:
+		if g.cfg.Correlated > 0 && g.intn(100) < g.cfg.Correlated {
+			return g.genCorrelated(indent, vars, depth)
+		}
 		// if / if-else. Branch-local declarations don't dominate uses
 		// after the join, so only pre-existing variables stay in scope.
 		fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, g.expr(vars, 2))
@@ -150,6 +163,43 @@ func (g *gen) genStmt(indent int, vars []string, depth int) []string {
 		fmt.Fprintf(&g.b, "%s}\n", pad)
 		return vars
 	}
+}
+
+// genCorrelated emits the correlated branch form (see Config.Correlated):
+// a pure condition over an existing variable, tested and then re-tested
+// inside each leg with the variable unmodified in between, so exactly
+// one inner leg per outer leg is statically infeasible.
+func (g *gen) genCorrelated(indent int, vars []string, depth int) []string {
+	pad := strings.Repeat("\t", indent)
+	if len(vars) == 0 {
+		name := fmt.Sprintf("x%d", len(vars))
+		vars = append(vars, name)
+		fmt.Fprintf(&g.b, "%s%s = %d;\n", pad, name, g.intn(100))
+	}
+	v := vars[g.intn(len(vars))]
+	var cond string
+	switch g.intn(3) {
+	case 0:
+		cond = fmt.Sprintf("%s < %d", v, g.intn(100))
+	case 1:
+		cond = fmt.Sprintf("%s == %d", v, g.intn(100))
+	default:
+		cond = v
+	}
+	leg := func() {
+		ipad := pad + "\t"
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", ipad, cond)
+		g.assignExisting(indent+2, vars)
+		fmt.Fprintf(&g.b, "%s} else {\n", ipad)
+		g.assignExisting(indent+2, vars)
+		fmt.Fprintf(&g.b, "%s}\n", ipad)
+	}
+	fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, cond)
+	leg()
+	fmt.Fprintf(&g.b, "%s} else {\n", pad)
+	leg()
+	fmt.Fprintf(&g.b, "%s}\n", pad)
+	return vars
 }
 
 // assignExisting emits an assignment to an existing variable (used inside

@@ -78,6 +78,11 @@ type OptionsSpec struct {
 	// produce identical facts; the knob exists for speed, differential
 	// testing, and as an escape hatch.
 	Kernel string `json:"kernel,omitempty"`
+	// Feasible runs the feasible-path qualification pass: the branch-
+	// correlation detector computes a sound infeasible-edge set per graph
+	// tier and every client analyzes the pruned view — the same switch as
+	// the CLI's -feasible.
+	Feasible bool `json:"feasible,omitempty"`
 }
 
 func (o OptionsSpec) engine() (engine.Options, error) {
@@ -89,11 +94,11 @@ func (o OptionsSpec) engine() (engine.Options, error) {
 	if err != nil {
 		return engine.Options{}, err
 	}
-	return engine.Options{CA: o.CA, CR: o.CR, Clients: cs, Verify: o.Verify, Kernel: k}, nil
+	return engine.Options{CA: o.CA, CR: o.CR, Clients: cs, Verify: o.Verify, Kernel: k, Feasible: o.Feasible}, nil
 }
 
 func specOf(o engine.Options) OptionsSpec {
-	spec := OptionsSpec{CA: o.CA, CR: o.CR, Verify: o.Verify}
+	spec := OptionsSpec{CA: o.CA, CR: o.CR, Verify: o.Verify, Feasible: o.Feasible}
 	if o.Clients != 0 {
 		spec.Clients = o.Clients.String()
 	}
