@@ -35,6 +35,7 @@ import (
 	"pathflow/internal/fabric"
 	"pathflow/internal/interp"
 	"pathflow/internal/profile"
+	"pathflow/internal/profile/stream"
 	"pathflow/internal/serve"
 	"pathflow/internal/trace"
 	"pathflow/internal/tupling"
@@ -978,4 +979,124 @@ func BenchmarkShardedSweep(b *testing.B) {
 	}
 	b.ReportMetric(float64(makespan[1])/float64(makespan[2]), "speedup-2w")
 	b.ReportMetric(float64(makespan[1])/float64(makespan[4]), "speedup-4w")
+}
+
+// BenchmarkStreamingDrift times the streaming ingest → drift → requalify
+// loop against full cold re-analysis. One iteration walks the suite: for
+// each benchmark, four hot-set-flipping counter batches land on a
+// decaying accumulator set (stream.Set) and the program re-analyzes with
+// every function under its classified delta.
+//
+//	cold   fresh engine per benchmark, every round recomputes the whole
+//	       program against the live profile
+//	drift  cache warmed (untimed) with the training profile; timed rounds
+//	       replay every untouched function and recompute only the drifted
+//	       function's StageSelect-downstream suffix
+//
+// The untimed contract check asserts exactly that split: in a drift
+// round the untouched functions compute zero stages, and the drifted
+// function replays its baseline stage (profile-clean) while recomputing
+// select onward.
+func BenchmarkStreamingDrift(b *testing.B) {
+	ins := suite(b)
+	o := engine.DefaultOptions()
+	const rounds = 4
+
+	// runRounds drives one benchmark's drift trajectory on eng: apply
+	// the flip, materialize the live profile, diff, analyze per function
+	// under its delta class. Returns the last round's per-function
+	// results keyed by the round's drifted function.
+	runRounds := func(b *testing.B, eng *engine.Engine, in *bench.Instance) (string, *engine.ProgramResult) {
+		b.Helper()
+		set := stream.NewSet(in.Prog, in.Train)
+		prev := in.Train
+		var lastFn string
+		var lastRes *engine.ProgramResult
+		for round := 1; round <= rounds; round++ {
+			fn, path := bench.StreamFlipTarget(prev, in.Prog.Order)
+			if fn == "" {
+				b.Fatalf("%s: no multi-path function to drift", in.B.Name)
+			}
+			if _, err := set.Apply(&stream.Batch{Source: "bench", Funcs: []stream.FuncDelta{{
+				Func: fn, Seq: uint64(round),
+				Paths: []stream.PathDelta{{Path: path, Count: int64(10_000_000 * round)}},
+			}}}); err != nil {
+				b.Fatal(err)
+			}
+			live := set.Profile()
+			deltas := engine.DiffPrograms(in.Prog, in.Prog, prev, live)
+			byName := make(map[string]*engine.Delta, len(deltas))
+			for _, d := range deltas {
+				byName[d.Func] = d
+			}
+			res := &engine.ProgramResult{Prog: in.Prog, Opt: o, Funcs: map[string]*engine.FuncResult{}}
+			for _, name := range in.Prog.Order {
+				class := engine.DeltaCold
+				if d := byName[name]; d != nil {
+					class = d.Class
+				}
+				fr, err := eng.AnalyzeFunc(engine.WithDeltaClass(benchCtx, class), in.Prog.Funcs[name], live.Funcs[name], o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Funcs[name] = fr
+			}
+			prev, lastFn, lastRes = live, fn, res
+		}
+		return lastFn, lastRes
+	}
+
+	// Contract check (outside the timed runs): with a warm cache, a
+	// drift round computes stages only in the drifted function, and even
+	// there the baseline stage replays — the profile delta dirties
+	// select onward, nothing upstream.
+	for _, in := range ins {
+		eng := engine.New(engine.Config{Workers: 1, Cache: true})
+		if _, err := eng.AnalyzeProgram(benchCtx, in.Prog, in.Train, o); err != nil {
+			b.Fatal(err)
+		}
+		drifted, res := runRounds(b, eng, in)
+		for _, name := range in.Prog.Order {
+			computed := 0
+			for _, s := range engine.PipelineStages {
+				sm := res.Funcs[name].Metrics.Stages[s]
+				computed += sm.Runs - sm.CacheHits
+			}
+			if name != drifted && computed != 0 {
+				b.Fatalf("%s/%s: untouched function computed %d stages in a drift round", in.B.Name, name, computed)
+			}
+		}
+		fm := res.Funcs[drifted].Metrics.Stages
+		if bs := fm[engine.StageBaseline]; bs.Runs != bs.CacheHits {
+			b.Fatalf("%s/%s: drifted function recomputed baseline (profile deltas dirty select onward only)", in.B.Name, drifted)
+		}
+		if ss := fm[engine.StageSelect]; ss.Runs == ss.CacheHits {
+			b.Fatalf("%s/%s: drifted function never recomputed select despite a flipped hot set", in.B.Name, drifted)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for b.Loop() {
+			for _, in := range ins {
+				eng := engine.New(engine.Config{Workers: 1})
+				runRounds(b, eng, in)
+			}
+		}
+	})
+	b.Run("drift", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			engines := make([]*engine.Engine, len(ins))
+			for j, in := range ins {
+				engines[j] = engine.New(engine.Config{Workers: 1, Cache: true})
+				if _, err := engines[j].AnalyzeProgram(benchCtx, in.Prog, in.Train, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			for j, in := range ins {
+				runRounds(b, engines[j], in)
+			}
+		}
+	})
 }

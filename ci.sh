@@ -20,7 +20,10 @@
 #                           the core compat shim, the bench harness
 #                           memo, the serving layer's job manager +
 #                           streams, the distributed fabric's queue +
-#                           coordinator + worker loop), plus the
+#                           coordinator + worker loop, the streaming
+#                           accumulator sets and the watch runner —
+#                           including a concurrent ingest + sweep +
+#                           live-analyze test against one server), plus the
 #                           analysis clients and
 #                           the oracle, which the engine runs from
 #                           pooled workers (liveness, availexpr,
@@ -41,7 +44,15 @@
 #                           packed pointwise, sparse facts-only;
 #                           FuzzFeasibleSoundness: no trace-observed
 #                           edge is ever marked infeasible on random
-#                           correlated-branch programs),
+#                           correlated-branch programs;
+#                           FuzzAccumulatorMerge: the decaying
+#                           accumulator algebra stays commutative/
+#                           associative and Decay commutes with Merge
+#                           on fuzzer-chosen ingestion histories;
+#                           FuzzProfileDeltaCodec: arbitrary bytes
+#                           thrown at delta batches and stream
+#                           snapshot frames never panic or mutate a
+#                           set on rejection),
 #                           seeded from testdata/fuzz corpora
 #   8. kernel gate          BenchmarkAnalyzeKernels/resolve — the packed
 #                           solvers' steady-state Run() loop — must
@@ -71,7 +82,20 @@
 #                           daemon on the same -cachedir and assert the
 #                           repeat request warm-starts from disk
 #                           (pathflow_diskcache_hits_total in /metrics)
-#  12. fabric smoke         distributed analysis end-to-end: a `serve
+#  12. streaming smoke      streamed profile ingestion end-to-end: warm
+#                           a daemon, POST a hot-set-flipping counter
+#                           batch to /v1/profiles, require the ingest
+#                           response to flag requalification and the
+#                           drift counters to land in /metrics, then a
+#                           live analyze must replay cached stages and
+#                           its result bytes must equal a cold live
+#                           analyze on a fresh daemon fed the same delta
+#  13. watch smoke          `pathflow watch -rounds 1` on a dumped
+#                           benchmark source: the one-block constant
+#                           edit's round must classify the edited
+#                           function as a body delta and replay
+#                           untouched functions as 'none'
+#  14. fabric smoke         distributed analysis end-to-end: a `serve
 #                           -fabric` coordinator plus two `pathflow
 #                           worker` processes (private cache dirs, so
 #                           artifacts flow only through the coordinator's
@@ -112,7 +136,7 @@ go test ./...
 
 echo "== race"
 go test -race ./internal/engine/ ./internal/engine/diskcache/ ./internal/core/ ./internal/bench/ ./internal/serve/ \
-    ./internal/fabric/ \
+    ./internal/fabric/ ./internal/profile/stream/ ./internal/watch/ \
     ./internal/liveness/ ./internal/availexpr/ ./internal/dataflow/oracle/ \
     ./internal/dataflow/ ./internal/dataflow/kernel/ ./internal/constprop/ ./internal/intervals/ \
     ./internal/feasible/ ./internal/lint/
@@ -129,6 +153,13 @@ go test -run '^$' -fuzz '^FuzzKernelEquivalence$' -fuzztime 10s ./internal/engin
 # The branch-correlation detector must never prune an edge a real
 # execution traverses, over programs biased toward correlated re-tests.
 go test -run '^$' -fuzz '^FuzzFeasibleSoundness$' -fuzztime 10s ./internal/feasible/
+# The streaming layer's two wire surfaces: the accumulator algebra must
+# stay commutative/associative (and Decay/Merge must commute) on
+# fuzzer-chosen ingestion histories, and arbitrary bytes thrown at the
+# JSON delta batches and the diskcache snapshot frames must never panic,
+# mutate a set on rejection, or decode to unstable state.
+go test -run '^$' -fuzz '^FuzzAccumulatorMerge$' -fuzztime 10s ./internal/profile/stream/
+go test -run '^$' -fuzz '^FuzzProfileDeltaCodec$' -fuzztime 10s ./internal/profile/stream/
 
 echo "== kernel gate"
 # The packed kernels' steady-state loop must be allocation-free: every
@@ -155,6 +186,7 @@ cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
     [ -n "$wa_pid" ] && kill "$wa_pid" 2>/dev/null
     [ -n "$wb_pid" ] && kill "$wb_pid" 2>/dev/null
+    [ -n "$watch_pid" ] && kill "$watch_pid" 2>/dev/null
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -285,6 +317,117 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
 fi
 stop_serve "$tmpdir/serve2.log"
 
+# job_result <job json> <outfile>: follow a finished job to its
+# deterministic result payload.
+job_result() {
+    jid=$(sed -n 's/.*"\(job_\)\{0,1\}id": "\([^"]*\)".*/\2/p' "$1" | head -n 1)
+    [ -n "$jid" ] || { echo "smoke: no job id in $1" >&2; cat "$1" >&2; exit 1; }
+    curl -fsS "http://$addr/v1/jobs/$jid/result" >"$2" || {
+        echo "smoke: fetching result of $jid failed" >&2; exit 1; }
+}
+
+echo "== streaming smoke"
+# Streaming ingestion end to end: warm a daemon's cache with a plain
+# analyze, stream a hot-set-flipping counter batch into POST
+# /v1/profiles, and require (a) the ingest response to flag the drifted
+# function for requalification, (b) the drift counters to surface in
+# /metrics, (c) the next live analyze to replay cached stages while
+# recomputing the flipped function, and (d) its result bytes to equal a
+# cold live analyze on a fresh daemon fed the same merged profile.
+start_serve "$tmpdir/stream.log" -cachedir "$tmpdir/streamcache"
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" -H 'Content-Type: application/json' \
+    -d '{"program": "compress"}' >"$tmpdir/swarm.json"
+grep -q '"state": "done"' "$tmpdir/swarm.json" || {
+    echo "streaming smoke: warm analyze did not finish 'done'" >&2
+    cat "$tmpdir/swarm.json" >&2; exit 1; }
+# Pick the flip target from the live state: the coldest path (last in
+# the hot->cold ordering) of a function with at least two trained paths.
+curl -fsS "http://$addr/v1/profiles?program=compress" >"$tmpdir/sstate.json"
+flip=$(sed -n 's/.*"func": "\([^"]*\)".*/F \1/p; s/.*"num_paths": \([0-9]*\).*/N \1/p; s/.*"path": "\([^"]*\)".*/P \1/p' "$tmpdir/sstate.json" |
+    awk '$1=="F"{fn=$2; np=0} $1=="N"{np=$2} $1=="P" && np>=2 {f=fn; p=$2} END{print f, p}')
+flip_fn=${flip% *}
+flip_path=${flip#* }
+[ -n "$flip_fn" ] && [ -n "$flip_path" ] || {
+    echo "streaming smoke: no multi-path function in compress state" >&2
+    cat "$tmpdir/sstate.json" >&2; exit 1; }
+ingest="{\"program\": \"compress\", \"agent\": \"ci\", \"funcs\": [{\"func\": \"$flip_fn\", \"seq\": 1, \"paths\": [{\"path\": \"$flip_path\", \"count\": 50000000}]}]}"
+curl -fsS -X POST "http://$addr/v1/profiles" -H 'Content-Type: application/json' \
+    -d "$ingest" >"$tmpdir/singest.json"
+grep -q '"applied": 1' "$tmpdir/singest.json" || {
+    echo "streaming smoke: delta batch did not apply" >&2
+    cat "$tmpdir/singest.json" >&2; exit 1; }
+grep -q '"requalify": true' "$tmpdir/singest.json" || {
+    echo "streaming smoke: hot-set flip not flagged for requalification" >&2
+    cat "$tmpdir/singest.json" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" >"$tmpdir/smetrics.txt"
+for counter in pathflow_profile_ingest_total pathflow_drift_requalify_total; do
+    n=$(sed -n "s/^$counter //p" "$tmpdir/smetrics.txt")
+    if [ -z "$n" ] || [ "$n" -eq 0 ]; then
+        echo "streaming smoke: $counter is ${n:-missing} after ingest" >&2
+        exit 1
+    fi
+done
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" -H 'Content-Type: application/json' \
+    -d '{"program": "compress", "live": true}' >"$tmpdir/slive.json"
+grep -q '"state": "done"' "$tmpdir/slive.json" || {
+    echo "streaming smoke: live analyze did not finish 'done'" >&2
+    cat "$tmpdir/slive.json" >&2; exit 1; }
+hits=$(sed -n 's/.*"stage_cache_hits": \([0-9]*\).*/\1/p' "$tmpdir/slive.json" | head -n 1)
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "streaming smoke: live analyze replayed no stages (stage_cache_hits ${hits:-missing})" >&2
+    cat "$tmpdir/slive.json" >&2; exit 1
+fi
+job_result "$tmpdir/slive.json" "$tmpdir/slive_result.json"
+stop_serve "$tmpdir/stream.log"
+# Cold reference: a fresh daemon (empty cache dir) fed the same delta
+# must produce byte-identical live-analysis results with nothing to
+# replay — requalification changes cost, never answers.
+start_serve "$tmpdir/stream2.log" -cachedir "$tmpdir/streamcache2"
+curl -fsS -X POST "http://$addr/v1/profiles" -H 'Content-Type: application/json' \
+    -d "$ingest" >"$tmpdir/singest2.json"
+grep -q '"applied": 1' "$tmpdir/singest2.json" || {
+    echo "streaming smoke: cold daemon rejected the delta batch" >&2
+    cat "$tmpdir/singest2.json" >&2; exit 1; }
+curl -fsS -X POST "http://$addr/v1/analyze?wait=1" -H 'Content-Type: application/json' \
+    -d '{"program": "compress", "live": true}' >"$tmpdir/scold.json"
+grep -q '"state": "done"' "$tmpdir/scold.json" || {
+    echo "streaming smoke: cold live analyze did not finish 'done'" >&2
+    cat "$tmpdir/scold.json" >&2; exit 1; }
+job_result "$tmpdir/scold.json" "$tmpdir/scold_result.json"
+cmp -s "$tmpdir/slive_result.json" "$tmpdir/scold_result.json" || {
+    echo "streaming smoke: requalified result differs from cold live analysis" >&2
+    diff "$tmpdir/slive_result.json" "$tmpdir/scold_result.json" >&2 || true; exit 1; }
+
+echo "== watch smoke"
+# Watch-mode continuous re-analysis end to end: start `pathflow watch`
+# on a dumped benchmark source with -rounds 1, apply the baseline
+# smoke's one-block constant edit while it polls, and require the edit
+# round to classify the edited function as a body delta (recomputing
+# stages) while an untouched function replays everything ('none').
+"$tmpdir/pathflow" source li >"$tmpdir/watch.pf"
+"$tmpdir/pathflow" watch -src "$tmpdir/watch.pf" -interval 100ms -rounds 1 >"$tmpdir/watch.txt" 2>&1 &
+watch_pid=$!
+i=0
+while [ $i -lt 100 ]; do
+    grep -q "^0 " "$tmpdir/watch.txt" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "^0 " "$tmpdir/watch.txt" || {
+    echo "watch smoke: initial cold round never reported" >&2
+    cat "$tmpdir/watch.txt" >&2; kill "$watch_pid" 2>/dev/null; exit 1; }
+sed 's/heap = 262144;/heap = 262145;/' "$tmpdir/watch.pf" >"$tmpdir/watch_edit.pf"
+mv "$tmpdir/watch_edit.pf" "$tmpdir/watch.pf"
+wait "$watch_pid" || {
+    echo "watch smoke: watch exited nonzero" >&2
+    cat "$tmpdir/watch.txt" >&2; exit 1; }
+grep -Eq '^1 +main +body ' "$tmpdir/watch.txt" || {
+    echo "watch smoke: edit round did not classify main as a body delta" >&2
+    cat "$tmpdir/watch.txt" >&2; exit 1; }
+grep -Eq '^1 +[a-z]+ +none +- ' "$tmpdir/watch.txt" || {
+    echo "watch smoke: no untouched function replayed as 'none'" >&2
+    cat "$tmpdir/watch.txt" >&2; exit 1; }
+
 echo "== fabric smoke"
 # Distributed analysis end to end. The coordinator gets a short lease
 # TTL so the worker-kill gate recovers in seconds; the workers get
@@ -297,15 +440,6 @@ start_serve "$tmpdir/fabric.log" -cachedir "$tmpdir/fabcache" -fabric -fabric-le
 wa_pid=$!
 "$tmpdir/pathflow" worker -join "http://$addr" -id wB -cachedir "$tmpdir/wB" >"$tmpdir/wB.log" 2>&1 &
 wb_pid=$!
-
-# job_result <job json> <outfile>: follow a finished job to its
-# deterministic result payload.
-job_result() {
-    jid=$(sed -n 's/.*"\(job_\)\{0,1\}id": "\([^"]*\)".*/\2/p' "$1" | head -n 1)
-    [ -n "$jid" ] || { echo "fabric smoke: no job id in $1" >&2; cat "$1" >&2; exit 1; }
-    curl -fsS "http://$addr/v1/jobs/$jid/result" >"$2" || {
-        echo "fabric smoke: fetching result of $jid failed" >&2; exit 1; }
-}
 
 sweep1='"program": "compress", "points": [{"ca": 0.95, "cr": 0.95}, {"ca": 0.99, "cr": 0.95}]'
 

@@ -13,6 +13,7 @@
 //	pathflow opt     <benchmark>|-src file [-ref]
 //	pathflow check   <benchmark>|-src file [-ca 0.97] [-cr 0.95] [-feasible]
 //	pathflow exp     table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|feasible|all
+//	pathflow watch   -src file [-profile prof.pf] [-interval d] [-rounds n]
 //	pathflow serve   [-addr host:port] [-maxjobs n] [-workers n] [-timeout d]
 //	pathflow worker  -join http://host:port [-id name] [-cachedir dir]
 package main
@@ -64,6 +65,8 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "worker":
@@ -120,6 +123,10 @@ commands:
                                  (every client, every graph tier)
   exp     <table1|table2|fig7|fig9|fig10|fig11|fig12|ablation|clients|kernels|feasible|all>
                                  regenerate the paper's tables and figures
+  watch   -src f [...]           watch a source file (and optional saved
+                                 profile) and re-analyze incrementally on
+                                 every change, reporting per function which
+                                 stages replayed vs recomputed
   serve   [-addr host:port] [...] run the long-running analysis service
                                  (shared artifact cache, job manager,
                                  live per-stage metrics; see README)

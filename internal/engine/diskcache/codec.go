@@ -72,6 +72,7 @@ const (
 	KindTranslate
 	KindReduced
 	KindFeasible
+	KindStream
 )
 
 func (k Kind) String() string {
@@ -92,6 +93,8 @@ func (k Kind) String() string {
 		return "reduced"
 	case KindFeasible:
 		return "feasible"
+	case KindStream:
+		return "stream"
 	}
 	return "unknown"
 }
@@ -135,7 +138,7 @@ func unframe(kind Kind, data []byte) ([]byte, error) {
 // payload is used, so CheckFrame only has to reject noise, truncation,
 // and version skew at the door.
 func CheckFrame(kind Kind, data []byte) error {
-	if kind == 0 || kind > KindFeasible {
+	if kind == 0 || kind > KindStream {
 		return ErrCorrupt
 	}
 	_, err := unframe(kind, data)
@@ -145,7 +148,7 @@ func CheckFrame(kind Kind, data []byte) error {
 // KindFromString maps a bundle-kind name (the file-name prefix) back to
 // its Kind, or 0 if unknown.
 func KindFromString(s string) Kind {
-	for k := KindBaseline; k <= KindFeasible; k++ {
+	for k := KindBaseline; k <= KindStream; k++ {
 		if k.String() == s {
 			return k
 		}

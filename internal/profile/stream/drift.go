@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"strings"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/profile"
+)
+
+// FuncDrift is one function's drift verdict: whether the live profile
+// differs at all from the one the cached artifacts were built from
+// (Changed — an engine.DeltaProfile edit), and whether that change
+// moved the hot-set selection at CA (Requalify — everything downstream
+// of StageSelect re-keys; an unchanged hot set still replays the
+// qualification suffix through the output-addressed automaton key).
+type FuncDrift struct {
+	Func      string `json:"func"`
+	Changed   bool   `json:"changed"`
+	Requalify bool   `json:"requalify"`
+}
+
+// HotKey renders the hot-set selection of pr at coverage ca as a
+// canonical string (the selected paths' keys in selection order). Two
+// profiles with equal HotKeys select byte-identical hot sets, so the
+// automaton, trace and analyze artifacts keyed by the hot set replay.
+// A nil or empty profile selects nothing and keys to "".
+func HotKey(pr *bl.Profile, g *cfg.Graph, ca float64) string {
+	if pr == nil {
+		return ""
+	}
+	hot := profile.SelectHot(pr, g, ca)
+	keys := make([]string, len(hot))
+	for i, p := range hot {
+		keys[i] = p.Key()
+	}
+	return strings.Join(keys, ";")
+}
+
+// equalProfile reports whether two profiles are interchangeable as
+// selection inputs: same recording edges and the same path multiset.
+// Nil compares equal only to nil or an empty profile with no recording
+// edges (which selects identically).
+func equalProfile(a, b *bl.Profile) bool {
+	if a == nil || b == nil {
+		other := a
+		if a == nil {
+			other = b
+		}
+		return other == nil || (len(other.Entries) == 0 && len(other.R) == 0)
+	}
+	return equalEdgeSets(a.R, b.R) && a.Equal(b)
+}
+
+// DetectDrift compares the live profile against the one the cached
+// artifacts were built from, function by function in program order.
+// The detector is sound by construction: hot-set selection is a
+// deterministic function of (profile, CA), so it only skips the
+// re-selection when the two profiles are exactly equal — any hot-set
+// change implies a profile change, which the equality gate cannot miss
+// (the property test pits it against brute-force re-selection anyway).
+// Either program profile may be nil (nothing analyzed yet / nothing
+// streamed yet); missing function profiles count as empty.
+func DetectDrift(prev, live *bl.ProgramProfile, prog *cfg.Program, ca float64) []FuncDrift {
+	fp := func(pp *bl.ProgramProfile, name string) *bl.Profile {
+		if pp == nil {
+			return nil
+		}
+		return pp.Funcs[name]
+	}
+	out := make([]FuncDrift, 0, len(prog.Order))
+	for _, name := range prog.Order {
+		d := FuncDrift{Func: name}
+		a, b := fp(prev, name), fp(live, name)
+		if !equalProfile(a, b) {
+			d.Changed = true
+			g := prog.Funcs[name].G
+			d.Requalify = HotKey(a, g, ca) != HotKey(b, g, ca)
+		}
+		out = append(out, d)
+	}
+	return out
+}

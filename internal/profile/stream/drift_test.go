@@ -1,0 +1,305 @@
+package stream_test
+
+import (
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/profile"
+	"pathflow/internal/profile/stream"
+	"pathflow/internal/progen"
+)
+
+func trainRandom(t *testing.T, seed uint64) (*cfg.Program, *bl.ProgramProfile) {
+	t.Helper()
+	src := progen.Generate(progen.DefaultConfig(seed))
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	vals := make([]ir.Value, 64)
+	x := seed*0x9e3779b97f4a7c15 + 1
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = ir.Value(x & 0xffff)
+	}
+	pp, _, err := bl.ProfileProgram(prog, interp.Options{
+		Args:     []ir.Value{3, 7, 11},
+		Input:    &interp.SliceInput{Values: vals},
+		MaxSteps: 2_000_000,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: profile: %v", seed, err)
+	}
+	return prog, pp
+}
+
+// hotKeysEqual is the brute-force ground truth: re-run hot-set
+// selection on both profiles and compare the selected paths exactly.
+func hotKeysEqual(a, b *bl.Profile, g *cfg.Graph, ca float64) bool {
+	var ha, hb []bl.Path
+	if a != nil {
+		ha = profile.SelectHot(a, g, ca)
+	}
+	if b != nil {
+		hb = profile.SelectHot(b, g, ca)
+	}
+	if len(ha) != len(hb) {
+		return false
+	}
+	for i := range ha {
+		if ha[i].Key() != hb[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDriftSoundness pits DetectDrift against brute-force re-selection
+// on random progen programs under random streamed perturbations: the
+// detector must never miss a hot-set change (soundness), and — since
+// it gates on exact profile equality before re-selecting — must agree
+// with the ground truth exactly.
+func TestDriftSoundness(t *testing.T) {
+	const ca = 0.97
+	r := rngT(99)
+	for seed := uint64(1); seed <= 20; seed++ {
+		prog, train := trainRandom(t, seed)
+		set := stream.NewSet(prog, train)
+
+		// Random perturbations: bump existing paths (sometimes hugely,
+		// flipping the hot set), sometimes decay the whole distribution.
+		seq := uint64(0)
+		for round := 0; round < 4; round++ {
+			var fds []stream.FuncDelta
+			for _, name := range prog.Order {
+				pr := train.Funcs[name]
+				if pr == nil || len(pr.Entries) == 0 || r.intn(2) == 0 {
+					continue
+				}
+				var paths []stream.PathDelta
+				for k := range pr.Entries {
+					if r.intn(3) != 0 {
+						continue
+					}
+					n := int64(1 + r.intn(50))
+					if r.intn(4) == 0 {
+						n = int64(1_000_000 + r.intn(1_000_000)) // hot-set flipper
+					}
+					paths = append(paths, stream.PathDelta{Path: k, Count: n})
+				}
+				if len(paths) == 0 {
+					continue
+				}
+				seq++
+				fds = append(fds, stream.FuncDelta{Func: name, Seq: seq, Paths: paths})
+			}
+			if len(fds) == 0 {
+				continue
+			}
+			b := &stream.Batch{Source: "drift-test", AdvanceEpoch: r.intn(3) == 0, Funcs: fds}
+			if _, err := set.Apply(b); err != nil {
+				t.Fatalf("seed %d round %d: Apply: %v", seed, round, err)
+			}
+		}
+
+		live := set.Profile()
+		drift := stream.DetectDrift(train, live, prog, ca)
+		byFunc := map[string]stream.FuncDrift{}
+		for _, d := range drift {
+			byFunc[d.Func] = d
+		}
+		for _, name := range prog.Order {
+			g := prog.Funcs[name].G
+			same := hotKeysEqual(train.Funcs[name], live.Funcs[name], g, ca)
+			d := byFunc[name]
+			if !same && !d.Requalify {
+				t.Fatalf("seed %d func %s: hot set changed but drift detector missed it (UNSOUND)", seed, name)
+			}
+			if same && d.Requalify {
+				t.Fatalf("seed %d func %s: hot set unchanged but detector demands requalification", seed, name)
+			}
+		}
+	}
+}
+
+// TestDriftUntouchedIsClean: with no deltas applied, the live profile
+// materializes the training profile exactly and no function drifts.
+func TestDriftUntouchedIsClean(t *testing.T) {
+	prog, train := trainRandom(t, 7)
+	set := stream.NewSet(prog, train)
+	for _, d := range stream.DetectDrift(train, set.Profile(), prog, 0.97) {
+		if d.Changed || d.Requalify {
+			t.Fatalf("func %s drifted with no deltas applied: %+v", d.Func, d)
+		}
+	}
+}
+
+// TestSetApplyIdempotent: a redelivered batch (same source, same seq)
+// drops without changing the distribution.
+func TestSetApplyIdempotent(t *testing.T) {
+	prog, train := trainRandom(t, 3)
+	set := stream.NewSet(prog, train)
+	var fd *stream.FuncDelta
+	for _, name := range prog.Order {
+		pr := train.Funcs[name]
+		if pr == nil || len(pr.Entries) == 0 {
+			continue
+		}
+		for k := range pr.Entries {
+			fd = &stream.FuncDelta{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: k, Count: 10}}}
+			break
+		}
+		break
+	}
+	if fd == nil {
+		t.Skip("no executed function in seed 3")
+	}
+	b := &stream.Batch{Source: "agent-1", Funcs: []stream.FuncDelta{*fd}}
+	st, err := set.Apply(b)
+	if err != nil || st.Applied != 1 {
+		t.Fatalf("first apply: %+v, %v", st, err)
+	}
+	before := set.Accumulator(fd.Func)
+	st, err = set.Apply(b)
+	if err != nil {
+		t.Fatalf("replay apply: %v", err)
+	}
+	if st.Applied != 0 || st.Dropped != 1 {
+		t.Fatalf("replay: applied %d dropped %d, want 0/1", st.Applied, st.Dropped)
+	}
+	if !set.Accumulator(fd.Func).Equal(before) {
+		t.Fatal("replayed batch changed the distribution")
+	}
+	// A different source's seq 1 is independent and applies.
+	b2 := &stream.Batch{Source: "agent-2", Funcs: []stream.FuncDelta{*fd}}
+	if st, err = set.Apply(b2); err != nil || st.Applied != 1 {
+		t.Fatalf("second source apply: %+v, %v", st, err)
+	}
+}
+
+// TestSetApplyAtomic: a batch with any invalid entry mutates nothing.
+func TestSetApplyAtomic(t *testing.T) {
+	prog, train := trainRandom(t, 3)
+	set := stream.NewSet(prog, train)
+	var name, key string
+	for _, n := range prog.Order {
+		if pr := train.Funcs[n]; pr != nil && len(pr.Entries) > 0 {
+			name = n
+			for k := range pr.Entries {
+				key = k
+				break
+			}
+			break
+		}
+	}
+	if name == "" {
+		t.Skip("no executed function in seed 3")
+	}
+	before := set.Accumulator(name)
+	bad := []*stream.Batch{
+		{Funcs: []stream.FuncDelta{}},
+		{Funcs: []stream.FuncDelta{{Func: "nosuch", Seq: 1, Paths: []stream.PathDelta{{Path: key, Count: 1}}}}},
+		{Funcs: []stream.FuncDelta{{Func: name, Seq: 0, Paths: []stream.PathDelta{{Path: key, Count: 1}}}}},
+		{Funcs: []stream.FuncDelta{{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: key, Count: 0}}}}},
+		{Funcs: []stream.FuncDelta{{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: "999999", Count: 1}}}}},
+		{Funcs: []stream.FuncDelta{
+			{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: key, Count: 5}}},
+			{Func: name, Seq: 2, Paths: []stream.PathDelta{{Path: "not-a-path", Count: 1}}},
+		}},
+		{Source: "x\x00y", Funcs: []stream.FuncDelta{{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: key, Count: 1}}}}},
+	}
+	for i, b := range bad {
+		if _, err := set.Apply(b); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+		if !set.Accumulator(name).Equal(before) {
+			t.Fatalf("bad batch %d mutated the set", i)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip: Snapshot → RestoreSet reproduces every
+// accumulator bit-exactly and preserves ingestion idempotency.
+func TestSnapshotRoundTrip(t *testing.T) {
+	prog, train := trainRandom(t, 5)
+	set := stream.NewSet(prog, train)
+	seq := uint64(0)
+	for _, name := range prog.Order {
+		pr := train.Funcs[name]
+		if pr == nil || len(pr.Entries) == 0 {
+			continue
+		}
+		for k := range pr.Entries {
+			seq++
+			b := &stream.Batch{Source: "snap", AdvanceEpoch: seq%2 == 0, Funcs: []stream.FuncDelta{
+				{Func: name, Seq: seq, Paths: []stream.PathDelta{{Path: k, Count: int64(seq * 13)}}},
+			}}
+			if _, err := set.Apply(b); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			break
+		}
+	}
+
+	restored, err := stream.RestoreSet(prog, set.Snapshot())
+	if err != nil {
+		t.Fatalf("RestoreSet: %v", err)
+	}
+	for _, name := range prog.Order {
+		if !restored.Accumulator(name).Equal(set.Accumulator(name)) {
+			t.Fatalf("func %s: restored accumulator differs", name)
+		}
+	}
+	// Replay of an already-applied seq must still drop after restore.
+	for _, name := range prog.Order {
+		pr := train.Funcs[name]
+		if pr == nil || len(pr.Entries) == 0 {
+			continue
+		}
+		for k := range pr.Entries {
+			b := &stream.Batch{Source: "snap", Funcs: []stream.FuncDelta{
+				{Func: name, Seq: 1, Paths: []stream.PathDelta{{Path: k, Count: 1}}},
+			}}
+			st, err := restored.Apply(b)
+			if err != nil {
+				t.Fatalf("restored apply: %v", err)
+			}
+			if st.Applied != 0 || st.Dropped != 1 {
+				t.Fatalf("restored set forgot seq numbers: %+v", st)
+			}
+			break
+		}
+		break
+	}
+}
+
+// TestRestoreRejectsForeignSnapshot: a snapshot naming a function the
+// program does not have fails restore (program-version skew).
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	prog, train := trainRandom(t, 5)
+	set := stream.NewSet(prog, train)
+	snap := set.Snapshot()
+	snap.Funcs = append(snap.Funcs, stream.FuncSnapshot{Func: "ghost"})
+	if _, err := stream.RestoreSet(prog, snap); err == nil {
+		t.Fatal("snapshot with unknown function restored")
+	}
+}
+
+// rngT is a tiny deterministic rng for the external test package.
+type rngT uint64
+
+func (r *rngT) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rngT) intn(n int) int { return int(r.next() % uint64(n)) }

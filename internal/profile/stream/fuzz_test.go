@@ -1,0 +1,220 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/engine/diskcache"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+	"pathflow/internal/lang"
+	"pathflow/internal/profile/stream"
+)
+
+// fuzzSrc is a small two-function program with a loop and a biased
+// branch — enough CFG structure for multi-edge Ball-Larus paths.
+const fuzzSrc = `
+func helper(k) {
+	m = input() % 10;
+	if (m < 9) { s = 4; } else { s = input() % 16; }
+	return k * s + s / 2;
+}
+func main() {
+	n = arg(0);
+	i = 0;
+	t = 0;
+	while (i < n) {
+		t = t + helper(i);
+		i = i + 1;
+	}
+	print(t);
+}
+`
+
+var fuzzProgOnce = sync.OnceValues(func() (*cfg.Program, *bl.ProgramProfile) {
+	prog, err := lang.Compile(fuzzSrc)
+	if err != nil {
+		panic(err)
+	}
+	vals := make([]ir.Value, 256)
+	x := uint64(0x2545f4914f6cdd1d)
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = ir.Value(x & 0xffff)
+	}
+	train, _, err := bl.ProfileProgram(prog, interp.Options{
+		Args:  []ir.Value{40},
+		Input: &interp.SliceInput{Values: vals},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return prog, train
+})
+
+// buildAcc deterministically grows an accumulator from a seed using
+// only the public API, decaying to epoch (kept inside one renorm
+// window so the algebraic laws are bit-exact).
+func buildAcc(seed uint64, epoch uint8) *stream.Accumulator {
+	r := rngT(seed)
+	a := stream.NewAccumulator("f", map[cfg.EdgeID]bool{})
+	target := uint64(epoch % 28)
+	for e := uint64(0); ; e++ {
+		for i := r.intn(5); i >= 0; i-- {
+			n := 1 + r.intn(3)
+			edges := make([]cfg.EdgeID, n)
+			for j := range edges {
+				edges[j] = cfg.EdgeID(r.intn(10))
+			}
+			a.Add(bl.Path{Edges: edges}, int64(1+r.intn(1<<30)))
+		}
+		if e >= target {
+			return a
+		}
+		a.Decay()
+	}
+}
+
+// FuzzAccumulatorMerge checks the accumulator algebra on fuzzer-chosen
+// histories: Merge commutes and associates bit-exactly, Decay∘Merge ≡
+// Merge∘Decay at a common epoch, and merging never mutates its source.
+func FuzzAccumulatorMerge(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(5), uint64(5), uint64(5), uint8(7), uint8(7), uint8(7))
+	f.Add(uint64(9), uint64(11), uint64(13), uint8(3), uint8(19), uint8(27))
+	f.Add(uint64(1<<60), uint64(1<<61), uint64(1<<62), uint8(27), uint8(1), uint8(14))
+	f.Fuzz(func(t *testing.T, sa, sb, sc uint64, ea, eb, ec uint8) {
+		a := buildAcc(sa, ea)
+		b := buildAcc(sb, eb)
+		c := buildAcc(sc, ec)
+
+		bSnap := b.Clone()
+		ab, ba := a.Clone(), b.Clone()
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if !ab.Equal(ba) {
+			t.Fatal("merge not commutative")
+		}
+		if !b.Equal(bSnap) {
+			t.Fatal("merge mutated its source")
+		}
+
+		left := ab.Clone() // (a+b)+c
+		if err := left.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		bc := b.Clone()
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		right := a.Clone() // a+(b+c)
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if !left.Equal(right) {
+			t.Fatal("merge not associative")
+		}
+
+		// Decay/Merge commute at a common epoch.
+		common := a.Epoch()
+		if e := b.Epoch(); e > common {
+			common = e
+		}
+		da, db := a.Clone(), b.Clone()
+		da.DecayTo(common)
+		db.DecayTo(common)
+		md := da.Clone()
+		if err := md.Merge(db); err != nil {
+			t.Fatal(err)
+		}
+		md.Decay()
+		da.Decay()
+		db.Decay()
+		dm := da
+		if err := dm.Merge(db); err != nil {
+			t.Fatal(err)
+		}
+		if !md.Equal(dm) {
+			t.Fatal("Decay∘Merge != Merge∘Decay at common epoch")
+		}
+	})
+}
+
+// FuzzProfileDeltaCodec throws arbitrary bytes at both wire layers of
+// the streaming subsystem: the JSON delta batch (must never panic, and
+// must apply atomically when accepted) and the diskcache snapshot
+// frame (must never panic, and accepted frames must reach a stable
+// encode/decode fixed point).
+func FuzzProfileDeltaCodec(f *testing.F) {
+	prog, train := fuzzProgOnce()
+	// A valid batch for the fuzz program's main (edge 0 exists in every
+	// graph; real hot keys come from the corpus below).
+	set := stream.NewSet(prog, train)
+	if valid, err := json.Marshal(&stream.Batch{
+		Source: "seed",
+		Funcs: []stream.FuncDelta{{
+			Func: "main", Seq: 1,
+			Paths: []stream.PathDelta{{Path: firstPathKey(train, "main"), Count: 7}},
+		}},
+	}); err == nil {
+		f.Add(valid)
+	}
+	f.Add([]byte(`{"funcs":[{"func":"helper","seq":2,"paths":[{"path":"0","count":1}]}]}`))
+	f.Add([]byte(`{"source":"a","advance_epoch":true,"funcs":[]}`))
+	f.Add(diskcache.EncodeStream(diskcache.Meta{}, set.Snapshot()))
+	f.Add([]byte("PFAC\x02\x09000000000000"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Layer 1: JSON delta ingestion.
+		var b stream.Batch
+		if err := json.Unmarshal(data, &b); err == nil {
+			s := stream.NewSet(prog, train)
+			beforeMain := s.Accumulator("main")
+			st, err := s.Apply(&b)
+			if err != nil {
+				// Rejected batches must leave the set untouched.
+				if !s.Accumulator("main").Equal(beforeMain) {
+					t.Fatal("rejected batch mutated the set")
+				}
+			} else if st.Applied+st.Dropped != len(b.Funcs) {
+				t.Fatalf("applied %d + dropped %d != %d deltas", st.Applied, st.Dropped, len(b.Funcs))
+			}
+		}
+
+		// Layer 2: snapshot frames. Arbitrary bytes must decode to
+		// ErrCorrupt at worst; an accepted frame must re-encode and
+		// re-decode to the identical state (stable fixed point — the
+		// re-encoding is canonical even if the input ordering was not).
+		_, restored, err := diskcache.DecodeStream(data, prog)
+		if err != nil {
+			return
+		}
+		again := diskcache.EncodeStream(diskcache.Meta{}, restored.Snapshot())
+		_, restored2, err := diskcache.DecodeStream(again, prog)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		for _, name := range prog.Order {
+			if !restored2.Accumulator(name).Equal(restored.Accumulator(name)) {
+				t.Fatalf("func %s: snapshot codec not a fixed point", name)
+			}
+		}
+	})
+}
+
+func firstPathKey(pp *bl.ProgramProfile, fn string) string {
+	pr := pp.Funcs[fn]
+	for k := range pr.Entries {
+		return k
+	}
+	return "0"
+}

@@ -1,0 +1,414 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// Set is a program-wide collection of accumulators — one per function,
+// kept in epoch lockstep — plus the per-(source, function) sequence
+// numbers that make delta ingestion idempotent. All methods are safe
+// for concurrent use; a Set is the unit the serving layer keeps per
+// analysis target.
+type Set struct {
+	mu    sync.Mutex
+	prog  *cfg.Program
+	funcs map[string]*Accumulator
+	// seqs maps source "\x00" func to the highest applied sequence
+	// number; a re-delivered delta (seq ≤ recorded) drops silently.
+	seqs map[string]uint64
+
+	// version counts mutations; mat/matVersion cache the last
+	// materialized profile so repeated analyses of an unchanged stream
+	// hand the engine the same pointer (its fingerprint memos key on
+	// profile identity).
+	version    uint64
+	matVersion uint64
+	mat        *bl.ProgramProfile
+}
+
+// NewSet returns a set for prog seeded from the training profile: each
+// function's accumulator starts at epoch 0 holding the training counts,
+// so with no deltas applied Profile() reproduces the training profile
+// exactly (same counts, same recording edges) and nothing recomputes.
+// train may be nil — accumulators then start empty over the minimal
+// recording-edge set.
+func NewSet(prog *cfg.Program, train *bl.ProgramProfile) *Set {
+	s := &Set{prog: prog, funcs: map[string]*Accumulator{}, seqs: map[string]uint64{}}
+	for _, name := range prog.Order {
+		var tp *bl.Profile
+		if train != nil {
+			tp = train.Funcs[name]
+		}
+		R := map[cfg.EdgeID]bool{}
+		if tp != nil {
+			for e := range tp.R {
+				R[e] = true
+			}
+		} else {
+			R = bl.RecordingEdges(prog.Funcs[name].G)
+		}
+		acc := NewAccumulator(name, R)
+		if tp != nil {
+			for _, e := range tp.Entries {
+				acc.Add(e.Path, e.Count)
+			}
+		}
+		s.funcs[name] = acc
+	}
+	return s
+}
+
+// Epoch returns the common epoch of the set's accumulators.
+func (s *Set) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochLocked()
+}
+
+func (s *Set) epochLocked() uint64 {
+	for _, a := range s.funcs {
+		return a.epoch
+	}
+	return 0
+}
+
+// Decay advances every accumulator by one epoch: all live weights
+// halve. Returns the new epoch.
+func (s *Set) Decay() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.funcs {
+		a.Decay()
+	}
+	s.version++
+	return s.epochLocked()
+}
+
+// Profile materializes the live distribution as a program profile.
+// Successive calls with no intervening mutation return the identical
+// pointer (callers must treat it as immutable — the engine does).
+func (s *Set) Profile() *bl.ProgramProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mat != nil && s.matVersion == s.version {
+		return s.mat
+	}
+	pp := bl.NewProgramProfile()
+	for name, a := range s.funcs {
+		pp.Funcs[name] = a.Profile()
+	}
+	s.mat, s.matVersion = pp, s.version
+	return pp
+}
+
+// --- Delta batches --------------------------------------------------------
+
+// PathDelta is one path's counter delta on the ingestion wire: the
+// path in canonical key form (comma-joined edge IDs, bl.Path.Key) and
+// the number of additional traversals observed.
+type PathDelta struct {
+	Path  string `json:"path"`
+	Count int64  `json:"count"`
+}
+
+// FuncDelta is one function's slice of a batch, tagged with the
+// per-(source, function) sequence number that makes redelivery
+// idempotent: a consumer applies seq N at most once and drops any
+// replayed or reordered batch with seq ≤ the last applied one.
+type FuncDelta struct {
+	Func  string      `json:"func"`
+	Seq   uint64      `json:"seq"`
+	Paths []PathDelta `json:"paths"`
+}
+
+// Batch is one ingestion request body: counter deltas from one source
+// (a profiling agent, an edge collector), optionally advancing the
+// decay epoch first so the new samples land at full weight on an aged
+// distribution.
+type Batch struct {
+	Source       string      `json:"source,omitempty"`
+	AdvanceEpoch bool        `json:"advance_epoch,omitempty"`
+	Funcs        []FuncDelta `json:"funcs"`
+}
+
+// ApplyStats reports what a batch did.
+type ApplyStats struct {
+	// Applied and Dropped count the batch's function deltas: Applied
+	// were new sequence numbers, Dropped were idempotent replays.
+	Applied int `json:"applied"`
+	Dropped int `json:"dropped"`
+	// Epoch is the set's epoch after the batch.
+	Epoch uint64 `json:"epoch"`
+}
+
+// BatchError reports a malformed delta batch. Validation runs before
+// any mutation, so a rejected batch leaves the set untouched (safe to
+// fix and resend with the same sequence numbers).
+type BatchError struct {
+	Func   string
+	Reason string
+}
+
+func (e *BatchError) Error() string {
+	if e.Func == "" {
+		return fmt.Sprintf("stream: bad delta batch: %s", e.Reason)
+	}
+	return fmt.Sprintf("stream: bad delta batch for func %q: %s", e.Func, e.Reason)
+}
+
+// Hint returns the remediation line the serving layer surfaces.
+func (e *BatchError) Hint() string {
+	return `each funcs[] entry needs a known "func", "seq" >= 1, and "paths" whose "path" keys are valid Ball-Larus paths ("edgeID,edgeID,...") with "count" >= 1`
+}
+
+// ParsePathKey parses a canonical path key ("3,17,20") into edge IDs,
+// bounds-checked against g.
+func ParsePathKey(key string, g *cfg.Graph) (bl.Path, error) {
+	if key == "" {
+		return bl.Path{}, fmt.Errorf("empty path key")
+	}
+	parts := strings.Split(key, ",")
+	edges := make([]cfg.EdgeID, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return bl.Path{}, fmt.Errorf("bad edge id %q", p)
+		}
+		if n < 0 || n >= int64(g.NumEdges()) {
+			return bl.Path{}, fmt.Errorf("edge id %d out of range", n)
+		}
+		edges[i] = cfg.EdgeID(n)
+	}
+	return bl.Path{Edges: edges}, nil
+}
+
+// Apply validates and applies one batch atomically: either every
+// function delta is structurally valid — known function, positive
+// sequence number, well-formed Ball-Larus paths with positive counts —
+// and the batch commits, or a *BatchError is returned and nothing
+// changes. Function deltas whose sequence number has already been
+// applied for the same source drop silently (idempotent replay) and
+// count as Dropped.
+func (s *Set) Apply(b *Batch) (ApplyStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Phase 1: validate everything, parse every path, mutate nothing.
+	type parsedDelta struct {
+		fd    *FuncDelta
+		paths []bl.Path
+	}
+	if len(b.Funcs) == 0 {
+		return ApplyStats{}, &BatchError{Reason: `"funcs" must list at least one function delta`}
+	}
+	if strings.ContainsRune(b.Source, 0) {
+		return ApplyStats{}, &BatchError{Reason: "source must not contain NUL"}
+	}
+	parsed := make([]parsedDelta, 0, len(b.Funcs))
+	for i := range b.Funcs {
+		fd := &b.Funcs[i]
+		acc, ok := s.funcs[fd.Func]
+		if !ok {
+			return ApplyStats{}, &BatchError{Func: fd.Func, Reason: "unknown function"}
+		}
+		if fd.Seq == 0 {
+			return ApplyStats{}, &BatchError{Func: fd.Func, Reason: "seq must be >= 1"}
+		}
+		if len(fd.Paths) == 0 {
+			return ApplyStats{}, &BatchError{Func: fd.Func, Reason: "paths must be non-empty"}
+		}
+		g := s.prog.Funcs[fd.Func].G
+		paths := make([]bl.Path, len(fd.Paths))
+		for j, pd := range fd.Paths {
+			p, err := ParsePathKey(pd.Path, g)
+			if err != nil {
+				return ApplyStats{}, &BatchError{Func: fd.Func, Reason: err.Error()}
+			}
+			if err := p.Validate(g, acc.r); err != nil {
+				return ApplyStats{}, &BatchError{Func: fd.Func, Reason: err.Error()}
+			}
+			if pd.Count < 1 {
+				return ApplyStats{}, &BatchError{Func: fd.Func, Reason: fmt.Sprintf("count %d for path %q (want >= 1)", pd.Count, pd.Path)}
+			}
+			paths[j] = p
+		}
+		parsed = append(parsed, parsedDelta{fd: fd, paths: paths})
+	}
+
+	// Phase 2: commit.
+	if b.AdvanceEpoch {
+		for _, a := range s.funcs {
+			a.Decay()
+		}
+		s.version++
+	}
+	var st ApplyStats
+	for _, pd := range parsed {
+		key := b.Source + "\x00" + pd.fd.Func
+		if pd.fd.Seq <= s.seqs[key] {
+			st.Dropped++
+			continue
+		}
+		s.seqs[key] = pd.fd.Seq
+		acc := s.funcs[pd.fd.Func]
+		for j, p := range pd.paths {
+			acc.Add(p, pd.fd.Paths[j].Count)
+		}
+		st.Applied++
+	}
+	if st.Applied > 0 {
+		s.version++
+	}
+	st.Epoch = s.epochLocked()
+	return st, nil
+}
+
+// --- Snapshot / restore ---------------------------------------------------
+
+// SetSnapshot is the deterministic plain-data image of a Set, the form
+// the diskcache codec persists: functions and entries in sorted order,
+// raw (undecayed-scale) weights, the common epoch, and the ingestion
+// sequence numbers so idempotency survives a restart.
+type SetSnapshot struct {
+	Epoch uint64
+	Funcs []FuncSnapshot
+	Seqs  []SeqSnapshot
+}
+
+// FuncSnapshot is one accumulator's image.
+type FuncSnapshot struct {
+	Func    string
+	R       []cfg.EdgeID
+	Entries []EntrySnapshot
+}
+
+// EntrySnapshot is one path's raw weight.
+type EntrySnapshot struct {
+	Edges []cfg.EdgeID
+	Raw   uint64
+}
+
+// SeqSnapshot is one (source, function) sequence-number record.
+type SeqSnapshot struct {
+	Source string
+	Func   string
+	Seq    uint64
+}
+
+// Snapshot captures the set's full state in canonical order.
+func (s *Set) Snapshot() *SetSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &SetSnapshot{Epoch: s.epochLocked()}
+	names := make([]string, 0, len(s.funcs))
+	for name := range s.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := s.funcs[name]
+		fs := FuncSnapshot{Func: name, R: cfg.SortedEdgeIDs(a.r)}
+		keys := make([]string, 0, len(a.entries))
+		for k := range a.entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := a.entries[k]
+			fs.Entries = append(fs.Entries, EntrySnapshot{
+				Edges: append([]cfg.EdgeID(nil), e.path.Edges...),
+				Raw:   e.raw,
+			})
+		}
+		snap.Funcs = append(snap.Funcs, fs)
+	}
+	seqKeys := make([]string, 0, len(s.seqs))
+	for k := range s.seqs {
+		seqKeys = append(seqKeys, k)
+	}
+	sort.Strings(seqKeys)
+	for _, k := range seqKeys {
+		source, fn, _ := strings.Cut(k, "\x00")
+		snap.Seqs = append(snap.Seqs, SeqSnapshot{Source: source, Func: fn, Seq: s.seqs[k]})
+	}
+	return snap
+}
+
+// RestoreSet rebuilds a Set for prog from a snapshot, validating every
+// path against its function's graph and recording-edge set. Functions
+// of prog absent from the snapshot start empty (at the snapshot's
+// epoch); snapshot functions unknown to prog are an error — the
+// snapshot belongs to a different program version.
+func RestoreSet(prog *cfg.Program, snap *SetSnapshot) (*Set, error) {
+	s := &Set{prog: prog, funcs: map[string]*Accumulator{}, seqs: map[string]uint64{}}
+	for _, fs := range snap.Funcs {
+		fn, ok := prog.Funcs[fs.Func]
+		if !ok {
+			return nil, fmt.Errorf("stream: snapshot function %q not in program", fs.Func)
+		}
+		R := map[cfg.EdgeID]bool{}
+		for _, e := range fs.R {
+			if e < 0 || int(e) >= fn.G.NumEdges() {
+				return nil, fmt.Errorf("stream: snapshot of %q: recording edge %d out of range", fs.Func, e)
+			}
+			R[e] = true
+		}
+		acc := NewAccumulator(fs.Func, R)
+		acc.epoch = snap.Epoch
+		for _, es := range fs.Entries {
+			p := bl.Path{Edges: es.Edges}
+			if err := p.Validate(fn.G, R); err != nil {
+				return nil, fmt.Errorf("stream: snapshot of %q: %w", fs.Func, err)
+			}
+			if es.Raw == 0 {
+				return nil, fmt.Errorf("stream: snapshot of %q: zero raw weight for %s", fs.Func, p.Key())
+			}
+			if _, dup := acc.entries[p.Key()]; dup {
+				return nil, fmt.Errorf("stream: snapshot of %q: duplicate path %s", fs.Func, p.Key())
+			}
+			acc.entries[p.Key()] = &accEntry{path: p, raw: es.Raw}
+		}
+		s.funcs[fs.Func] = acc
+	}
+	for _, name := range prog.Order {
+		if _, ok := s.funcs[name]; !ok {
+			acc := NewAccumulator(name, bl.RecordingEdges(prog.Funcs[name].G))
+			acc.epoch = snap.Epoch
+			s.funcs[name] = acc
+		}
+	}
+	for _, sq := range snap.Seqs {
+		if _, ok := s.funcs[sq.Func]; !ok {
+			return nil, fmt.Errorf("stream: snapshot seq for unknown function %q", sq.Func)
+		}
+		if sq.Seq == 0 {
+			return nil, fmt.Errorf("stream: snapshot seq 0 for %q/%q", sq.Source, sq.Func)
+		}
+		key := sq.Source + "\x00" + sq.Func
+		if _, dup := s.seqs[key]; dup {
+			return nil, fmt.Errorf("stream: duplicate snapshot seq for %q/%q", sq.Source, sq.Func)
+		}
+		s.seqs[key] = sq.Seq
+	}
+	return s, nil
+}
+
+// Accumulator returns a deep copy of one function's accumulator (nil if
+// the function is unknown) — an observation-only escape hatch for tests
+// and tooling; mutating the copy never affects the set.
+func (s *Set) Accumulator(name string) *Accumulator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.funcs[name]
+	if !ok {
+		return nil
+	}
+	return a.Clone()
+}

@@ -1,0 +1,264 @@
+// Package stream turns the paper's one-shot batch path profile into a
+// live, continuously-updated distribution: mergeable, exponentially-
+// decaying path-count accumulators (this file), batched counter deltas
+// with per-source/per-function sequence numbers and idempotent replay
+// (set.go), and drift detection that reports exactly which functions'
+// hot-set selection at CA a profile change invalidated (drift.go).
+//
+// # Decay algebra
+//
+// An Accumulator stores, per Ball-Larus path, a raw fixed-point weight
+// denominated at the accumulator's current epoch: the observable count
+// of a path is raw >> scale, where scale = epoch mod renormWindow.
+// The three operations are then exact integer arithmetic:
+//
+//   - Add(path, n) contributes n << scale, so a fresh sample always
+//     reads back at full weight;
+//   - Decay() increments the epoch — every existing weight halves
+//     (floor) without touching a single entry;
+//   - Merge adds raw weights pointwise (saturating).
+//
+// Because Decay only moves the read-out scale and Merge is pointwise
+// saturating addition, the algebra the property tests pin down holds
+// exactly: Merge is commutative and associative, and for accumulators
+// at the same epoch Decay∘Merge ≡ Merge∘Decay. Every renormWindow
+// epochs the raw weights are rescaled down (exactly weight-preserving:
+// floor division composes, ⌊⌊x/2³²⌋/2ˢ⌋ = ⌊x/2³²⁺ˢ⌋) so weights never
+// overflow; within one renormalization window the laws are bit-exact,
+// and across a window boundary two merge orders can differ by at most
+// one raw ulp — less than 2⁻³² of a single traversal.
+//
+// The motivation is D'Elia & Demetrescu's multi-iteration profiling
+// observation: path mixes shift over time, so an accumulator that
+// merges soundly must forget soundly too — old traffic fades at a
+// known exponential rate instead of pinning the hot-set selection to
+// a stale training snapshot.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// renormWindow is the number of epochs between raw-weight
+// renormalizations. Within a window every decay is a pure scale bump
+// and the merge/decay laws are bit-exact; at each window boundary raw
+// weights shift down by the whole window so they can never overflow
+// even under continuous high-volume ingestion.
+const renormWindow = 32
+
+// maxRaw is the saturation ceiling for raw weights.
+const maxRaw = math.MaxUint64
+
+// Accumulator is one function's decaying path-count accumulator: a
+// bl.Profile whose counts fade exponentially with epochs instead of
+// being frozen at training time. The zero value is not usable; use
+// NewAccumulator. Accumulators are not self-synchronizing — Set wraps
+// them behind one lock.
+type Accumulator struct {
+	fname   string
+	r       map[cfg.EdgeID]bool
+	epoch   uint64
+	entries map[string]*accEntry
+}
+
+// accEntry is one path's raw fixed-point weight (see the package
+// comment for the denomination).
+type accEntry struct {
+	path bl.Path
+	raw  uint64
+}
+
+// NewAccumulator returns an empty accumulator at epoch 0 for a function
+// whose recording-edge set is R. R is shared, not copied: it is
+// read-only for the accumulator's whole life.
+func NewAccumulator(fname string, R map[cfg.EdgeID]bool) *Accumulator {
+	return &Accumulator{fname: fname, r: R, entries: map[string]*accEntry{}}
+}
+
+// FuncName returns the profiled function's name.
+func (a *Accumulator) FuncName() string { return a.fname }
+
+// Epoch returns the number of decays applied so far.
+func (a *Accumulator) Epoch() uint64 { return a.epoch }
+
+// NumPaths returns the number of paths with nonzero raw weight.
+func (a *Accumulator) NumPaths() int { return len(a.entries) }
+
+// scale is the current read-out shift.
+func (a *Accumulator) scale() uint { return uint(a.epoch % renormWindow) }
+
+// satShl returns v << s, saturating instead of overflowing.
+func satShl(v uint64, s uint) uint64 {
+	if s > 0 && v > maxRaw>>s {
+		return maxRaw
+	}
+	return v << s
+}
+
+// satAdd returns a + b, saturating instead of overflowing. Saturating
+// addition of non-negative values is commutative and associative: any
+// ordering of a saturated sum yields min(maxRaw, Σ).
+func satAdd(a, b uint64) uint64 {
+	sum, carry := bits.Add64(a, b, 0)
+	if carry != 0 {
+		return maxRaw
+	}
+	return sum
+}
+
+// Add records n more traversals of path p at the current epoch. The
+// path is stored as given; callers are expected to have validated it
+// against the function's graph and R (Set.Apply does).
+func (a *Accumulator) Add(p bl.Path, n int64) {
+	if n <= 0 {
+		return
+	}
+	k := p.Key()
+	raw := satShl(uint64(n), a.scale())
+	if e, ok := a.entries[k]; ok {
+		e.raw = satAdd(e.raw, raw)
+		return
+	}
+	a.entries[k] = &accEntry{path: p, raw: raw}
+}
+
+// Decay advances the epoch by one: every stored weight halves. At each
+// renormWindow boundary the raw weights are rescaled down by the whole
+// window (exactly weight-preserving) and entries whose weight has
+// decayed below one traversal are dropped.
+func (a *Accumulator) Decay() {
+	a.epoch++
+	if a.epoch%renormWindow != 0 {
+		return
+	}
+	for k, e := range a.entries {
+		e.raw >>= renormWindow
+		if e.raw == 0 {
+			delete(a.entries, k)
+		}
+	}
+}
+
+// DecayTo decays until the accumulator reaches the target epoch. It is
+// a no-op when the accumulator is already at or past it.
+func (a *Accumulator) DecayTo(epoch uint64) {
+	for a.epoch < epoch {
+		a.Decay()
+	}
+}
+
+// Clone returns a deep copy (shared R, copied entries).
+func (a *Accumulator) Clone() *Accumulator {
+	c := &Accumulator{
+		fname:   a.fname,
+		r:       a.r,
+		epoch:   a.epoch,
+		entries: make(map[string]*accEntry, len(a.entries)),
+	}
+	for k, e := range a.entries {
+		c.entries[k] = &accEntry{path: e.path, raw: e.raw}
+	}
+	return c
+}
+
+// Merge folds o into a (o is left untouched). Both accumulators must
+// profile the same function over the same recording-edge set. When the
+// epochs differ the younger history is decayed forward first — never
+// the other way, so merging can only lose precision on the side that
+// is genuinely behind — and a ends at the later of the two epochs.
+func (a *Accumulator) Merge(o *Accumulator) error {
+	if o.fname != a.fname {
+		return fmt.Errorf("stream: merging accumulator of %q into %q", o.fname, a.fname)
+	}
+	if !equalEdgeSets(a.r, o.r) {
+		return fmt.Errorf("stream: merging accumulators of %q with different recording-edge sets", a.fname)
+	}
+	switch {
+	case o.epoch < a.epoch:
+		o = o.Clone()
+		o.DecayTo(a.epoch)
+	case o.epoch > a.epoch:
+		a.DecayTo(o.epoch)
+	}
+	for k, oe := range o.entries {
+		if e, ok := a.entries[k]; ok {
+			e.raw = satAdd(e.raw, oe.raw)
+		} else {
+			a.entries[k] = &accEntry{path: oe.path, raw: oe.raw}
+		}
+	}
+	return nil
+}
+
+// Count returns the decayed traversal count of the path with key k
+// (zero when absent), clamped to the int64 range bl uses.
+func (a *Accumulator) Count(k string) int64 {
+	e, ok := a.entries[k]
+	if !ok {
+		return 0
+	}
+	return clampCount(e.raw >> a.scale())
+}
+
+func clampCount(w uint64) int64 {
+	if w > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(w)
+}
+
+// Profile materializes the accumulator's current view as a bl.Profile:
+// every path whose decayed weight is at least one traversal, at its
+// floor count. The returned profile owns a fresh R copy and is safe to
+// hand to the engine (which fingerprints and retains it).
+func (a *Accumulator) Profile() *bl.Profile {
+	R := make(map[cfg.EdgeID]bool, len(a.r))
+	for e := range a.r {
+		R[e] = true
+	}
+	pr := bl.NewProfile(a.fname, R)
+	s := a.scale()
+	for _, e := range a.entries {
+		if w := e.raw >> s; w > 0 {
+			pr.Add(e.path, clampCount(w))
+		}
+	}
+	return pr
+}
+
+// Equal reports whether two accumulators are in the identical state:
+// same function, same R, same epoch, and the same raw weight on every
+// path. This is the (strict, bit-exact) equality the algebraic property
+// tests assert.
+func (a *Accumulator) Equal(o *Accumulator) bool {
+	if a.fname != o.fname || a.epoch != o.epoch || len(a.entries) != len(o.entries) {
+		return false
+	}
+	if !equalEdgeSets(a.r, o.r) {
+		return false
+	}
+	for k, e := range a.entries {
+		oe, ok := o.entries[k]
+		if !ok || oe.raw != e.raw {
+			return false
+		}
+	}
+	return true
+}
+
+func equalEdgeSets(a, b map[cfg.EdgeID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+)
+
+// rng is a splitmix64 for deterministic randomized property tests.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randPath builds a path over an abstract edge universe — the
+// accumulator algebra never consults a graph, so arbitrary edge IDs
+// exercise it fully.
+func randPath(r *rng) bl.Path {
+	n := 1 + r.intn(4)
+	edges := make([]cfg.EdgeID, n)
+	for i := range edges {
+		edges[i] = cfg.EdgeID(r.intn(12))
+	}
+	return bl.Path{Edges: edges}
+}
+
+// randAcc builds an accumulator with random paths/counts, decayed to a
+// random epoch strictly inside the first renormalization window so the
+// algebraic laws hold bit-exactly (see the package comment).
+func randAcc(r *rng, maxEpoch int) *Accumulator {
+	a := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	epochs := r.intn(maxEpoch + 1)
+	for e := 0; e <= epochs; e++ {
+		for i := r.intn(6); i > 0; i-- {
+			a.Add(randPath(r), int64(1+r.intn(1000)))
+		}
+		if e < epochs {
+			a.Decay()
+		}
+	}
+	return a
+}
+
+func mustMerge(t *testing.T, dst, src *Accumulator) {
+	t.Helper()
+	if err := dst.Merge(src); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+}
+
+// TestMergeCommutative: merge(A,B) ≡ merge(B,A) bit-exactly, including
+// across (in-window) epoch differences and saturated weights.
+func TestMergeCommutative(t *testing.T) {
+	r := rng(1)
+	for trial := 0; trial < 500; trial++ {
+		a, b := randAcc(&r, 20), randAcc(&r, 20)
+		ab, ba := a.Clone(), b.Clone()
+		mustMerge(t, ab, b)
+		mustMerge(t, ba, a)
+		if !ab.Equal(ba) {
+			t.Fatalf("trial %d: merge(A,B) != merge(B,A)\nA epoch %d, B epoch %d", trial, a.Epoch(), b.Epoch())
+		}
+	}
+}
+
+// TestMergeAssociative: merge(merge(A,B),C) ≡ merge(A,merge(B,C)).
+func TestMergeAssociative(t *testing.T) {
+	r := rng(2)
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randAcc(&r, 15), randAcc(&r, 15), randAcc(&r, 15)
+		left := a.Clone()
+		mustMerge(t, left, b)
+		mustMerge(t, left, c)
+		right := b.Clone()
+		mustMerge(t, right, c)
+		la := a.Clone()
+		mustMerge(t, la, right)
+		if !left.Equal(la) {
+			t.Fatalf("trial %d: (A+B)+C != A+(B+C)", trial)
+		}
+	}
+}
+
+// TestDecayMergeCommute: at a common epoch inside one renorm window,
+// Decay∘Merge ≡ Merge∘Decay bit-exactly — decay moves only the
+// read-out scale, never the stored weights.
+func TestDecayMergeCommute(t *testing.T) {
+	r := rng(3)
+	for trial := 0; trial < 500; trial++ {
+		epoch := uint64(r.intn(30))
+		a, b := randAcc(&r, 0), randAcc(&r, 0)
+		a.DecayTo(epoch)
+		b.DecayTo(epoch)
+		for i := 0; i < 5; i++ { // land fresh samples at this scale too
+			a.Add(randPath(&r), int64(1+r.intn(1000)))
+			b.Add(randPath(&r), int64(1+r.intn(1000)))
+		}
+
+		mergeThenDecay := a.Clone()
+		mustMerge(t, mergeThenDecay, b)
+		mergeThenDecay.Decay()
+
+		da, db := a.Clone(), b.Clone()
+		da.Decay()
+		db.Decay()
+		decayThenMerge := da
+		mustMerge(t, decayThenMerge, db)
+
+		if !mergeThenDecay.Equal(decayThenMerge) {
+			t.Fatalf("trial %d (epoch %d): Decay∘Merge != Merge∘Decay", trial, epoch)
+		}
+	}
+}
+
+// TestDecayHalves: each Decay exactly floor-halves every observable
+// count, including across the renormalization boundary (where raw
+// weights are rescaled — the rescale must be weight-invisible).
+func TestDecayHalves(t *testing.T) {
+	r := rng(4)
+	a := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	keys := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		p := randPath(&r)
+		a.Add(p, int64(1+r.intn(1<<40)))
+		keys[p.Key()] = true
+	}
+	for epoch := 0; epoch < 3*renormWindow; epoch++ {
+		before := map[string]int64{}
+		for k := range keys {
+			before[k] = a.Count(k)
+		}
+		a.Decay()
+		for k := range keys {
+			if got, want := a.Count(k), before[k]/2; got != want {
+				t.Fatalf("epoch %d→%d: Count(%s) = %d, want %d", epoch, epoch+1, k, got, want)
+			}
+		}
+	}
+}
+
+// TestAddAfterDecayFullWeight: samples always read back at full weight
+// no matter the epoch they land at.
+func TestAddAfterDecayFullWeight(t *testing.T) {
+	p := bl.Path{Edges: []cfg.EdgeID{1, 2}}
+	for _, epochs := range []int{0, 1, 7, 31, 32, 40, 64} {
+		a := NewAccumulator("f", map[cfg.EdgeID]bool{})
+		a.DecayTo(uint64(epochs))
+		a.Add(p, 123)
+		if got := a.Count(p.Key()); got != 123 {
+			t.Fatalf("after %d decays: Count = %d, want 123", epochs, got)
+		}
+	}
+}
+
+// TestSaturation: weights cap instead of overflowing, and saturated
+// merges stay order-independent.
+func TestSaturation(t *testing.T) {
+	p := bl.Path{Edges: []cfg.EdgeID{0}}
+	a := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	b := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	for i := 0; i < 40; i++ {
+		a.Add(p, math.MaxInt64)
+		b.Add(p, math.MaxInt64)
+	}
+	if got := a.Count(p.Key()); got != math.MaxInt64 {
+		t.Fatalf("saturated Count = %d, want MaxInt64", got)
+	}
+	ab, ba := a.Clone(), b.Clone()
+	mustMerge(t, ab, b)
+	mustMerge(t, ba, a)
+	if !ab.Equal(ba) {
+		t.Fatal("saturated merge is order-dependent")
+	}
+}
+
+// TestMergeRejectsMismatch: accumulators of different functions or
+// recording-edge sets refuse to merge.
+func TestMergeRejectsMismatch(t *testing.T) {
+	a := NewAccumulator("f", map[cfg.EdgeID]bool{1: true})
+	if err := a.Merge(NewAccumulator("g", map[cfg.EdgeID]bool{1: true})); err == nil {
+		t.Fatal("merging different functions succeeded")
+	}
+	if err := a.Merge(NewAccumulator("f", map[cfg.EdgeID]bool{2: true})); err == nil {
+		t.Fatal("merging different recording-edge sets succeeded")
+	}
+}
+
+// TestMergeAcrossEpochsLeavesSourceUntouched: Merge may need to decay
+// a younger source forward; that must happen on a clone.
+func TestMergeAcrossEpochsLeavesSourceUntouched(t *testing.T) {
+	p := bl.Path{Edges: []cfg.EdgeID{3}}
+	old := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	old.Add(p, 100)
+	old.DecayTo(4)
+	young := NewAccumulator("f", map[cfg.EdgeID]bool{})
+	young.Add(p, 100)
+	snapshot := young.Clone()
+	mustMerge(t, old, young)
+	if !young.Equal(snapshot) {
+		t.Fatal("Merge mutated its source")
+	}
+	if old.Epoch() != 4 {
+		t.Fatalf("merged epoch = %d, want 4 (the later one)", old.Epoch())
+	}
+	// old contributed 100>>4 = 6; young decayed forward contributes
+	// 100>>4 = 6 as well.
+	if got := old.Count(p.Key()); got != 12 {
+		t.Fatalf("merged Count = %d, want 12", got)
+	}
+}
+
+// TestProfileMaterialization: Profile() floors decayed weights and
+// drops sub-traversal residue.
+func TestProfileMaterialization(t *testing.T) {
+	hot := bl.Path{Edges: []cfg.EdgeID{1}}
+	cold := bl.Path{Edges: []cfg.EdgeID{2}}
+	a := NewAccumulator("f", map[cfg.EdgeID]bool{0: true})
+	a.Add(hot, 1000)
+	a.Add(cold, 1)
+	a.Decay() // cold falls below one traversal
+	pr := a.Profile()
+	if pr.FuncName != "f" || !pr.R[0] {
+		t.Fatalf("materialized profile header wrong: %q %v", pr.FuncName, pr.R)
+	}
+	if len(pr.Entries) != 1 {
+		t.Fatalf("materialized %d entries, want 1 (cold path decayed out)", len(pr.Entries))
+	}
+	if e := pr.Entries[hot.Key()]; e == nil || e.Count != 500 {
+		t.Fatalf("hot entry = %+v, want count 500", e)
+	}
+}

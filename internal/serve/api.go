@@ -35,6 +35,7 @@ import (
 	"pathflow/internal/constprop"
 	"pathflow/internal/dataflow"
 	"pathflow/internal/engine"
+	"pathflow/internal/profile/stream"
 )
 
 // --- Requests -------------------------------------------------------------
@@ -117,6 +118,13 @@ type AnalyzeRequest struct {
 	// TimeoutMS bounds the job (queue wait included); 0 means the
 	// server's default deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Live analyzes against the target's live streamed profile
+	// (POST /v1/profiles deltas merged into the decaying accumulators)
+	// instead of the training snapshot. Each function runs under the
+	// delta class its drift implies, so undrifted functions replay from
+	// cache and drifted ones recompute only the selection-downstream
+	// suffix.
+	Live bool `json:"live,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: one program analyzed at
@@ -137,6 +145,10 @@ type SweepRequest struct {
 	// fanned out first and untouched functions (pure cache replays)
 	// drain last.
 	BaselineSource string `json:"baseline_source,omitempty"`
+	// Live sweeps against the live streamed profile (see
+	// AnalyzeRequest.Live). Mutually exclusive with Distributed — the
+	// live stream is this server's state.
+	Live bool `json:"live,omitempty"`
 }
 
 // --- Results --------------------------------------------------------------
@@ -390,6 +402,10 @@ func errorBody(err error) ErrorBody {
 	var uk *engine.UnknownKernelError
 	if errors.As(err, &uk) {
 		b.Hint = uk.Hint()
+	}
+	var be *stream.BatchError
+	if errors.As(err, &be) {
+		b.Hint = be.Hint()
 	}
 	var se *engine.StageError
 	if errors.As(err, &se) {

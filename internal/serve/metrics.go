@@ -59,6 +59,15 @@ type serverMetrics struct {
 	stageDecode   map[engine.StageName]float64
 	profileRuns   int64
 	profileCached int64
+
+	// Streaming-profile counters: function deltas applied / dropped as
+	// idempotent replays by POST /v1/profiles, and functions whose live
+	// hot-set selection drifted from the cached artifacts' profile
+	// (each will re-qualify — recompute its StageSelect-downstream
+	// suffix — at the next live analysis).
+	ingestApplied  int64
+	ingestDropped  int64
+	driftRequalify int64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -127,6 +136,17 @@ func (sm *serverMetrics) observeProfile(d time.Duration, cached bool) {
 	if cached {
 		sm.profileCached++
 	}
+}
+
+// observeIngest records one profile-delta batch: applied and dropped
+// function deltas, plus how many functions the batch left needing
+// re-qualification.
+func (sm *serverMetrics) observeIngest(applied, dropped, requalify int) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.ingestApplied += int64(applied)
+	sm.ingestDropped += int64(dropped)
+	sm.driftRequalify += int64(requalify)
 }
 
 // snapshot returns the counters the health endpoint reports.
@@ -224,6 +244,16 @@ func (sm *serverMetrics) render(w io.Writer, cache engine.CacheStats) {
 	fmt.Fprintf(w, "# HELP pathflow_profile_cached_total Training-profile requests served from the memo.\n")
 	fmt.Fprintf(w, "# TYPE pathflow_profile_cached_total counter\n")
 	fmt.Fprintf(w, "pathflow_profile_cached_total %d\n", sm.profileCached)
+
+	fmt.Fprintf(w, "# HELP pathflow_profile_ingest_total Streamed profile function-deltas applied to the live accumulators.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_profile_ingest_total counter\n")
+	fmt.Fprintf(w, "pathflow_profile_ingest_total %d\n", sm.ingestApplied)
+	fmt.Fprintf(w, "# HELP pathflow_profile_ingest_dropped_total Streamed profile function-deltas dropped as idempotent replays (seq already applied).\n")
+	fmt.Fprintf(w, "# TYPE pathflow_profile_ingest_dropped_total counter\n")
+	fmt.Fprintf(w, "pathflow_profile_ingest_dropped_total %d\n", sm.ingestDropped)
+	fmt.Fprintf(w, "# HELP pathflow_drift_requalify_total Functions whose live hot-set selection drifted from the cached artifacts' profile after an ingested batch.\n")
+	fmt.Fprintf(w, "# TYPE pathflow_drift_requalify_total counter\n")
+	fmt.Fprintf(w, "pathflow_drift_requalify_total %d\n", sm.driftRequalify)
 
 	fmt.Fprintf(w, "# HELP pathflow_stage_cache_hits_total Stage executions served from the artifact cache.\n")
 	fmt.Fprintf(w, "# TYPE pathflow_stage_cache_hits_total counter\n")

@@ -75,6 +75,11 @@ type Server struct {
 	// memo is the program/profile memo shared by every job.
 	memo progMemo
 
+	// streams holds each target's live profile stream (decaying
+	// accumulators + drift baseline), keyed like the memo.
+	streamsMu sync.Mutex
+	streams   map[string]*targetStream
+
 	// fabric is the distributed-analysis coordinator, or nil when
 	// Config.Fabric is off.
 	fabric *fabric.Coordinator
@@ -124,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 		eng:     eng,
 		metrics: newServerMetrics(),
 		memo:    newProgMemo(),
+		streams: map[string]*targetStream{},
 	}
 	s.jobs = newManager(cfg.MaxJobs, s.metrics)
 	s.mux = http.NewServeMux()
@@ -134,6 +140,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/profiles", s.handleProfileIngest)
+	s.mux.HandleFunc("GET /v1/profiles", s.handleProfileState)
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -196,6 +204,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	select {
 	case err := <-errc:
 		s.jobs.Shutdown()
+		s.saveStreams()
 		return err
 	case <-ctx.Done():
 	}
@@ -203,6 +212,9 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	// lifetimes, so cancelling jobs is what lets streaming connections
 	// (and hs.Shutdown) complete.
 	s.jobs.Shutdown()
+	// Persist the live profile streams so accumulated counts and
+	// ingestion sequence numbers survive the restart.
+	s.saveStreams()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -446,8 +458,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, requestID(r), http.StatusBadRequest, err)
 		return
 	}
+	run := s.runPoints
+	if req.Live {
+		run = s.runPointsLive
+	}
 	job := s.jobs.Submit("analyze", rt.name, s.timeoutFor(req.TimeoutMS), func(ctx context.Context, job *Job) error {
-		return s.runPoints(ctx, job, rt, []engine.Options{o})
+		return run(ctx, job, rt, []engine.Options{o})
 	})
 	s.respondSubmitted(w, r, job)
 }
@@ -481,6 +497,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Distributed {
+		if req.Live {
+			writeError(w, requestID(r), http.StatusBadRequest, errLiveDistributed)
+			return
+		}
 		if s.fabric == nil {
 			writeError(w, requestID(r), http.StatusBadRequest,
 				errors.New(`serve: "distributed" requires the fabric coordinator; start serve with -fabric`))
@@ -502,8 +522,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.respondSubmitted(w, r, job)
 		return
 	}
+	run := s.runPoints
+	if req.Live {
+		run = s.runPointsLive
+	}
 	job := s.jobs.Submit("sweep", rt.name, s.timeoutFor(req.TimeoutMS), func(ctx context.Context, job *Job) error {
-		return s.runPoints(ctx, job, rt, points)
+		return run(ctx, job, rt, points)
 	})
 	s.respondSubmitted(w, r, job)
 }

@@ -1,0 +1,276 @@
+package watch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathflow/internal/bl"
+	"pathflow/internal/cfg"
+	"pathflow/internal/engine"
+	"pathflow/internal/interp"
+	"pathflow/internal/ir"
+)
+
+func TestPollerDetectsChanges(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.src")
+	b := filepath.Join(dir, "b.src")
+	if err := os.WriteFile(a, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(a, b)
+	if got := p.Poll(); len(got) != 0 {
+		t.Fatalf("unchanged files reported: %v", got)
+	}
+	if err := os.WriteFile(a, []byte("one edited"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Poll(); len(got) != 1 || got[0] != a {
+		t.Fatalf("Poll = %v, want [%s]", got, a)
+	}
+	if got := p.Poll(); len(got) != 0 {
+		t.Fatalf("change reported twice: %v", got)
+	}
+	// Deletion is a change too (hash goes to the read-error sentinel).
+	if err := os.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Poll(); len(got) != 1 || got[0] != b {
+		t.Fatalf("deletion not reported: %v", got)
+	}
+	// Rewriting identical content is not a change.
+	if err := os.WriteFile(a, []byte("one edited"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Poll(); len(got) != 0 {
+		t.Fatalf("identical rewrite reported: %v", got)
+	}
+}
+
+const watchSrcV1 = `
+func helper(k) {
+	if (k % 2 == 0) { s = 4; } else { s = 5; }
+	return k * s;
+}
+func other(k) {
+	return k * 31 % 17;
+}
+func main() {
+	n = arg(0);
+	i = 0;
+	t = 0;
+	while (i < n) {
+		t = t + helper(i) + other(i);
+		i = i + 1;
+	}
+	print(t);
+}
+`
+
+// watchSrcV2 edits only helper's body (a different constant), leaving
+// other and main untouched.
+const watchSrcV2 = `
+func helper(k) {
+	if (k % 2 == 0) { s = 6; } else { s = 5; }
+	return k * s;
+}
+func other(k) {
+	return k * 31 % 17;
+}
+func main() {
+	n = arg(0);
+	i = 0;
+	t = 0;
+	while (i < n) {
+		t = t + helper(i) + other(i);
+		i = i + 1;
+	}
+	print(t);
+}
+`
+
+func testTrain(prog *cfg.Program) (*bl.ProgramProfile, error) {
+	pp, _, err := bl.ProfileProgram(prog, interp.Options{Args: []ir.Value{50}})
+	return pp, err
+}
+
+// eventLog collects runner events thread-safely (OnEvent fires on the
+// runner goroutine while the test edits files on its own).
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	rounds []int
+}
+
+func (l *eventLog) add(ev Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) byRound(round int) map[string]Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[string]Event{}
+	for _, ev := range l.events {
+		if ev.Round == round {
+			out[ev.Func] = ev
+		}
+	}
+	return out
+}
+
+// TestRunnerReplaysUnchangedFunctions is the watch-mode contract: after
+// an edit to one function's body, only that function recomputes its
+// dirty stage suffix — the untouched functions replay every stage from
+// the cache the cold round filled.
+func TestRunnerReplaysUnchangedFunctions(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.src")
+	if err := os.WriteFile(src, []byte(watchSrcV1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.Open(engine.Config{Workers: 1, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &eventLog{}
+	r := NewRunner(eng, Config{
+		SrcPath:  src,
+		Train:    testTrain,
+		Interval: 5 * time.Millisecond,
+		Rounds:   1,
+		Options:  engine.DefaultOptions(),
+		OnRound: func(round int, changed []string) {
+			log.mu.Lock()
+			log.rounds = append(log.rounds, round)
+			log.mu.Unlock()
+			if len(changed) != 1 || changed[0] != src {
+				t.Errorf("round %d changed = %v, want [%s]", round, changed, src)
+			}
+		},
+		OnEvent: log.add,
+	})
+
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { done <- r.Run(ctx) }()
+
+	// Wait for round 0 (cold) to land, then edit helper.
+	waitFor(t, func() bool { return len(log.byRound(0)) == 3 })
+	if err := os.WriteFile(src, []byte(watchSrcV2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	cold := log.byRound(0)
+	for name, ev := range cold {
+		if ev.Class != engine.DeltaCold || ev.Recomputed == 0 {
+			t.Errorf("round 0 %s: %+v, want cold recompute", name, ev)
+		}
+	}
+	round1 := log.byRound(1)
+	if len(round1) != 3 {
+		t.Fatalf("round 1 produced %d events, want 3: %+v", len(round1), round1)
+	}
+	edited := round1["helper"]
+	if edited.Class != engine.DeltaBody && edited.Class != engine.DeltaShape {
+		t.Errorf("edited helper classified %q, want a structural class", edited.Class)
+	}
+	if edited.Recomputed == 0 || !edited.Requalify {
+		t.Errorf("edited helper did not recompute/requalify: %+v", edited)
+	}
+	for _, name := range []string{"other", "main"} {
+		ev := round1[name]
+		if ev.Class != engine.DeltaNone {
+			t.Errorf("untouched %s classified %q, want none", name, ev.Class)
+		}
+		if ev.Recomputed != 0 || ev.Replayed == 0 || ev.Requalify {
+			t.Errorf("untouched %s did not replay everything: %+v", name, ev)
+		}
+		if !strings.Contains(strings.Join(ev.ReplayedStages, ","), string(engine.StageBaseline)) {
+			t.Errorf("untouched %s replayed stages missing baseline: %v", name, ev.ReplayedStages)
+		}
+	}
+}
+
+// TestRunnerSurvivesBrokenEdit: a mid-edit syntax error reaches OnError
+// and the runner keeps watching; the next good save completes a round.
+func TestRunnerSurvivesBrokenEdit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.src")
+	if err := os.WriteFile(src, []byte(watchSrcV1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.Open(engine.Config{Workers: 1, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &eventLog{}
+	var errMu sync.Mutex
+	var errs []error
+	r := NewRunner(eng, Config{
+		SrcPath:  src,
+		Train:    testTrain,
+		Interval: 5 * time.Millisecond,
+		Rounds:   1,
+		Options:  engine.DefaultOptions(),
+		OnEvent:  log.add,
+		OnError: func(err error) {
+			errMu.Lock()
+			errs = append(errs, err)
+			errMu.Unlock()
+		},
+	})
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { done <- r.Run(ctx) }()
+
+	waitFor(t, func() bool { return len(log.byRound(0)) == 3 })
+	if err := os.WriteFile(src, []byte("func main( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return len(errs) > 0
+	})
+	if err := os.WriteFile(src, []byte(watchSrcV2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "compiling") {
+		t.Fatalf("broken edit error = %v, want a compile error", errs)
+	}
+	if got := log.byRound(1); len(got) != 3 {
+		t.Fatalf("recovery round produced %d events, want 3", len(got))
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
